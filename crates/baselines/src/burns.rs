@@ -1,0 +1,114 @@
+//! Burns–Lynch one-bit mutual exclusion.
+//!
+//! The algorithm behind the `m ≥ n` space lower bound the paper leans on:
+//! `n` single-bit read/write registers, one per process, deadlock-free
+//! (not starvation-free).  Process `i` repeatedly announces itself,
+//! defers to lower-indexed announcers, and finally waits out
+//! higher-indexed ones.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::ClassicLock;
+
+/// Burns–Lynch one-bit deadlock-free lock over `n` flags.
+///
+/// # Example
+///
+/// ```
+/// use amx_baselines::{BurnsLynchLock, ClassicLock};
+/// let lock = BurnsLynchLock::new(3);
+/// lock.lock(1);
+/// lock.unlock(1);
+/// ```
+#[derive(Debug)]
+pub struct BurnsLynchLock {
+    flag: Vec<AtomicBool>,
+}
+
+impl BurnsLynchLock {
+    /// A lock for up to `capacity` threads, using exactly `capacity`
+    /// bits of shared state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        BurnsLynchLock {
+            flag: (0..capacity).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    fn lower_announcer(&self, i: usize) -> bool {
+        self.flag[..i].iter().any(|f| f.load(Ordering::SeqCst))
+    }
+}
+
+impl ClassicLock for BurnsLynchLock {
+    fn lock(&self, thread_index: usize) {
+        let i = thread_index;
+        assert!(i < self.flag.len(), "thread index out of range");
+        // Entry competition: defer to lower-indexed processes.
+        loop {
+            self.flag[i].store(false, Ordering::SeqCst);
+            while self.lower_announcer(i) {
+                std::hint::spin_loop();
+            }
+            self.flag[i].store(true, Ordering::SeqCst);
+            if !self.lower_announcer(i) {
+                break;
+            }
+        }
+        // Wait out higher-indexed processes.
+        for j in i + 1..self.flag.len() {
+            while self.flag[j].load(Ordering::SeqCst) {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    fn unlock(&self, thread_index: usize) {
+        self.flag[thread_index].store(false, Ordering::SeqCst);
+    }
+
+    fn capacity(&self) -> usize {
+        self.flag.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::exercise;
+
+    #[test]
+    fn two_threads_exclude() {
+        exercise(&BurnsLynchLock::new(2), 2, 1000);
+    }
+
+    #[test]
+    fn four_threads_exclude() {
+        exercise(&BurnsLynchLock::new(4), 4, 300);
+    }
+
+    #[test]
+    fn single_thread_reenters() {
+        let lock = BurnsLynchLock::new(1);
+        for _ in 0..100 {
+            lock.lock(0);
+            lock.unlock(0);
+        }
+    }
+
+    #[test]
+    fn uses_one_bit_per_process() {
+        assert_eq!(BurnsLynchLock::new(5).capacity(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread index out of range")]
+    fn out_of_range_thread_panics() {
+        BurnsLynchLock::new(2).lock(5);
+    }
+}

@@ -1,0 +1,168 @@
+//! Peterson's 2-process lock and its n-process tournament tree.
+//!
+//! Pure read/write registers (no read-modify-write), the classic
+//! non-anonymous comparator for Algorithm 1.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use crate::ClassicLock;
+
+/// One 2-process Peterson lock.
+#[derive(Debug, Default)]
+struct Peterson2 {
+    flag: [AtomicBool; 2],
+    victim: AtomicUsize,
+}
+
+impl Peterson2 {
+    fn lock(&self, side: usize) {
+        debug_assert!(side < 2);
+        self.flag[side].store(true, Ordering::SeqCst);
+        self.victim.store(side, Ordering::SeqCst);
+        while self.flag[1 - side].load(Ordering::SeqCst)
+            && self.victim.load(Ordering::SeqCst) == side
+        {
+            std::hint::spin_loop();
+        }
+    }
+
+    fn unlock(&self, side: usize) {
+        self.flag[side].store(false, Ordering::SeqCst);
+    }
+}
+
+/// An n-process mutual-exclusion lock built as a complete binary
+/// tournament of 2-process Peterson locks.
+///
+/// A thread enters at its leaf and must win every Peterson lock on the
+/// path to the root; unlock releases the path top-down.  Uses only
+/// read/write atomics, `O(n)` registers, and provides deadlock-freedom
+/// (in fact starvation-freedom level-by-level).
+///
+/// # Example
+///
+/// ```
+/// use amx_baselines::{ClassicLock, PetersonTournament};
+/// let lock = PetersonTournament::new(3);
+/// lock.lock(2);
+/// lock.unlock(2);
+/// ```
+#[derive(Debug)]
+pub struct PetersonTournament {
+    /// Internal nodes indexed heap-style: node 1 is the root; the
+    /// children of node `v` are `2v` and `2v+1`.  `nodes[0]` is unused.
+    nodes: Vec<Peterson2>,
+    leaves: usize,
+    capacity: usize,
+}
+
+impl PetersonTournament {
+    /// A tournament lock for up to `capacity` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        let leaves = capacity.next_power_of_two().max(2);
+        let nodes = (0..leaves).map(|_| Peterson2::default()).collect();
+        PetersonTournament {
+            nodes,
+            leaves,
+            capacity,
+        }
+    }
+
+    /// The heap index of the leaf-level node thread `t` starts under and
+    /// the side it plays there.
+    fn entry(&self, t: usize) -> (usize, usize) {
+        let pos = self.leaves + t; // virtual leaf slot in heap numbering
+        (pos / 2, pos % 2)
+    }
+
+    /// Path of `(node, side)` pairs from the entry node to the root.
+    fn path(&self, t: usize) -> Vec<(usize, usize)> {
+        let (mut node, mut side) = self.entry(t);
+        let mut path = Vec::new();
+        loop {
+            path.push((node, side));
+            if node == 1 {
+                return path;
+            }
+            side = node % 2;
+            node /= 2;
+        }
+    }
+}
+
+impl ClassicLock for PetersonTournament {
+    fn lock(&self, thread_index: usize) {
+        assert!(thread_index < self.capacity, "thread index out of range");
+        for (node, side) in self.path(thread_index) {
+            self.nodes[node].lock(side);
+        }
+    }
+
+    fn unlock(&self, thread_index: usize) {
+        assert!(thread_index < self.capacity, "thread index out of range");
+        for (node, side) in self.path(thread_index).into_iter().rev() {
+            self.nodes[node].unlock(side);
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::exercise;
+
+    #[test]
+    fn two_threads_exclude() {
+        exercise(&PetersonTournament::new(2), 2, 1000);
+    }
+
+    #[test]
+    fn three_threads_exclude() {
+        exercise(&PetersonTournament::new(3), 3, 500);
+    }
+
+    #[test]
+    fn eight_threads_exclude() {
+        exercise(&PetersonTournament::new(8), 8, 200);
+    }
+
+    #[test]
+    fn paths_end_at_root_and_are_disjoint_at_leaves() {
+        let lock = PetersonTournament::new(4);
+        for t in 0..4 {
+            let path = lock.path(t);
+            assert_eq!(path.last().unwrap().0, 1, "thread {t} must reach the root");
+        }
+        // Distinct threads start at distinct (node, side) leaf slots.
+        let entries: Vec<(usize, usize)> = (0..4).map(|t| lock.entry(t)).collect();
+        for (i, a) in entries.iter().enumerate() {
+            for b in &entries[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_not_power_of_two() {
+        let lock = PetersonTournament::new(5);
+        assert_eq!(lock.capacity(), 5);
+        exercise(&lock, 5, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread index out of range")]
+    fn out_of_range_thread_panics() {
+        let lock = PetersonTournament::new(2);
+        lock.lock(2);
+    }
+}

@@ -1,0 +1,238 @@
+//! One-word and counter-based spin locks: TAS, TTAS, ticket, Anderson.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use crate::ClassicLock;
+
+/// Pad to a cache line to keep per-thread spin slots from false sharing.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedBool(AtomicBool);
+
+/// Test-and-set spin lock: one atomic boolean, `swap(true)` to acquire.
+///
+/// # Example
+///
+/// ```
+/// use amx_baselines::{ClassicLock, TasLock};
+/// let lock = TasLock::new(2);
+/// lock.lock(0);
+/// lock.unlock(0);
+/// ```
+#[derive(Debug)]
+pub struct TasLock {
+    held: AtomicBool,
+    capacity: usize,
+}
+
+impl TasLock {
+    /// A TAS lock for up to `capacity` threads.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        TasLock {
+            held: AtomicBool::new(false),
+            capacity,
+        }
+    }
+}
+
+impl ClassicLock for TasLock {
+    fn lock(&self, _thread_index: usize) {
+        while self.held.swap(true, Ordering::Acquire) {
+            std::hint::spin_loop();
+        }
+    }
+
+    fn unlock(&self, _thread_index: usize) {
+        self.held.store(false, Ordering::Release);
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Test-and-test-and-set lock with bounded exponential backoff: spins on
+/// a read (cache-local) and only attempts the swap when the lock looks
+/// free.
+#[derive(Debug)]
+pub struct TtasLock {
+    held: AtomicBool,
+    capacity: usize,
+}
+
+impl TtasLock {
+    /// A TTAS lock for up to `capacity` threads.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        TtasLock {
+            held: AtomicBool::new(false),
+            capacity,
+        }
+    }
+}
+
+impl ClassicLock for TtasLock {
+    fn lock(&self, _thread_index: usize) {
+        let mut backoff = 1u32;
+        loop {
+            if !self.held.load(Ordering::Relaxed) && !self.held.swap(true, Ordering::Acquire) {
+                return;
+            }
+            for _ in 0..backoff {
+                std::hint::spin_loop();
+            }
+            backoff = (backoff * 2).min(1 << 10);
+        }
+    }
+
+    fn unlock(&self, _thread_index: usize) {
+        self.held.store(false, Ordering::Release);
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Ticket lock: FIFO handover through a `next`/`serving` counter pair.
+#[derive(Debug)]
+pub struct TicketLock {
+    next: AtomicUsize,
+    serving: AtomicUsize,
+    capacity: usize,
+}
+
+impl TicketLock {
+    /// A ticket lock for up to `capacity` threads.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        TicketLock {
+            next: AtomicUsize::new(0),
+            serving: AtomicUsize::new(0),
+            capacity,
+        }
+    }
+}
+
+impl ClassicLock for TicketLock {
+    fn lock(&self, _thread_index: usize) {
+        let ticket = self.next.fetch_add(1, Ordering::Relaxed);
+        while self.serving.load(Ordering::Acquire) != ticket {
+            std::hint::spin_loop();
+        }
+    }
+
+    fn unlock(&self, _thread_index: usize) {
+        self.serving.fetch_add(1, Ordering::Release);
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Anderson's array-based queue lock: each waiter spins on its own
+/// cache-line-padded slot, FIFO handover.
+#[derive(Debug)]
+pub struct AndersonLock {
+    slots: Vec<PaddedBool>,
+    tail: AtomicUsize,
+    my_slot: Vec<AtomicUsize>,
+}
+
+impl AndersonLock {
+    /// An Anderson lock for up to `capacity` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        let slots: Vec<PaddedBool> = (0..capacity).map(|_| PaddedBool::default()).collect();
+        slots[0].0.store(true, Ordering::Relaxed); // slot 0 starts "go"
+        AndersonLock {
+            slots,
+            tail: AtomicUsize::new(0),
+            my_slot: (0..capacity).map(|_| AtomicUsize::new(0)).collect(),
+        }
+    }
+}
+
+impl ClassicLock for AndersonLock {
+    fn lock(&self, thread_index: usize) {
+        let slot = self.tail.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        self.my_slot[thread_index].store(slot, Ordering::Relaxed);
+        while !self.slots[slot].0.load(Ordering::Acquire) {
+            std::hint::spin_loop();
+        }
+        self.slots[slot].0.store(false, Ordering::Relaxed);
+    }
+
+    fn unlock(&self, thread_index: usize) {
+        let slot = self.my_slot[thread_index].load(Ordering::Relaxed);
+        let next = (slot + 1) % self.slots.len();
+        self.slots[next].0.store(true, Ordering::Release);
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::exercise;
+
+    #[test]
+    fn tas_excludes() {
+        exercise(&TasLock::new(4), 4, 500);
+    }
+
+    #[test]
+    fn ttas_excludes() {
+        exercise(&TtasLock::new(4), 4, 500);
+    }
+
+    #[test]
+    fn ticket_excludes() {
+        exercise(&TicketLock::new(4), 4, 500);
+    }
+
+    #[test]
+    fn anderson_excludes() {
+        exercise(&AndersonLock::new(4), 4, 500);
+    }
+
+    #[test]
+    fn anderson_requires_capacity() {
+        let lock = AndersonLock::new(2);
+        assert_eq!(lock.capacity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn anderson_zero_capacity_panics() {
+        let _ = AndersonLock::new(0);
+    }
+
+    #[test]
+    fn uncontended_lock_unlock_cycles() {
+        for _ in 0..10 {
+            let l = TicketLock::new(1);
+            l.lock(0);
+            l.unlock(0);
+            l.lock(0);
+            l.unlock(0);
+        }
+    }
+
+    #[test]
+    fn capacities_are_reported() {
+        assert_eq!(TasLock::new(7).capacity(), 7);
+        assert_eq!(TtasLock::new(3).capacity(), 3);
+        assert_eq!(TicketLock::new(9).capacity(), 9);
+    }
+}

@@ -1,0 +1,101 @@
+//! Throughput of the two anonymous-mutex algorithms under contention.
+//!
+//! For each process count `n` (with the smallest valid `m`), measures the
+//! wall-clock time for `n` threads to complete a fixed number of
+//! critical-section entries each.  Regenerates the performance series
+//! backing EXPERIMENTS.md experiment F1/F2 (threaded halves).
+
+use amx_bench::{stress_rmw, stress_rw};
+use amx_core::MutexSpec;
+use amx_registers::Adversary;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
+const ENTRIES_PER_THREAD: u64 = 200;
+
+fn bench_alg1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg1_rw_throughput");
+    group.sample_size(10);
+    for n in [2usize, 3, 4] {
+        let spec = MutexSpec::smallest_rw(n).expect("valid spec");
+        group.throughput(criterion::Throughput::Elements(
+            n as u64 * ENTRIES_PER_THREAD,
+        ));
+        group.bench_with_input(
+            BenchmarkId::new(format!("n{}_m{}", spec.n(), spec.m()), n),
+            &spec,
+            |b, &spec| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for round in 0..iters {
+                        let start = Instant::now();
+                        let out =
+                            stress_rw(spec, &Adversary::Random(round ^ 0xA1), ENTRIES_PER_THREAD);
+                        total += start.elapsed();
+                        assert_eq!(out.violations, 0);
+                    }
+                    total
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_alg2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg2_rmw_throughput");
+    group.sample_size(10);
+    for n in [2usize, 3, 4, 6, 8] {
+        let spec = MutexSpec::smallest_rmw(n).expect("valid spec");
+        group.throughput(criterion::Throughput::Elements(
+            n as u64 * ENTRIES_PER_THREAD,
+        ));
+        group.bench_with_input(
+            BenchmarkId::new(format!("n{}_m{}", spec.n(), spec.m()), n),
+            &spec,
+            |b, &spec| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for round in 0..iters {
+                        let start = Instant::now();
+                        let out =
+                            stress_rmw(spec, &Adversary::Random(round ^ 0xA2), ENTRIES_PER_THREAD);
+                        total += start.elapsed();
+                        assert_eq!(out.violations, 0);
+                    }
+                    total
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_alg2_single_register(c: &mut Criterion) {
+    // The degenerate m = 1 configuration is effectively a CAS lock;
+    // useful as the intra-paper baseline.
+    let mut group = c.benchmark_group("alg2_rmw_m1_throughput");
+    group.sample_size(10);
+    for n in [2usize, 4, 8] {
+        let spec = MutexSpec::rmw(n, 1).expect("m = 1 is valid");
+        group.throughput(criterion::Throughput::Elements(
+            n as u64 * ENTRIES_PER_THREAD,
+        ));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &spec, |b, &spec| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for round in 0..iters {
+                    let start = Instant::now();
+                    let out = stress_rmw(spec, &Adversary::Random(round), ENTRIES_PER_THREAD);
+                    total += start.elapsed();
+                    assert_eq!(out.violations, 0);
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alg1, bench_alg2, bench_alg2_single_register);
+criterion_main!(benches);

@@ -1,0 +1,174 @@
+//! Anonymous vs non-anonymous: what the missing naming agreement costs.
+//!
+//! Runs the same contended counter workload (4 threads × fixed entries)
+//! over every baseline lock from `amx-baselines`, the standard-library
+//! and parking_lot mutexes, and the paper's two algorithms.  Regenerates
+//! EXPERIMENTS.md experiment B1.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use amx_baselines::{
+    AndersonLock, BurnsLynchLock, ClassicLock, PetersonTournament, TasLock, TicketLock, TtasLock,
+};
+use amx_bench::{stress_rmw, stress_rw};
+use amx_core::MutexSpec;
+use amx_registers::Adversary;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const THREADS: usize = 4;
+const ENTRIES_PER_THREAD: u64 = 500;
+
+/// Times one full contended run of a [`ClassicLock`].
+fn run_classic<L: ClassicLock>(lock: &L) -> Duration {
+    let counter = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let (lock, counter) = (&*lock, &counter);
+            s.spawn(move || {
+                for _ in 0..ENTRIES_PER_THREAD {
+                    lock.lock(t);
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    lock.unlock(t);
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    assert_eq!(
+        counter.load(Ordering::Relaxed),
+        THREADS as u64 * ENTRIES_PER_THREAD
+    );
+    elapsed
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_comparison");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Elements(
+        THREADS as u64 * ENTRIES_PER_THREAD,
+    ));
+
+    group.bench_function("tas", |b| {
+        b.iter_custom(|iters| {
+            (0..iters)
+                .map(|_| run_classic(&TasLock::new(THREADS)))
+                .sum()
+        })
+    });
+    group.bench_function("ttas", |b| {
+        b.iter_custom(|iters| {
+            (0..iters)
+                .map(|_| run_classic(&TtasLock::new(THREADS)))
+                .sum()
+        })
+    });
+    group.bench_function("ticket", |b| {
+        b.iter_custom(|iters| {
+            (0..iters)
+                .map(|_| run_classic(&TicketLock::new(THREADS)))
+                .sum()
+        })
+    });
+    group.bench_function("anderson", |b| {
+        b.iter_custom(|iters| {
+            (0..iters)
+                .map(|_| run_classic(&AndersonLock::new(THREADS)))
+                .sum()
+        })
+    });
+    group.bench_function("peterson_tournament", |b| {
+        b.iter_custom(|iters| {
+            (0..iters)
+                .map(|_| run_classic(&PetersonTournament::new(THREADS)))
+                .sum()
+        })
+    });
+    group.bench_function("burns_lynch", |b| {
+        b.iter_custom(|iters| {
+            (0..iters)
+                .map(|_| run_classic(&BurnsLynchLock::new(THREADS)))
+                .sum()
+        })
+    });
+
+    group.bench_function("std_mutex", |b| {
+        b.iter_custom(|iters| {
+            (0..iters)
+                .map(|_| {
+                    let lock = std::sync::Mutex::new(());
+                    let counter = AtomicU64::new(0);
+                    let start = Instant::now();
+                    std::thread::scope(|s| {
+                        for _ in 0..THREADS {
+                            let (lock, counter) = (&lock, &counter);
+                            s.spawn(move || {
+                                for _ in 0..ENTRIES_PER_THREAD {
+                                    let _g = lock.lock().unwrap();
+                                    counter.fetch_add(1, Ordering::Relaxed);
+                                }
+                            });
+                        }
+                    });
+                    start.elapsed()
+                })
+                .sum()
+        })
+    });
+
+    group.bench_function("parking_lot_mutex", |b| {
+        b.iter_custom(|iters| {
+            (0..iters)
+                .map(|_| {
+                    let lock = parking_lot::Mutex::new(());
+                    let counter = AtomicU64::new(0);
+                    let start = Instant::now();
+                    std::thread::scope(|s| {
+                        for _ in 0..THREADS {
+                            let (lock, counter) = (&lock, &counter);
+                            s.spawn(move || {
+                                for _ in 0..ENTRIES_PER_THREAD {
+                                    let _g = lock.lock();
+                                    counter.fetch_add(1, Ordering::Relaxed);
+                                }
+                            });
+                        }
+                    });
+                    start.elapsed()
+                })
+                .sum()
+        })
+    });
+
+    let rw_spec = MutexSpec::smallest_rw(THREADS).expect("valid spec");
+    group.bench_function("anonymous_alg1_rw", |b| {
+        b.iter_custom(|iters| {
+            (0..iters)
+                .map(|round| {
+                    let out = stress_rw(rw_spec, &Adversary::Random(round), ENTRIES_PER_THREAD);
+                    assert_eq!(out.violations, 0);
+                    out.elapsed
+                })
+                .sum()
+        })
+    });
+
+    let rmw_spec = MutexSpec::smallest_rmw(THREADS).expect("valid spec");
+    group.bench_function("anonymous_alg2_rmw", |b| {
+        b.iter_custom(|iters| {
+            (0..iters)
+                .map(|round| {
+                    let out = stress_rmw(rmw_spec, &Adversary::Random(round), ENTRIES_PER_THREAD);
+                    assert_eq!(out.violations, 0);
+                    out.elapsed
+                })
+                .sum()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Uncontended entry/exit cost vs memory size (EXPERIMENTS.md C1).
+//!
+//! A solo process must still do `Θ(m)` work to enter: Algorithm 1 writes
+//! every register and snapshots between writes (`Θ(m)` snapshots of
+//! `Θ(m)` reads each → quadratic in `m`), Algorithm 2 does one CAS sweep
+//! plus one read sweep (linear in `m`).  The measured curves should show
+//! exactly that separation.
+
+use amx_core::{MutexSpec, RmwAnonLock, RwAnonLock};
+use amx_registers::Adversary;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_alg1_solo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg1_solo_lock_unlock");
+    for m in [3usize, 5, 7, 11, 13, 23] {
+        let spec = MutexSpec::rw(2, m).expect("odd prime m is valid for n = 2");
+        let lock = RwAnonLock::new(spec);
+        let mut p = lock
+            .participants(&Adversary::Random(1))
+            .expect("adversary")
+            .remove(0);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| {
+                let g = p.lock();
+                drop(g);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_alg2_solo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg2_solo_lock_unlock");
+    for m in [1usize, 3, 5, 7, 11, 13, 23] {
+        let spec = MutexSpec::rmw(2, m).expect("valid m for n = 2");
+        let lock = RmwAnonLock::new(spec);
+        let mut p = lock
+            .participants(&Adversary::Random(1))
+            .expect("adversary")
+            .remove(0);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| {
+                let g = p.lock();
+                drop(g);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alg1_solo, bench_alg2_solo);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Model-checker throughput: how fast the exhaustive explorer covers the
+//! algorithms' state spaces (useful for sizing new configurations).
+
+use amx_core::{Alg1Automaton, Alg2Automaton, MutexSpec};
+use amx_ids::PidPool;
+use amx_registers::Adversary;
+use amx_sim::mc::{ModelChecker, Verdict};
+use amx_sim::MemoryModel;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_mc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_checker");
+    group.sample_size(10);
+
+    group.bench_function("alg1_n2_m3", |b| {
+        b.iter(|| {
+            let spec = MutexSpec::rw_unchecked(2, 3);
+            let mut pool = PidPool::sequential();
+            let automata: Vec<Alg1Automaton> = (0..2)
+                .map(|_| Alg1Automaton::new(spec, pool.mint()))
+                .collect();
+            let report =
+                ModelChecker::with_automata(automata, MemoryModel::Rw, 3, &Adversary::Identity)
+                    .unwrap()
+                    .run()
+                    .unwrap();
+            assert_eq!(report.verdict, Verdict::Ok);
+            report.states
+        })
+    });
+
+    group.bench_function("alg2_n2_m3", |b| {
+        b.iter(|| {
+            let spec = MutexSpec::rmw_unchecked(2, 3);
+            let mut pool = PidPool::sequential();
+            let automata: Vec<Alg2Automaton> = (0..2)
+                .map(|_| Alg2Automaton::new(spec, pool.mint()))
+                .collect();
+            let report =
+                ModelChecker::with_automata(automata, MemoryModel::Rmw, 3, &Adversary::Identity)
+                    .unwrap()
+                    .run()
+                    .unwrap();
+            assert_eq!(report.verdict, Verdict::Ok);
+            report.states
+        })
+    });
+
+    group.bench_function("alg2_n2_m4_livelock", |b| {
+        b.iter(|| {
+            let spec = MutexSpec::rmw_unchecked(2, 4);
+            let mut pool = PidPool::sequential();
+            let automata: Vec<Alg2Automaton> = (0..2)
+                .map(|_| Alg2Automaton::new(spec, pool.mint()))
+                .collect();
+            let report =
+                ModelChecker::with_automata(automata, MemoryModel::Rmw, 4, &Adversary::Identity)
+                    .unwrap()
+                    .run()
+                    .unwrap();
+            assert!(matches!(report.verdict, Verdict::FairLivelock { .. }));
+            report.states
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_mc);
+criterion_main!(benches);

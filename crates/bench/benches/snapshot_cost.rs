@@ -1,0 +1,84 @@
+//! Cost of the double-collect snapshot substrate (EXPERIMENTS.md S1).
+//!
+//! Algorithm 1's entry protocol is snapshot-bound; this bench isolates
+//! that substrate: quiescent snapshot latency vs `m`, the cheaper
+//! non-atomic collect it is built from, and bounded-snapshot behaviour
+//! under an active writer.
+
+use amx_ids::{PidPool, Slot};
+use amx_registers::{AnonymousRwMemory, Permutation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+fn bench_quiescent_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_quiescent");
+    for m in [3usize, 5, 7, 11, 23, 47] {
+        let mem = AnonymousRwMemory::new(m);
+        let mut pool = PidPool::sequential();
+        let writer = pool.mint();
+        let wh = mem.handle(writer, Permutation::identity(m));
+        for x in 0..m / 2 {
+            wh.write(x, Slot::from(writer));
+        }
+        let reader = mem.handle(pool.mint(), Permutation::random(m, 1));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| std::hint::black_box(reader.snapshot()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_collect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collect_non_atomic");
+    for m in [3usize, 5, 7, 11, 23, 47] {
+        let mem = AnonymousRwMemory::new(m);
+        let reader = mem.handle(PidPool::sequential().mint(), Permutation::identity(m));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| std::hint::black_box(reader.collect()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_snapshot_under_writer(c: &mut Criterion) {
+    // A background writer touches one register with a duty cycle low
+    // enough for the unbounded double-collect to keep terminating; this
+    // measures the retry overhead contention induces.
+    let mut group = c.benchmark_group("snapshot_with_background_writer");
+    group.sample_size(10);
+    for m in [5usize, 11] {
+        let mem = AnonymousRwMemory::new(m);
+        let mut pool = PidPool::sequential();
+        let writer_id = pool.mint();
+        let reader = mem.handle(pool.mint(), Permutation::identity(m));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            let stop = AtomicBool::new(false);
+            let wh = mem.handle(writer_id, Permutation::identity(m));
+            std::thread::scope(|s| {
+                let stop_ref = &stop;
+                s.spawn(move || {
+                    let mut i = 0u64;
+                    while !stop_ref.load(Ordering::Relaxed) {
+                        wh.write((i % m as u64) as usize, Slot::from(writer_id));
+                        i += 1;
+                        // Throttle: mostly pause so snapshots can stabilize.
+                        for _ in 0..2000 {
+                            std::hint::spin_loop();
+                        }
+                    }
+                });
+                b.iter(|| std::hint::black_box(reader.snapshot()));
+                stop.store(true, Ordering::Relaxed);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_quiescent_snapshot,
+    bench_collect,
+    bench_snapshot_under_writer
+);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Space optimality in numbers: how large is the smallest valid `m`, and
+//! how rare are valid sizes?
+//!
+//! The paper's optimality claim is about the *set* `M(n)`: Algorithm 1 is
+//! space-optimal because it works for every `m ∈ M(n) \ {1}`, which is
+//! exactly the feasible set.  This table shows what that set looks like:
+//! the smallest usable size is the first prime above `n` (so the overhead
+//! over the Burns–Lynch non-anonymous bound `m = n` is tiny — Bertrand's
+//! postulate caps it below `2n`), while valid sizes overall are sparse.
+//!
+//! Run: `cargo run -p amx-bench --bin memory_sizes`
+
+use amx_numth::{is_valid_m, smallest_valid_m, valid_memory_sizes};
+
+fn main() {
+    println!("Smallest valid anonymous memory size vs process count");
+    println!("  n   smallest m ∈ M(n)\\{{1}}   overhead m−n   next valid sizes");
+    for n in 2u64..=32 {
+        let m = smallest_valid_m(n);
+        let next: Vec<u64> = valid_memory_sizes(n).skip(1).take(4).collect();
+        println!(
+            "  {n:>2}   {m:>8}                {:>4}           {next:?}",
+            m - n
+        );
+        assert!(m < 2 * n, "Bertrand's postulate: a prime lies in (n, 2n)");
+    }
+
+    println!("\nDensity of M(n) among 2..=1000:");
+    println!("  n    |M(n) ∩ [2,1000]|   share");
+    for n in [2u64, 3, 5, 10, 20, 50, 100] {
+        let count = (2..=1000).filter(|&m| is_valid_m(m, n)).count();
+        println!(
+            "  {n:>3}  {count:>7}              {:>5.1}%",
+            count as f64 / 9.99
+        );
+    }
+
+    println!("\nReading: the anonymity adversary costs at most the gap to the next");
+    println!("prime (≤ n−1, usually ≤ a handful of registers), but the system designer");
+    println!("has no freedom in choosing m — valid sizes thin out quickly as n grows.");
+}

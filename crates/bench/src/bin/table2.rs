@@ -1,0 +1,229 @@
+//! Regenerates **Table II**: the tight characterization of the memory
+//! sizes `m` that admit symmetric deadlock-free mutual exclusion, for
+//! both register models — with every cell decided by *running code*:
+//!
+//! * sufficiency (`m ∈ M(n)`, plus `m ≥ n` for RW): exhaustive model
+//!   checking where feasible, deep randomized executions otherwise;
+//! * necessity (`m ∉ M(n)`): the Theorem 5 ring adversary executed in
+//!   lock steps (symmetric livelock), or — for the RW-only exclusion of
+//!   `m = 1 < n` — the covering attack found automatically by the model
+//!   checker as a mutual-exclusion violation.
+//!
+//! Run: `cargo run --release -p amx-bench --bin table2`
+
+use amx_core::{Alg1Automaton, Alg2Automaton, MutexSpec};
+use amx_ids::PidPool;
+use amx_lowerbound::{LockstepExecutor, LockstepOutcome, RingArrangement};
+use amx_numth::{is_valid_m, is_valid_m_rw};
+use amx_registers::Adversary;
+use amx_sim::mc::{ModelChecker, Verdict};
+use amx_sim::{MemoryModel, Runner, Scheduler, Workload};
+
+/// What the empirical evidence for a cell says.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Evidence {
+    /// Verified correct by exhaustive model checking.
+    ProvedOk,
+    /// Ran clean over randomized deep executions.
+    RanClean,
+    /// Lock-step ring execution livelocked (deadlock-freedom impossible).
+    RingLivelock,
+    /// Model checker exhibited a mutual-exclusion violation.
+    ExclusionBroken,
+}
+
+impl Evidence {
+    fn admits_mutex(self) -> bool {
+        matches!(self, Evidence::ProvedOk | Evidence::RanClean)
+    }
+
+    fn mark(self) -> &'static str {
+        match self {
+            Evidence::ProvedOk => "✓✓",
+            Evidence::RanClean => "✓ ",
+            Evidence::RingLivelock => "×L",
+            Evidence::ExclusionBroken => "×M",
+        }
+    }
+}
+
+fn mc_alg1(n: usize, m: usize) -> Verdict {
+    let spec = MutexSpec::rw_unchecked(n, m);
+    let mut pool = PidPool::sequential();
+    let automata: Vec<Alg1Automaton> = (0..n)
+        .map(|_| Alg1Automaton::new(spec, pool.mint()))
+        .collect();
+    ModelChecker::with_automata(automata, MemoryModel::Rw, m, &Adversary::Identity)
+        .expect("identity adversary")
+        .max_states(4_000_000)
+        .run()
+        .expect("bounded state space")
+        .verdict
+}
+
+fn mc_alg2(n: usize, m: usize) -> Verdict {
+    let spec = MutexSpec::rmw_unchecked(n, m);
+    let mut pool = PidPool::sequential();
+    let automata: Vec<Alg2Automaton> = (0..n)
+        .map(|_| Alg2Automaton::new(spec, pool.mint()))
+        .collect();
+    ModelChecker::with_automata(automata, MemoryModel::Rmw, m, &Adversary::Identity)
+        .expect("identity adversary")
+        .max_states(4_000_000)
+        .run()
+        .expect("bounded state space")
+        .verdict
+}
+
+fn run_clean_alg1(n: usize, m: usize) -> bool {
+    let spec = MutexSpec::rw_unchecked(n, m);
+    (0..3u64).all(|seed| {
+        let mut pool = PidPool::sequential();
+        let automata: Vec<Alg1Automaton> = (0..n)
+            .map(|_| Alg1Automaton::new(spec, pool.mint()))
+            .collect();
+        let report = Runner::with_adversary(automata, MemoryModel::Rw, m, &Adversary::Random(seed))
+            .expect("adversary")
+            .scheduler(Scheduler::random(seed ^ 0x5EED))
+            .workload(Workload::cycles(10))
+            .max_steps(4_000_000)
+            .run();
+        report.is_clean_completion()
+    })
+}
+
+fn run_clean_alg2(n: usize, m: usize) -> bool {
+    let spec = MutexSpec::rmw_unchecked(n, m);
+    (0..3u64).all(|seed| {
+        let mut pool = PidPool::sequential();
+        let automata: Vec<Alg2Automaton> = (0..n)
+            .map(|_| Alg2Automaton::new(spec, pool.mint()))
+            .collect();
+        let report =
+            Runner::with_adversary(automata, MemoryModel::Rmw, m, &Adversary::Random(seed))
+                .expect("adversary")
+                .scheduler(Scheduler::random(seed ^ 0x5EED))
+                .workload(Workload::cycles(10))
+                .max_steps(4_000_000)
+                .run();
+        report.is_clean_completion()
+    })
+}
+
+/// Decides the RW cell empirically.
+fn rw_cell(n: usize, m: usize) -> Evidence {
+    if is_valid_m_rw(m as u64, n as u64) {
+        if n == 2 && m <= 5 {
+            assert_eq!(
+                mc_alg1(n, m),
+                Verdict::Ok,
+                "Alg1 must verify at n={n}, m={m}"
+            );
+            Evidence::ProvedOk
+        } else {
+            assert!(run_clean_alg1(n, m), "Alg1 must run clean at n={n}, m={m}");
+            Evidence::RanClean
+        }
+    } else if m == 1 {
+        // m = 1 < n is excluded by Burns–Lynch, not by M(n): the model
+        // checker finds the covering attack (a write pending on a stale
+        // empty view survives another process's entry).
+        let v = mc_alg1(2, 1);
+        assert!(
+            matches!(v, Verdict::MutualExclusionViolation { .. }),
+            "covering attack expected at m = 1, got {v:?}"
+        );
+        Evidence::ExclusionBroken
+    } else {
+        let ring = RingArrangement::for_invalid_m(m, n).expect("witness exists");
+        let spec = MutexSpec::rw_unchecked(ring.ell(), m);
+        let report = LockstepExecutor::for_alg1(spec, &ring)
+            .expect("ring adversary")
+            .run(2_000_000);
+        assert!(
+            matches!(report.outcome, LockstepOutcome::Livelock { .. }),
+            "ring livelock expected at n={n}, m={m}, got {:?}",
+            report.outcome
+        );
+        assert!(report.symmetry_held, "Theorem 5 symmetry must hold");
+        Evidence::RingLivelock
+    }
+}
+
+/// Decides the RMW cell empirically.
+fn rmw_cell(n: usize, m: usize) -> Evidence {
+    if is_valid_m(m as u64, n as u64) {
+        if (n == 2 && m <= 5) || (m == 1 && n <= 3) {
+            assert_eq!(
+                mc_alg2(n, m),
+                Verdict::Ok,
+                "Alg2 must verify at n={n}, m={m}"
+            );
+            Evidence::ProvedOk
+        } else {
+            assert!(run_clean_alg2(n, m), "Alg2 must run clean at n={n}, m={m}");
+            Evidence::RanClean
+        }
+    } else {
+        let ring = RingArrangement::for_invalid_m(m, n).expect("witness exists");
+        let spec = MutexSpec::rmw_unchecked(ring.ell(), m);
+        let report = LockstepExecutor::for_alg2(spec, &ring)
+            .expect("ring adversary")
+            .run(2_000_000);
+        assert!(
+            matches!(report.outcome, LockstepOutcome::Livelock { .. }),
+            "ring livelock expected at n={n}, m={m}, got {:?}",
+            report.outcome
+        );
+        assert!(report.symmetry_held, "Theorem 5 symmetry must hold");
+        Evidence::RingLivelock
+    }
+}
+
+fn main() {
+    let ns = 2usize..=6;
+    let ms = 1usize..=13;
+
+    println!("Table II — when is symmetric deadlock-free mutex possible?");
+    println!("Legend: ✓✓ verified by exhaustive model checking   ✓ deep randomized runs clean");
+    println!("        ×L Theorem-5 ring livelock                 ×M exclusion violated (covering)");
+    println!("Every cell agrees with the paper's predicate (asserted at runtime).\n");
+
+    for model in ["RW  (needs m ∈ M(n), m ≥ n)", "RMW (needs m ∈ M(n))"] {
+        let rmw = model.starts_with("RMW");
+        println!("{model}");
+        print!("   n\\m |");
+        for m in ms.clone() {
+            print!(" {m:>3}");
+        }
+        println!();
+        print!("  -----+");
+        for _ in ms.clone() {
+            print!("----");
+        }
+        println!();
+        for n in ns.clone() {
+            print!("   {n:>3} |");
+            for m in ms.clone() {
+                let ev = if rmw { rmw_cell(n, m) } else { rw_cell(n, m) };
+                let predicate = if rmw {
+                    is_valid_m(m as u64, n as u64)
+                } else {
+                    is_valid_m_rw(m as u64, n as u64)
+                };
+                assert_eq!(
+                    ev.admits_mutex(),
+                    predicate,
+                    "empirical/predicate mismatch at n={n}, m={m}, rmw={rmw}"
+                );
+                print!("  {}", ev.mark());
+            }
+            println!();
+        }
+        println!();
+    }
+
+    println!("Empirical matrix matches the predicate on every cell: m ∈ M(n) (plus m ≥ n");
+    println!("for RW) is exactly the set of feasible anonymous memory sizes — the paper's");
+    println!("Table II, reproduced by execution.");
+}

@@ -1,0 +1,159 @@
+//! Shared harness code for the experiment binaries and criterion benches.
+//!
+//! Every table and figure of the paper has a regenerating entry point:
+//!
+//! | Paper artifact | Binary |
+//! |----------------|--------|
+//! | Table I (anonymous memory example) | `cargo run -p amx-bench --bin table1` |
+//! | Figure 1 / Algorithm 1 behaviour | `cargo run -p amx-bench --bin figure1_check` |
+//! | Figure 2 / Algorithm 2 behaviour | `cargo run -p amx-bench --bin figure2_check` |
+//! | Table II (tight characterization) | `cargo run -p amx-bench --bin table2` |
+//! | Theorem 5 construction | `cargo run -p amx-bench --bin theorem5` |
+//! | §I-C / §VII complexity contrast | `cargo run -p amx-bench --bin complexity` |
+//!
+//! plus criterion benches `alg_throughput`, `baseline_comparison`,
+//! `snapshot_cost` and `entry_cost`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use amx_core::{MutexSpec, RmwAnonLock, RwAnonLock};
+use amx_registers::Adversary;
+
+/// Outcome of a threaded stress run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StressOutcome {
+    /// Total critical-section entries across all threads.
+    pub total_entries: u64,
+    /// Overlap violations detected (must be 0).
+    pub violations: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl StressOutcome {
+    /// Entries per second.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        self.total_entries as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Runs `iters` lock/unlock cycles per thread on Algorithm 1 (threaded)
+/// and verifies mutual exclusion with an overlap detector.
+///
+/// # Panics
+///
+/// Panics on adversary materialization failure.
+#[must_use]
+pub fn stress_rw(spec: MutexSpec, adversary: &Adversary, iters: u64) -> StressOutcome {
+    let participants = RwAnonLock::create(spec, adversary).expect("valid adversary");
+    run_rw_participants(participants, iters)
+}
+
+/// Runs `iters` lock/unlock cycles per thread on Algorithm 2 (threaded).
+///
+/// # Panics
+///
+/// Panics on adversary materialization failure.
+#[must_use]
+pub fn stress_rmw(spec: MutexSpec, adversary: &Adversary, iters: u64) -> StressOutcome {
+    let participants = RmwAnonLock::create(spec, adversary).expect("valid adversary");
+    run_rmw_participants(participants, iters)
+}
+
+/// Runs caller-supplied Algorithm 1 participants (so the caller keeps
+/// their operation counters).
+#[must_use]
+pub fn run_rw_participants(
+    participants: Vec<amx_core::RwParticipant>,
+    iters: u64,
+) -> StressOutcome {
+    run_stress(participants, iters, |p, f| {
+        let _g = p.lock();
+        f();
+    })
+}
+
+/// Runs caller-supplied Algorithm 2 participants.
+#[must_use]
+pub fn run_rmw_participants(
+    participants: Vec<amx_core::RmwParticipant>,
+    iters: u64,
+) -> StressOutcome {
+    run_stress(participants, iters, |p, f| {
+        let _g = p.lock();
+        f();
+    })
+}
+
+fn run_stress<P: Send>(
+    participants: Vec<P>,
+    iters: u64,
+    mut cycle: impl FnMut(&mut P, &mut dyn FnMut()) + Send + Copy,
+) -> StressOutcome {
+    let in_cs = AtomicU64::new(0);
+    let violations = AtomicU64::new(0);
+    let entries = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for mut p in participants {
+            let (in_cs, violations, entries) = (&in_cs, &violations, &entries);
+            s.spawn(move || {
+                for _ in 0..iters {
+                    cycle(&mut p, &mut || {
+                        if in_cs.fetch_add(1, Ordering::SeqCst) != 0 {
+                            violations.fetch_add(1, Ordering::SeqCst);
+                        }
+                        entries.fetch_add(1, Ordering::Relaxed);
+                        in_cs.fetch_sub(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        }
+    });
+    StressOutcome {
+        total_entries: entries.load(Ordering::Relaxed),
+        violations: violations.load(Ordering::SeqCst),
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Formats a boolean cell as the table-friendly `yes`/`no`.
+#[must_use]
+pub fn yn(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "no "
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stress_rw_runs_clean() {
+        let out = stress_rw(MutexSpec::rw(2, 3).unwrap(), &Adversary::Random(5), 50);
+        assert_eq!(out.total_entries, 100);
+        assert_eq!(out.violations, 0);
+        assert!(out.throughput() > 0.0);
+    }
+
+    #[test]
+    fn stress_rmw_runs_clean() {
+        let out = stress_rmw(MutexSpec::rmw(3, 5).unwrap(), &Adversary::Random(5), 50);
+        assert_eq!(out.total_entries, 150);
+        assert_eq!(out.violations, 0);
+    }
+
+    #[test]
+    fn yn_formats() {
+        assert_eq!(yn(true), "yes");
+        assert_eq!(yn(false).trim(), "no");
+    }
+}

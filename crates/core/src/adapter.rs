@@ -1,0 +1,173 @@
+//! [`MemoryOps`] adapters over the real atomic register arrays.
+//!
+//! The automata in this crate are written once against the abstract
+//! [`MemoryOps`] interface; these adapters let the *same* transition logic
+//! run over the lock-free arrays of `amx-registers`, so the threaded locks
+//! and the model-checked automata cannot diverge.
+//!
+//! Model enforcement mirrors [`amx_sim::mem::SimMemory`]: invoking
+//! `compare_and_swap` through an RW adapter (or `snapshot` through an RMW
+//! adapter) panics, because the corresponding operation does not exist in
+//! that register family.
+
+use amx_ids::Slot;
+use amx_registers::{RmwHandle, RwHandle};
+use amx_sim::mem::MemoryOps;
+
+/// [`MemoryOps`] over an anonymous **read/write** register array.
+///
+/// Snapshots delegate to the handle's double-collect implementation.
+#[derive(Debug)]
+pub struct RwMemoryOps {
+    handle: RwHandle,
+}
+
+impl RwMemoryOps {
+    /// Wraps a per-process RW handle.
+    #[must_use]
+    pub fn new(handle: RwHandle) -> Self {
+        RwMemoryOps { handle }
+    }
+
+    /// The wrapped handle.
+    #[must_use]
+    pub fn handle(&self) -> &RwHandle {
+        &self.handle
+    }
+
+    /// Unwraps the adapter.
+    #[must_use]
+    pub fn into_inner(self) -> RwHandle {
+        self.handle
+    }
+}
+
+impl MemoryOps for RwMemoryOps {
+    fn m(&self) -> usize {
+        self.handle.len()
+    }
+
+    fn read(&mut self, x: usize) -> Slot {
+        self.handle.read(x)
+    }
+
+    fn write(&mut self, x: usize, v: Slot) {
+        self.handle.write(x, v);
+    }
+
+    fn compare_and_swap(&mut self, _x: usize, _old: Slot, _new: Slot) -> bool {
+        panic!("compare&swap invoked on a read/write-only anonymous memory")
+    }
+
+    fn snapshot(&mut self) -> Vec<Slot> {
+        self.handle.snapshot()
+    }
+}
+
+/// [`MemoryOps`] over an anonymous **read/modify/write** register array.
+#[derive(Debug)]
+pub struct RmwMemoryOps {
+    handle: RmwHandle,
+}
+
+impl RmwMemoryOps {
+    /// Wraps a per-process RMW handle.
+    #[must_use]
+    pub fn new(handle: RmwHandle) -> Self {
+        RmwMemoryOps { handle }
+    }
+
+    /// The wrapped handle.
+    #[must_use]
+    pub fn handle(&self) -> &RmwHandle {
+        &self.handle
+    }
+
+    /// Unwraps the adapter.
+    #[must_use]
+    pub fn into_inner(self) -> RmwHandle {
+        self.handle
+    }
+}
+
+impl MemoryOps for RmwMemoryOps {
+    fn m(&self) -> usize {
+        self.handle.len()
+    }
+
+    fn read(&mut self, x: usize) -> Slot {
+        self.handle.read(x)
+    }
+
+    fn write(&mut self, x: usize, v: Slot) {
+        self.handle.write(x, v);
+    }
+
+    fn compare_and_swap(&mut self, x: usize, old: Slot, new: Slot) -> bool {
+        self.handle.compare_and_swap(x, old, new)
+    }
+
+    fn snapshot(&mut self) -> Vec<Slot> {
+        panic!("Algorithm 2 takes no snapshots; RMW adapter does not provide them")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amx_ids::PidPool;
+    use amx_registers::{AnonymousRmwMemory, AnonymousRwMemory, Permutation};
+
+    #[test]
+    fn rw_adapter_round_trips() {
+        let mem = AnonymousRwMemory::new(4);
+        let id = PidPool::sequential().mint();
+        let mut ops = RwMemoryOps::new(mem.handle(id, Permutation::rotation(4, 1)));
+        assert_eq!(ops.m(), 4);
+        ops.write(0, Slot::from(id));
+        assert!(ops.read(0).is_owned_by(id));
+        assert!(mem.observe(1).is_owned_by(id));
+        let snap = ops.snapshot();
+        assert!(snap[0].is_owned_by(id));
+        assert_eq!(snap.iter().filter(|s| !s.is_bottom()).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "read/write-only")]
+    fn rw_adapter_rejects_cas() {
+        let mem = AnonymousRwMemory::new(2);
+        let id = PidPool::sequential().mint();
+        let mut ops = RwMemoryOps::new(mem.handle(id, Permutation::identity(2)));
+        let _ = ops.compare_and_swap(0, Slot::BOTTOM, Slot::from(id));
+    }
+
+    #[test]
+    fn rmw_adapter_round_trips() {
+        let mem = AnonymousRmwMemory::new(3);
+        let id = PidPool::sequential().mint();
+        let mut ops = RmwMemoryOps::new(mem.handle(id, Permutation::identity(3)));
+        assert!(ops.compare_and_swap(2, Slot::BOTTOM, Slot::from(id)));
+        assert!(ops.read(2).is_owned_by(id));
+        ops.write(2, Slot::BOTTOM);
+        assert!(ops.read(2).is_bottom());
+    }
+
+    #[test]
+    #[should_panic(expected = "no snapshots")]
+    fn rmw_adapter_rejects_snapshot() {
+        let mem = AnonymousRmwMemory::new(2);
+        let id = PidPool::sequential().mint();
+        let mut ops = RmwMemoryOps::new(mem.handle(id, Permutation::identity(2)));
+        let _ = ops.snapshot();
+    }
+
+    #[test]
+    fn into_inner_returns_handle() {
+        let mem = AnonymousRwMemory::new(2);
+        let id = PidPool::sequential().mint();
+        let ops = RwMemoryOps::new(mem.handle(id, Permutation::identity(2)));
+        assert_eq!(ops.handle().id(), id);
+        let h = ops.into_inner();
+        assert_eq!(h.id(), id);
+    }
+}

@@ -1,0 +1,58 @@
+//! Small-index bitmask helpers shared by the automata.
+//!
+//! Automaton states must be compact and hashable; the set of local
+//! register indices a process is about to erase fits in a `u64`
+//! (configurations are capped at [`crate::spec::MAX_REGISTERS`] = 64).
+
+use amx_ids::{Pid, Slot};
+
+/// Bitmask of the local indices in `view` owned by `id`.
+pub(crate) fn owned_mask(view: &[Slot], id: Pid) -> u64 {
+    debug_assert!(view.len() <= 64);
+    view.iter()
+        .enumerate()
+        .filter(|(_, s)| s.is_owned_by(id))
+        .fold(0u64, |acc, (x, _)| acc | (1u64 << x))
+}
+
+/// Lowest set bit at index ≥ `from`, if any.
+pub(crate) fn next_index(mask: u64, from: usize) -> Option<usize> {
+    if from >= 64 {
+        return None;
+    }
+    let shifted = mask >> from;
+    if shifted == 0 {
+        None
+    } else {
+        Some(from + shifted.trailing_zeros() as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amx_ids::PidPool;
+
+    #[test]
+    fn owned_mask_marks_exactly_owned() {
+        let mut pool = PidPool::sequential();
+        let (a, b) = (pool.mint(), pool.mint());
+        let view = [Slot::from(a), Slot::BOTTOM, Slot::from(b), Slot::from(a)];
+        assert_eq!(owned_mask(&view, a), 0b1001);
+        assert_eq!(owned_mask(&view, b), 0b0100);
+        assert_eq!(owned_mask(&view, PidPool::shuffled(9).mint()), 0);
+    }
+
+    #[test]
+    fn next_index_walks_bits_in_order() {
+        let mask = 0b1001_0010u64;
+        assert_eq!(next_index(mask, 0), Some(1));
+        assert_eq!(next_index(mask, 2), Some(4));
+        assert_eq!(next_index(mask, 5), Some(7));
+        assert_eq!(next_index(mask, 8), None);
+        assert_eq!(next_index(0, 0), None);
+        assert_eq!(next_index(u64::MAX, 63), Some(63));
+        assert_eq!(next_index(u64::MAX, 64), None);
+        assert_eq!(next_index(u64::MAX, 65), None);
+    }
+}

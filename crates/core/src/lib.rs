@@ -1,0 +1,81 @@
+//! Optimal memory-anonymous symmetric deadlock-free mutual exclusion.
+//!
+//! This crate implements the two algorithms of *"Optimal Memory-Anonymous
+//! Symmetric Deadlock-Free Mutual Exclusion"* (Aghazadeh, Imbs, Raynal,
+//! Taubenfeld, Woelfel — PODC 2019):
+//!
+//! * **Algorithm 1** ([`alg1`]) — deadlock-free mutual exclusion for `n`
+//!   processes over `m` anonymous **read/write** registers, for every
+//!   `m ≥ n` with `m ∈ M(n) = { m : ∀ ℓ, 1 < ℓ ≤ n : gcd(ℓ, m) = 1 }`.
+//!   A process competes by writing its identity into free registers until
+//!   a snapshot shows it owning **all** of them; on a full view it
+//!   withdraws (erases itself) whenever it owns fewer than the average
+//!   `m / #competitors` — and because `m` is coprime with every possible
+//!   competitor count, not everyone can be average, so someone always
+//!   backs off.
+//! * **Algorithm 2** ([`alg2`]) — the same guarantee over `m` anonymous
+//!   **read/modify/write** registers for every `m ∈ M(n)` (including the
+//!   degenerate `m = 1`).  A process claims free registers with
+//!   `compare&swap` and enters once it owns a **majority**; a process
+//!   seeing someone else more present resigns and waits for the memory to
+//!   empty.
+//!
+//! Both register-count conditions are *tight* (Taubenfeld PODC 2017 for
+//! RW; Theorem 5 of the paper for RMW — executable in `amx-lowerbound`).
+//!
+//! Each algorithm exists in two interchangeable forms built from a single
+//! implementation of its transition logic:
+//!
+//! * an **automaton** ([`alg1::Alg1Automaton`], [`alg2::Alg2Automaton`])
+//!   pluggable into the deterministic drivers of `amx-sim` (randomized
+//!   runs, exhaustive model checking, lock-step adversaries), and
+//! * a **threaded lock** ([`threaded::RwAnonLock`],
+//!   [`threaded::RmwAnonLock`]) that drives the same automaton over the
+//!   real atomic arrays of `amx-registers`, with RAII guards.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use amx_core::spec::MutexSpec;
+//! use amx_core::threaded::RwAnonLock;
+//! use amx_registers::Adversary;
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! // 3 processes need m = 5 anonymous RW registers (smallest valid size).
+//! let spec = MutexSpec::smallest_rw(3)?;
+//! let participants = RwAnonLock::create(spec, &Adversary::Random(42))?;
+//!
+//! let counter = AtomicU64::new(0);
+//! std::thread::scope(|s| {
+//!     for mut p in participants {
+//!         let counter = &counter;
+//!         s.spawn(move || {
+//!             for _ in 0..100 {
+//!                 let _guard = p.lock();
+//!                 // …critical section…
+//!                 counter.fetch_add(1, Ordering::Relaxed);
+//!             }
+//!         });
+//!     }
+//! });
+//! assert_eq!(counter.load(Ordering::Relaxed), 300);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapter;
+pub mod alg1;
+pub mod alg2;
+mod bits;
+pub mod metrics;
+pub mod policy;
+pub mod spec;
+pub mod threaded;
+
+pub use alg1::Alg1Automaton;
+pub use alg2::Alg2Automaton;
+pub use policy::FreeSlotPolicy;
+pub use spec::{MutexSpec, SpecError};
+pub use threaded::{RmwAnonLock, RmwParticipant, RwAnonLock, RwParticipant};

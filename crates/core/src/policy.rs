@@ -1,0 +1,116 @@
+//! Free-register choice policies for Algorithm 1.
+//!
+//! Line 6 of Algorithm 1 writes the process identity into *some* register
+//! whose entry was ⊥ in the latest snapshot — the paper leaves the choice
+//! free, so correctness must not depend on it.  Making the policy explicit
+//! lets tests and the model checker explore adversarial choices, and it
+//! keeps automaton state deterministic (a requirement for state hashing).
+
+use amx_ids::Slot;
+
+/// Deterministic rule choosing a ⊥ entry from a view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FreeSlotPolicy {
+    /// Lowest free local index (the natural loop order).
+    #[default]
+    FirstFree,
+    /// Highest free local index.
+    LastFree,
+    /// First free local index at or after `start` (cyclically) — lets
+    /// experiments spread processes across the array or align them
+    /// adversarially.
+    RotatingFrom(
+        /// Scan start offset.
+        usize,
+    ),
+}
+
+impl FreeSlotPolicy {
+    /// Picks a free index from `view`, or `None` when the view is full.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use amx_core::policy::FreeSlotPolicy;
+    /// use amx_ids::{PidPool, Slot};
+    ///
+    /// let id = PidPool::sequential().mint();
+    /// let view = [Slot::from(id), Slot::BOTTOM, Slot::BOTTOM];
+    /// assert_eq!(FreeSlotPolicy::FirstFree.choose(&view), Some(1));
+    /// assert_eq!(FreeSlotPolicy::LastFree.choose(&view), Some(2));
+    /// assert_eq!(FreeSlotPolicy::RotatingFrom(2).choose(&view), Some(2));
+    /// ```
+    #[must_use]
+    pub fn choose(&self, view: &[Slot]) -> Option<usize> {
+        let m = view.len();
+        match *self {
+            FreeSlotPolicy::FirstFree => view.iter().position(|s| s.is_bottom()),
+            FreeSlotPolicy::LastFree => view.iter().rposition(|s| s.is_bottom()),
+            FreeSlotPolicy::RotatingFrom(start) => (0..m)
+                .map(|k| (start + k) % m)
+                .find(|&x| view[x].is_bottom()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amx_ids::PidPool;
+
+    #[test]
+    fn full_view_yields_none() {
+        let id = PidPool::sequential().mint();
+        let view = [Slot::from(id); 4];
+        for p in [
+            FreeSlotPolicy::FirstFree,
+            FreeSlotPolicy::LastFree,
+            FreeSlotPolicy::RotatingFrom(3),
+        ] {
+            assert_eq!(p.choose(&view), None);
+        }
+    }
+
+    #[test]
+    fn empty_view_respects_policy() {
+        let view = [Slot::BOTTOM; 5];
+        assert_eq!(FreeSlotPolicy::FirstFree.choose(&view), Some(0));
+        assert_eq!(FreeSlotPolicy::LastFree.choose(&view), Some(4));
+        assert_eq!(FreeSlotPolicy::RotatingFrom(3).choose(&view), Some(3));
+        assert_eq!(FreeSlotPolicy::RotatingFrom(7).choose(&view), Some(2)); // 7 mod 5
+    }
+
+    #[test]
+    fn rotating_wraps_past_owned_entries() {
+        let id = PidPool::sequential().mint();
+        let view = [Slot::BOTTOM, Slot::from(id), Slot::from(id), Slot::from(id)];
+        assert_eq!(FreeSlotPolicy::RotatingFrom(1).choose(&view), Some(0));
+    }
+
+    #[test]
+    fn all_policies_return_a_bottom_index() {
+        let id = PidPool::sequential().mint();
+        let view = [
+            Slot::from(id),
+            Slot::BOTTOM,
+            Slot::from(id),
+            Slot::BOTTOM,
+            Slot::from(id),
+        ];
+        for p in [
+            FreeSlotPolicy::FirstFree,
+            FreeSlotPolicy::LastFree,
+            FreeSlotPolicy::RotatingFrom(0),
+            FreeSlotPolicy::RotatingFrom(2),
+            FreeSlotPolicy::RotatingFrom(4),
+        ] {
+            let x = p.choose(&view).unwrap();
+            assert!(view[x].is_bottom(), "{p:?} chose occupied slot {x}");
+        }
+    }
+
+    #[test]
+    fn default_is_first_free() {
+        assert_eq!(FreeSlotPolicy::default(), FreeSlotPolicy::FirstFree);
+    }
+}

@@ -1,0 +1,356 @@
+//! Validated `(n, m)` configurations.
+//!
+//! The paper's headline result is that the memory size `m` admits
+//! symmetric deadlock-free mutual exclusion **iff**
+//!
+//! * RW model: `m ∈ M(n)` and `m ≥ n` (equivalently `m ∈ M(n) \ {1}`),
+//! * RMW model: `m ∈ M(n)`,
+//!
+//! where `M(n) = { m : ∀ ℓ, 1 < ℓ ≤ n : gcd(ℓ, m) = 1 }`.  A
+//! [`MutexSpec`] is a proof-carrying pair: constructing one through
+//! [`MutexSpec::rw`]/[`MutexSpec::rmw`] guarantees the corresponding
+//! condition, so the algorithms never run on configurations where the
+//! paper's theorems do not apply.  The `_unchecked` constructors exist so
+//! the lower-bound experiments can deliberately build invalid
+//! configurations.
+
+use std::fmt;
+
+use amx_numth::{is_valid_m, smallest_valid_m, smallest_witness};
+
+/// The register-count bound imposed by the word-sized ownership bitmasks
+/// used in the automata states.
+pub const MAX_REGISTERS: usize = 64;
+
+/// Why a `(n, m)` pair is not a valid configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// Fewer than two processes — mutual exclusion is trivial and the
+    /// paper's model assumes `n ≥ 2`.
+    TooFewProcesses {
+        /// The offending process count.
+        n: usize,
+    },
+    /// `m ∉ M(n)`: some `ℓ ≤ n` shares a factor with `m`.
+    NotInMn {
+        /// Memory size.
+        m: usize,
+        /// Process count.
+        n: usize,
+        /// The smallest `ℓ` with `1 < ℓ ≤ n` dividing `m` (always prime).
+        witness: u64,
+    },
+    /// RW model additionally requires `m ≥ n` (Burns–Lynch).
+    TooFewRegisters {
+        /// Memory size.
+        m: usize,
+        /// Process count.
+        n: usize,
+    },
+    /// `m` exceeds [`MAX_REGISTERS`].
+    TooManyRegisters {
+        /// Memory size.
+        m: usize,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::TooFewProcesses { n } => {
+                write!(f, "mutual exclusion needs at least 2 processes, got {n}")
+            }
+            SpecError::NotInMn { m, n, witness } => write!(
+                f,
+                "m = {m} is not in M({n}): ℓ = {witness} divides it, so gcd(ℓ, m) ≠ 1"
+            ),
+            SpecError::TooFewRegisters { m, n } => write!(
+                f,
+                "the RW model needs m ≥ n registers (Burns–Lynch), got m = {m} < n = {n}"
+            ),
+            SpecError::TooManyRegisters { m } => write!(
+                f,
+                "m = {m} exceeds the supported maximum of {MAX_REGISTERS} registers"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Which anonymous-register family a configuration targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Model {
+    /// Atomic read/write registers (Algorithm 1).
+    Rw,
+    /// Read/modify/write registers (Algorithm 2).
+    Rmw,
+}
+
+/// A validated `(n, m)` configuration for one of the two models.
+///
+/// # Example
+///
+/// ```
+/// use amx_core::spec::MutexSpec;
+///
+/// assert!(MutexSpec::rw(3, 5).is_ok());
+/// assert!(MutexSpec::rw(3, 6).is_err());   // gcd(2, 6) ≠ 1
+/// assert!(MutexSpec::rw(3, 3).is_err());   // gcd(3, 3) ≠ 1 — and m ≥ n alone is not enough
+/// assert!(MutexSpec::rmw(3, 1).is_ok());   // m = 1 is valid in the RMW model
+/// assert!(MutexSpec::rw(3, 1).is_err());
+/// assert_eq!(MutexSpec::smallest_rw(6).unwrap().m(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MutexSpec {
+    n: usize,
+    m: usize,
+    model: Model,
+}
+
+impl MutexSpec {
+    /// Validates a configuration for the RW model (Algorithm 1):
+    /// `n ≥ 2`, `m ∈ M(n)`, `m ≥ n`, `m ≤ 64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific [`SpecError`] describing the violated
+    /// condition.
+    pub fn rw(n: usize, m: usize) -> Result<Self, SpecError> {
+        Self::validate_common(n, m)?;
+        if m < n {
+            return Err(SpecError::TooFewRegisters { m, n });
+        }
+        Ok(MutexSpec {
+            n,
+            m,
+            model: Model::Rw,
+        })
+    }
+
+    /// Validates a configuration for the RMW model (Algorithm 2):
+    /// `n ≥ 2`, `m ∈ M(n)`, `m ≤ 64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific [`SpecError`] describing the violated
+    /// condition.
+    pub fn rmw(n: usize, m: usize) -> Result<Self, SpecError> {
+        Self::validate_common(n, m)?;
+        Ok(MutexSpec {
+            n,
+            m,
+            model: Model::Rmw,
+        })
+    }
+
+    fn validate_common(n: usize, m: usize) -> Result<(), SpecError> {
+        if n < 2 {
+            return Err(SpecError::TooFewProcesses { n });
+        }
+        if m > MAX_REGISTERS {
+            return Err(SpecError::TooManyRegisters { m });
+        }
+        if !is_valid_m(m as u64, n as u64) {
+            let witness = smallest_witness(m as u64, n as u64).unwrap_or(0);
+            return Err(SpecError::NotInMn { m, n, witness });
+        }
+        Ok(())
+    }
+
+    /// The smallest valid RW configuration for `n` processes:
+    /// `m` is the smallest prime greater than `n`.
+    ///
+    /// # Errors
+    ///
+    /// Fails for `n < 2` or when that prime exceeds [`MAX_REGISTERS`].
+    pub fn smallest_rw(n: usize) -> Result<Self, SpecError> {
+        if n < 2 {
+            return Err(SpecError::TooFewProcesses { n });
+        }
+        Self::rw(n, smallest_valid_m(n as u64) as usize)
+    }
+
+    /// The smallest *non-degenerate* RMW configuration (`m > 1`); use
+    /// [`MutexSpec::rmw`]`(n, 1)` explicitly for the single-register
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails for `n < 2` or when the size exceeds [`MAX_REGISTERS`].
+    pub fn smallest_rmw(n: usize) -> Result<Self, SpecError> {
+        if n < 2 {
+            return Err(SpecError::TooFewProcesses { n });
+        }
+        Self::rmw(n, smallest_valid_m(n as u64) as usize)
+    }
+
+    /// Builds an RW spec **without** validating the paper's conditions
+    /// (still bounds-checks `n ≥ 1`, `1 ≤ m ≤ 64`).
+    ///
+    /// For lower-bound experiments that deliberately run the algorithm
+    /// outside its correctness envelope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `m == 0` or `m > 64`.
+    #[must_use]
+    pub fn rw_unchecked(n: usize, m: usize) -> Self {
+        assert!(
+            n >= 1 && (1..=MAX_REGISTERS).contains(&m),
+            "bounds: 1 ≤ n, 1 ≤ m ≤ 64"
+        );
+        MutexSpec {
+            n,
+            m,
+            model: Model::Rw,
+        }
+    }
+
+    /// RMW analogue of [`MutexSpec::rw_unchecked`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `m == 0` or `m > 64`.
+    #[must_use]
+    pub fn rmw_unchecked(n: usize, m: usize) -> Self {
+        assert!(
+            n >= 1 && (1..=MAX_REGISTERS).contains(&m),
+            "bounds: 1 ≤ n, 1 ≤ m ≤ 64"
+        );
+        MutexSpec {
+            n,
+            m,
+            model: Model::Rmw,
+        }
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of anonymous registers.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The register family.
+    #[must_use]
+    pub fn model(&self) -> Model {
+        self.model
+    }
+
+    /// `true` when this spec satisfies the paper's condition for its
+    /// model (always true for checked constructors).
+    #[must_use]
+    pub fn is_paper_valid(&self) -> bool {
+        let ok_mn = is_valid_m(self.m as u64, self.n as u64);
+        match self.model {
+            Model::Rw => ok_mn && self.m >= self.n,
+            Model::Rmw => ok_mn,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rw_accepts_exactly_the_paper_condition() {
+        for n in 2..=8usize {
+            for m in 1..=40usize {
+                let expect = amx_numth::is_valid_m_rw(m as u64, n as u64);
+                assert_eq!(MutexSpec::rw(n, m).is_ok(), expect, "n={n} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn rmw_accepts_exactly_mn() {
+        for n in 2..=8usize {
+            for m in 1..=40usize {
+                let expect = amx_numth::is_valid_m(m as u64, n as u64);
+                assert_eq!(MutexSpec::rmw(n, m).is_ok(), expect, "n={n} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn error_variants_are_specific() {
+        assert!(matches!(
+            MutexSpec::rw(1, 3),
+            Err(SpecError::TooFewProcesses { n: 1 })
+        ));
+        assert!(matches!(
+            MutexSpec::rw(3, 6),
+            Err(SpecError::NotInMn {
+                m: 6,
+                n: 3,
+                witness: 2
+            })
+        ));
+        assert!(matches!(
+            MutexSpec::rw(3, 1),
+            Err(SpecError::TooFewRegisters { m: 1, n: 3 })
+        ));
+        assert!(matches!(
+            MutexSpec::rw(2, 65),
+            Err(SpecError::TooManyRegisters { m: 65 })
+        ));
+        assert!(matches!(
+            MutexSpec::rmw(2, 101),
+            Err(SpecError::TooManyRegisters { .. })
+        ));
+    }
+
+    #[test]
+    fn rmw_allows_single_register() {
+        let s = MutexSpec::rmw(5, 1).unwrap();
+        assert_eq!(s.m(), 1);
+        assert!(s.is_paper_valid());
+    }
+
+    #[test]
+    fn smallest_specs() {
+        assert_eq!(MutexSpec::smallest_rw(2).unwrap().m(), 3);
+        assert_eq!(MutexSpec::smallest_rw(4).unwrap().m(), 5);
+        assert_eq!(MutexSpec::smallest_rw(7).unwrap().m(), 11);
+        assert_eq!(MutexSpec::smallest_rmw(4).unwrap().m(), 5);
+        assert!(MutexSpec::smallest_rw(1).is_err());
+    }
+
+    #[test]
+    fn unchecked_bypasses_number_theory_only() {
+        let s = MutexSpec::rw_unchecked(3, 6);
+        assert!(!s.is_paper_valid());
+        assert_eq!((s.n(), s.m()), (3, 6));
+        let s = MutexSpec::rmw_unchecked(2, 4);
+        assert!(!s.is_paper_valid());
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds")]
+    fn unchecked_still_bounds_checks() {
+        let _ = MutexSpec::rw_unchecked(2, 0);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            SpecError::TooFewProcesses { n: 0 },
+            SpecError::NotInMn {
+                m: 6,
+                n: 4,
+                witness: 2,
+            },
+            SpecError::TooFewRegisters { m: 1, n: 3 },
+            SpecError::TooManyRegisters { m: 100 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,591 @@
+//! Blocking locks over real atomic registers.
+//!
+//! [`RwAnonLock`] (Algorithm 1) and [`RmwAnonLock`] (Algorithm 2) drive
+//! the *same* automata that the simulator model-checks, but over the
+//! lock-free arrays of `amx-registers`, one OS thread per process.  Each
+//! competing thread owns a participant object; `lock()` spins the
+//! automaton until it acquires and returns an RAII guard whose drop runs
+//! the (wait-free) unlock protocol.
+//!
+//! # Example
+//!
+//! ```
+//! use amx_core::spec::MutexSpec;
+//! use amx_core::threaded::RmwAnonLock;
+//! use amx_registers::Adversary;
+//!
+//! let spec = MutexSpec::rmw(2, 3)?;
+//! let mut participants = RmwAnonLock::create(spec, &Adversary::Random(1))?;
+//! let mut p = participants.remove(0);
+//! {
+//!     let _guard = p.lock();
+//!     // …critical section…
+//! } // guard drop runs unlock()
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use amx_ids::{Pid, PidPool, Slot};
+use amx_registers::adversary::AdversaryError;
+use amx_registers::{Adversary, AnonymousRmwMemory, AnonymousRwMemory, OpCounters};
+use amx_sim::automaton::{Automaton, Outcome};
+use amx_sim::mem::MemoryOps;
+
+use crate::adapter::{RmwMemoryOps, RwMemoryOps};
+use crate::alg1::{Alg1Automaton, Alg1State};
+use crate::alg2::{Alg2Automaton, Alg2State};
+use crate::policy::FreeSlotPolicy;
+use crate::spec::{Model, MutexSpec};
+
+/// How often a spinning participant yields to the OS scheduler.
+const YIELD_EVERY: u64 = 64;
+
+fn spin_pause(step: u64) {
+    if step.is_multiple_of(YIELD_EVERY) {
+        std::thread::yield_now();
+    } else {
+        std::hint::spin_loop();
+    }
+}
+
+/// The Algorithm 1 lock object: an anonymous RW register array shared by
+/// `n` participants.
+#[derive(Debug, Clone)]
+pub struct RwAnonLock {
+    mem: AnonymousRwMemory,
+    spec: MutexSpec,
+}
+
+impl RwAnonLock {
+    /// Creates the lock object for a validated RW spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` is not an RW-model spec.
+    #[must_use]
+    pub fn new(spec: MutexSpec) -> Self {
+        assert_eq!(spec.model(), Model::Rw, "RwAnonLock needs an RW spec");
+        RwAnonLock {
+            mem: AnonymousRwMemory::new(spec.m()),
+            spec,
+        }
+    }
+
+    /// One-call setup: lock object + one participant per process, with
+    /// identities minted internally and permutations drawn from
+    /// `adversary`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates adversary materialization failures.
+    pub fn create(
+        spec: MutexSpec,
+        adversary: &Adversary,
+    ) -> Result<Vec<RwParticipant>, AdversaryError> {
+        RwAnonLock::new(spec).participants(adversary)
+    }
+
+    /// The validated configuration.
+    #[must_use]
+    pub fn spec(&self) -> MutexSpec {
+        self.spec
+    }
+
+    /// Omniscient view of the register array (harness/diagnostics).
+    #[must_use]
+    pub fn memory(&self) -> &AnonymousRwMemory {
+        &self.mem
+    }
+
+    /// Builds one participant per process with fresh identities and
+    /// `adversary`-chosen permutations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates adversary materialization failures.
+    pub fn participants(
+        &self,
+        adversary: &Adversary,
+    ) -> Result<Vec<RwParticipant>, AdversaryError> {
+        let perms = adversary.permutations(self.spec.n(), self.spec.m())?;
+        let mut pool = PidPool::sequential();
+        Ok(perms
+            .into_iter()
+            .map(|perm| {
+                let id = pool.mint();
+                let counters = OpCounters::new();
+                let handle = self.mem.handle_with_counters(id, perm, counters.clone());
+                RwParticipant {
+                    automaton: Alg1Automaton::new(self.spec, id),
+                    state: Alg1State::Idle,
+                    ops: RwMemoryOps::new(handle),
+                    counters,
+                    entries: 0,
+                }
+            })
+            .collect())
+    }
+}
+
+/// One process's endpoint of an [`RwAnonLock`].  Move it into the thread
+/// that plays this process.
+#[derive(Debug)]
+pub struct RwParticipant {
+    automaton: Alg1Automaton,
+    state: Alg1State,
+    ops: RwMemoryOps,
+    counters: OpCounters,
+    entries: u64,
+}
+
+impl RwParticipant {
+    /// This participant's (symmetric) identity.
+    #[must_use]
+    pub fn id(&self) -> Pid {
+        self.automaton.id()
+    }
+
+    /// Cumulative shared-memory operation counters for this participant.
+    #[must_use]
+    pub fn counters(&self) -> &OpCounters {
+        &self.counters
+    }
+
+    /// Critical sections entered so far.
+    #[must_use]
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Sets the free-register policy (Algorithm 1 line 6 choice).
+    #[must_use]
+    pub fn with_policy(mut self, policy: FreeSlotPolicy) -> Self {
+        self.automaton = self.automaton.with_policy(policy);
+        self
+    }
+
+    /// Acquires the lock, spinning until this process wins all `m`
+    /// registers; returns the critical-section guard.
+    ///
+    /// Resumes a competition left pending by an exhausted
+    /// [`try_lock_steps`](Self::try_lock_steps).
+    pub fn lock(&mut self) -> RwGuard<'_> {
+        if self.state == Alg1State::Idle {
+            self.automaton.start_lock(&mut self.state);
+        }
+        let mut step = 0u64;
+        loop {
+            if self.automaton.step(&mut self.state, &mut self.ops) == Outcome::Acquired {
+                self.entries += 1;
+                return RwGuard { participant: self };
+            }
+            step += 1;
+            spin_pause(step);
+        }
+    }
+
+    /// Bounded acquisition attempt: runs at most `max_steps` automaton
+    /// steps.  On `None` the process is **still competing** (it may own
+    /// registers); call `lock` to finish or [`withdraw`](Self::withdraw)
+    /// to leave the competition cleanly.
+    pub fn try_lock_steps(&mut self, max_steps: u64) -> Option<RwGuard<'_>> {
+        if self.state == Alg1State::Idle {
+            self.automaton.start_lock(&mut self.state);
+        }
+        for _ in 0..max_steps {
+            if self.automaton.step(&mut self.state, &mut self.ops) == Outcome::Acquired {
+                self.entries += 1;
+                return Some(RwGuard { participant: self });
+            }
+        }
+        None
+    }
+
+    /// Abandons a pending competition: erases this process's identity
+    /// from every register it still holds (one shrink pass — sufficient,
+    /// since no other process ever writes this identity).
+    pub fn withdraw(&mut self) {
+        let snap = self.ops.snapshot();
+        for x in amx_ids::view::owned_indices(&snap, self.id()) {
+            if self.ops.read(x).is_owned_by(self.id()) {
+                self.ops.write(x, Slot::BOTTOM);
+            }
+        }
+        self.state = Alg1State::Idle;
+    }
+
+    fn run_unlock(&mut self) {
+        self.automaton.start_unlock(&mut self.state);
+        let mut step = 0u64;
+        while self.automaton.step(&mut self.state, &mut self.ops) != Outcome::Released {
+            step += 1;
+            spin_pause(step);
+        }
+    }
+}
+
+/// RAII critical-section guard for Algorithm 1.
+///
+/// Dropping the guard runs `unlock()` — a wait-free bounded loop
+/// (at most one read and one write per register), so the destructor
+/// cannot block indefinitely.
+#[derive(Debug)]
+pub struct RwGuard<'a> {
+    participant: &'a mut RwParticipant,
+}
+
+impl RwGuard<'_> {
+    /// The identity holding the critical section.
+    #[must_use]
+    pub fn id(&self) -> Pid {
+        self.participant.id()
+    }
+
+    /// Explicit unlock (equivalent to dropping the guard).
+    pub fn unlock(self) {}
+}
+
+impl Drop for RwGuard<'_> {
+    fn drop(&mut self) {
+        self.participant.run_unlock();
+    }
+}
+
+/// The Algorithm 2 lock object: an anonymous RMW register array shared by
+/// `n` participants.
+#[derive(Debug, Clone)]
+pub struct RmwAnonLock {
+    mem: AnonymousRmwMemory,
+    spec: MutexSpec,
+}
+
+impl RmwAnonLock {
+    /// Creates the lock object for a validated RMW spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` is not an RMW-model spec.
+    #[must_use]
+    pub fn new(spec: MutexSpec) -> Self {
+        assert_eq!(spec.model(), Model::Rmw, "RmwAnonLock needs an RMW spec");
+        RmwAnonLock {
+            mem: AnonymousRmwMemory::new(spec.m()),
+            spec,
+        }
+    }
+
+    /// One-call setup mirroring [`RwAnonLock::create`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates adversary materialization failures.
+    pub fn create(
+        spec: MutexSpec,
+        adversary: &Adversary,
+    ) -> Result<Vec<RmwParticipant>, AdversaryError> {
+        RmwAnonLock::new(spec).participants(adversary)
+    }
+
+    /// The validated configuration.
+    #[must_use]
+    pub fn spec(&self) -> MutexSpec {
+        self.spec
+    }
+
+    /// Omniscient view of the register array (harness/diagnostics).
+    #[must_use]
+    pub fn memory(&self) -> &AnonymousRmwMemory {
+        &self.mem
+    }
+
+    /// Builds one participant per process with fresh identities and
+    /// `adversary`-chosen permutations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates adversary materialization failures.
+    pub fn participants(
+        &self,
+        adversary: &Adversary,
+    ) -> Result<Vec<RmwParticipant>, AdversaryError> {
+        let perms = adversary.permutations(self.spec.n(), self.spec.m())?;
+        let mut pool = PidPool::sequential();
+        Ok(perms
+            .into_iter()
+            .map(|perm| {
+                let id = pool.mint();
+                let counters = OpCounters::new();
+                let handle = self.mem.handle_with_counters(id, perm, counters.clone());
+                RmwParticipant {
+                    automaton: Alg2Automaton::new(self.spec, id),
+                    state: Alg2State::Idle,
+                    ops: RmwMemoryOps::new(handle),
+                    counters,
+                    entries: 0,
+                }
+            })
+            .collect())
+    }
+}
+
+/// One process's endpoint of an [`RmwAnonLock`].
+#[derive(Debug)]
+pub struct RmwParticipant {
+    automaton: Alg2Automaton,
+    state: Alg2State,
+    ops: RmwMemoryOps,
+    counters: OpCounters,
+    entries: u64,
+}
+
+impl RmwParticipant {
+    /// This participant's (symmetric) identity.
+    #[must_use]
+    pub fn id(&self) -> Pid {
+        self.automaton.id()
+    }
+
+    /// Cumulative shared-memory operation counters for this participant.
+    #[must_use]
+    pub fn counters(&self) -> &OpCounters {
+        &self.counters
+    }
+
+    /// Critical sections entered so far.
+    #[must_use]
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Acquires the lock, spinning until this process owns a majority of
+    /// the registers; returns the critical-section guard.
+    pub fn lock(&mut self) -> RmwGuard<'_> {
+        if self.state == Alg2State::Idle {
+            self.automaton.start_lock(&mut self.state);
+        }
+        let mut step = 0u64;
+        loop {
+            if self.automaton.step(&mut self.state, &mut self.ops) == Outcome::Acquired {
+                self.entries += 1;
+                return RmwGuard { participant: self };
+            }
+            step += 1;
+            spin_pause(step);
+        }
+    }
+
+    /// Bounded acquisition attempt; see
+    /// [`RwParticipant::try_lock_steps`].
+    pub fn try_lock_steps(&mut self, max_steps: u64) -> Option<RmwGuard<'_>> {
+        if self.state == Alg2State::Idle {
+            self.automaton.start_lock(&mut self.state);
+        }
+        for _ in 0..max_steps {
+            if self.automaton.step(&mut self.state, &mut self.ops) == Outcome::Acquired {
+                self.entries += 1;
+                return Some(RmwGuard { participant: self });
+            }
+        }
+        None
+    }
+
+    /// Abandons a pending competition, erasing this process's claims.
+    pub fn withdraw(&mut self) {
+        for x in 0..self.ops.m() {
+            let _ = self
+                .ops
+                .compare_and_swap(x, Slot::from(self.id()), Slot::BOTTOM);
+        }
+        self.state = Alg2State::Idle;
+    }
+
+    fn run_unlock(&mut self) {
+        self.automaton.start_unlock(&mut self.state);
+        let mut step = 0u64;
+        while self.automaton.step(&mut self.state, &mut self.ops) != Outcome::Released {
+            step += 1;
+            spin_pause(step);
+        }
+    }
+}
+
+/// RAII critical-section guard for Algorithm 2.
+///
+/// Dropping the guard runs `unlock()` — one `compare&swap` per register,
+/// wait-free.
+#[derive(Debug)]
+pub struct RmwGuard<'a> {
+    participant: &'a mut RmwParticipant,
+}
+
+impl RmwGuard<'_> {
+    /// The identity holding the critical section.
+    #[must_use]
+    pub fn id(&self) -> Pid {
+        self.participant.id()
+    }
+
+    /// Explicit unlock (equivalent to dropping the guard).
+    pub fn unlock(self) {}
+}
+
+impl Drop for RmwGuard<'_> {
+    fn drop(&mut self) {
+        self.participant.run_unlock();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn rw_solo_lock_unlock() {
+        let spec = MutexSpec::rw(2, 3).unwrap();
+        let lock = RwAnonLock::new(spec);
+        let mut parts = lock.participants(&Adversary::Identity).unwrap();
+        {
+            let expect_id = parts[0].id();
+            let guard = parts[0].lock();
+            assert_eq!(guard.id(), expect_id);
+            assert!(lock.memory().observe_all().iter().all(|s| !s.is_bottom()));
+        }
+        assert!(lock.memory().observe_all().iter().all(|s| s.is_bottom()));
+        assert_eq!(parts[0].entries(), 1);
+    }
+
+    #[test]
+    fn rmw_solo_lock_unlock() {
+        let spec = MutexSpec::rmw(2, 3).unwrap();
+        let lock = RmwAnonLock::new(spec);
+        let mut parts = lock.participants(&Adversary::Identity).unwrap();
+        {
+            let holder = parts[1].id();
+            let _guard = parts[1].lock();
+            let owned = lock
+                .memory()
+                .observe_all()
+                .iter()
+                .filter(|s| s.is_owned_by(holder))
+                .count();
+            assert!(owned * 2 > 3, "majority held in CS");
+        }
+        assert!(lock.memory().observe_all().iter().all(|s| s.is_bottom()));
+    }
+
+    #[test]
+    fn rw_two_threads_exclusion_and_counter() {
+        let spec = MutexSpec::rw(2, 3).unwrap();
+        let participants = RwAnonLock::create(spec, &Adversary::Random(7)).unwrap();
+        let counter = AtomicU64::new(0);
+        let in_cs = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for mut p in participants {
+                let (counter, in_cs) = (&counter, &in_cs);
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        let _g = p.lock();
+                        assert_eq!(in_cs.fetch_add(1, Ordering::SeqCst), 0, "overlap!");
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        in_cs.fetch_sub(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 400);
+    }
+
+    #[test]
+    fn rmw_three_threads_exclusion_and_counter() {
+        let spec = MutexSpec::rmw(3, 5).unwrap();
+        let participants = RmwAnonLock::create(spec, &Adversary::Random(3)).unwrap();
+        let counter = AtomicU64::new(0);
+        let in_cs = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for mut p in participants {
+                let (counter, in_cs) = (&counter, &in_cs);
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        let _g = p.lock();
+                        assert_eq!(in_cs.fetch_add(1, Ordering::SeqCst), 0, "overlap!");
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        in_cs.fetch_sub(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 600);
+    }
+
+    #[test]
+    fn rmw_single_register_two_threads() {
+        // The degenerate m = 1 configuration: a pure CAS lock.
+        let spec = MutexSpec::rmw(2, 1).unwrap();
+        let participants = RmwAnonLock::create(spec, &Adversary::Identity).unwrap();
+        let counter = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for mut p in participants {
+                let counter = &counter;
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        let _g = p.lock();
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn try_lock_steps_can_fail_then_withdraw() {
+        let spec = MutexSpec::rw(2, 3).unwrap();
+        let lock = RwAnonLock::new(spec);
+        let parts = lock.participants(&Adversary::Identity).unwrap();
+        let (mut a, mut b) = {
+            let mut it = parts.into_iter();
+            (it.next().unwrap(), it.next().unwrap())
+        };
+        let guard = a.lock();
+        // b cannot acquire while a holds everything.
+        assert!(b.try_lock_steps(100).is_none());
+        b.withdraw();
+        assert!(lock
+            .memory()
+            .observe_all()
+            .iter()
+            .all(|s| !s.is_owned_by(b.id())));
+        drop(guard);
+        // Now b succeeds.
+        let g = b.lock();
+        drop(g);
+        assert_eq!(b.entries(), 1);
+    }
+
+    #[test]
+    fn counters_accumulate_per_participant() {
+        let spec = MutexSpec::rw(2, 3).unwrap();
+        let mut parts = RwAnonLock::create(spec, &Adversary::Identity).unwrap();
+        let p = &mut parts[0];
+        {
+            let _g = p.lock();
+        }
+        assert!(
+            p.counters().snapshots() >= 4,
+            "≥ m writes interleaved with snapshots"
+        );
+        assert!(p.counters().writes() >= 3 + 3, "3 claims + 3 erases");
+    }
+
+    #[test]
+    #[should_panic(expected = "RW spec")]
+    fn rw_lock_rejects_rmw_spec() {
+        let _ = RwAnonLock::new(MutexSpec::rmw(2, 3).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "RMW spec")]
+    fn rmw_lock_rejects_rw_spec() {
+        let _ = RmwAnonLock::new(MutexSpec::rw(2, 3).unwrap());
+    }
+}

@@ -1,0 +1,218 @@
+//! Step-level invariants from the paper's proofs, checked on random
+//! executions.
+//!
+//! * **Transition legality** — a step by process `i` may only change a
+//!   register to `id_i` (claiming) or to ⊥ (erasing).  Two races the
+//!   paper's proofs explicitly accommodate shape the exact rule per
+//!   model:
+//!   - Algorithm 1 claims with plain writes from stale views, so a claim
+//!     may overwrite *anything*; and `shrink()`'s read-then-write means a
+//!     ⊥-write can land on a register that was re-claimed by someone else
+//!     between the check and the write.  Legal deltas: `* → id_i`,
+//!     `* → ⊥`.  Still illegal: writing a *third party's* id.
+//!   - Algorithm 2 claims only through `cas(⊥ → id_i)` and erases only
+//!     registers that provably still hold `id_i` (no one else can
+//!     overwrite a non-⊥ register).  Legal deltas: `⊥ → id_i`,
+//!     `id_i → ⊥` — strictly.
+//! * **Claim 1 / majority persistence** — while a process is in its
+//!   critical section, its identity stays present in the memory
+//!   (Algorithm 1), resp. it keeps owning a strict majority
+//!   (Algorithm 2), until its own unlock begins.
+
+use amx_core::{Alg1Automaton, Alg2Automaton, MutexSpec};
+use amx_ids::{Pid, PidPool, Slot};
+use amx_registers::Adversary;
+use amx_sim::automaton::{Automaton, Outcome, Phase};
+use amx_sim::mem::{MemoryModel, SimMemory};
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Checks one step's memory delta for legality.
+fn check_delta(before: &[Slot], after: &[Slot], actor: Pid, rmw: bool) -> Result<(), String> {
+    for (x, (b, a)) in before.iter().zip(after.iter()).enumerate() {
+        if b == a {
+            continue;
+        }
+        let claims_own = a.is_owned_by(actor);
+        let erases_own = b.is_owned_by(actor) && a.is_bottom();
+        if rmw {
+            // Algorithm 2: claims only from ⊥.
+            let legal = (claims_own && b.is_bottom()) || erases_own;
+            if !legal {
+                return Err(format!("illegal RMW delta at {x}: {b:?} → {a:?}"));
+            }
+        } else {
+            // Algorithm 1: plain writes may overwrite anything with our
+            // id, and shrink's delayed ⊥-write may erase a register that
+            // was re-claimed since the check (see module docs).
+            let legal = claims_own || a.is_bottom();
+            let _ = erases_own;
+            if !legal {
+                return Err(format!("illegal RW delta at {x}: {b:?} → {a:?}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Drives `n` automata for `steps` scheduler picks, checking transition
+/// legality, mutual exclusion, and in-CS presence invariants.
+fn random_walk_alg1(n: usize, m: usize, seed: u64, steps: usize) {
+    let spec = MutexSpec::rw_unchecked(n, m);
+    let mut pool = PidPool::sequential();
+    let ids = pool.mint_many(n);
+    let automata: Vec<Alg1Automaton> = ids.iter().map(|&id| Alg1Automaton::new(spec, id)).collect();
+    let mut states: Vec<_> = automata.iter().map(Automaton::init_state).collect();
+    let mut phases = vec![Phase::Remainder; n];
+    let mut mem = SimMemory::new(MemoryModel::Rw, m, &Adversary::Random(seed), n).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xFEED);
+    let order: Vec<usize> = (0..n).collect();
+
+    for _ in 0..steps {
+        let i = *order.choose(&mut rng).unwrap();
+        let before = mem.slots().to_vec();
+        match phases[i] {
+            Phase::Remainder => {
+                automata[i].start_lock(&mut states[i]);
+                phases[i] = Phase::Trying;
+            }
+            Phase::Cs => {
+                automata[i].start_unlock(&mut states[i]);
+                phases[i] = Phase::Exiting;
+            }
+            _ => {}
+        }
+        let out = automata[i].step(&mut states[i], &mut mem.view(i));
+        let after = mem.slots().to_vec();
+        check_delta(&before, &after, ids[i], false).unwrap();
+        match out {
+            Outcome::Acquired => {
+                assert!(
+                    phases.iter().all(|&p| p != Phase::Cs),
+                    "mutual exclusion violated"
+                );
+                phases[i] = Phase::Cs;
+                // Entry condition: the acquiring snapshot saw all-own, and
+                // since no one else writes between the snapshot (this very
+                // step) and now, the memory IS all-own.
+                assert!(after.iter().all(|s| s.is_owned_by(ids[i])));
+            }
+            Outcome::Released => phases[i] = Phase::Remainder,
+            Outcome::Progress => {}
+        }
+        // Claim 1: every process in CS still appears in the memory.
+        for (j, &phase) in phases.iter().enumerate() {
+            if phase == Phase::Cs {
+                assert!(
+                    after.iter().any(|s| s.is_owned_by(ids[j])),
+                    "claim 1 violated: CS holder {j} vanished from memory"
+                );
+            }
+        }
+    }
+}
+
+fn random_walk_alg2(n: usize, m: usize, seed: u64, steps: usize) {
+    let spec = MutexSpec::rmw_unchecked(n, m);
+    let mut pool = PidPool::sequential();
+    let ids = pool.mint_many(n);
+    let automata: Vec<Alg2Automaton> = ids.iter().map(|&id| Alg2Automaton::new(spec, id)).collect();
+    let mut states: Vec<_> = automata.iter().map(Automaton::init_state).collect();
+    let mut phases = vec![Phase::Remainder; n];
+    let mut mem = SimMemory::new(MemoryModel::Rmw, m, &Adversary::Random(seed), n).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xBEEF);
+    let order: Vec<usize> = (0..n).collect();
+
+    for _ in 0..steps {
+        let i = *order.choose(&mut rng).unwrap();
+        let before = mem.slots().to_vec();
+        match phases[i] {
+            Phase::Remainder => {
+                automata[i].start_lock(&mut states[i]);
+                phases[i] = Phase::Trying;
+            }
+            Phase::Cs => {
+                automata[i].start_unlock(&mut states[i]);
+                phases[i] = Phase::Exiting;
+            }
+            _ => {}
+        }
+        let out = automata[i].step(&mut states[i], &mut mem.view(i));
+        let after = mem.slots().to_vec();
+        check_delta(&before, &after, ids[i], true).unwrap();
+        match out {
+            Outcome::Acquired => {
+                assert!(
+                    phases.iter().all(|&p| p != Phase::Cs),
+                    "mutual exclusion violated"
+                );
+                phases[i] = Phase::Cs;
+            }
+            Outcome::Released => phases[i] = Phase::Remainder,
+            Outcome::Progress => {}
+        }
+        // Majority persistence: a CS holder owns > m/2 registers at all
+        // times (no other process can remove its claims).
+        for (j, &phase) in phases.iter().enumerate() {
+            if phase == Phase::Cs {
+                let owned = after.iter().filter(|s| s.is_owned_by(ids[j])).count();
+                assert!(
+                    2 * owned > m,
+                    "majority persistence violated: holder {j} owns {owned}/{m}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn alg1_invariants_hold_on_long_walks() {
+    for seed in 0..8 {
+        random_walk_alg1(2, 3, seed, 20_000);
+        random_walk_alg1(3, 5, seed, 20_000);
+    }
+}
+
+#[test]
+fn alg2_invariants_hold_on_long_walks() {
+    for seed in 0..8 {
+        random_walk_alg2(2, 3, seed, 20_000);
+        random_walk_alg2(3, 5, seed, 20_000);
+        random_walk_alg2(2, 1, seed, 5_000);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Invariants also hold on invalid configurations — the algorithms
+    /// never corrupt memory or violate claim-1-style presence; invalid m
+    /// only ever costs *progress*.
+    #[test]
+    fn alg1_invariants_hold_even_for_invalid_m(
+        m in 2usize..7,
+        seed in any::<u64>(),
+    ) {
+        random_walk_alg1(2, m, seed, 10_000);
+    }
+
+    #[test]
+    fn alg2_invariants_hold_even_for_invalid_m(
+        m in 1usize..7,
+        seed in any::<u64>(),
+    ) {
+        random_walk_alg2(3, m, seed, 10_000);
+    }
+
+    /// Random (n, m) valid pairs with random seeds.
+    #[test]
+    fn both_algorithms_on_random_valid_pairs(
+        n in 2usize..4,
+        seed in any::<u64>(),
+    ) {
+        let m = amx_numth::smallest_valid_m(n as u64) as usize;
+        random_walk_alg1(n, m, seed, 8_000);
+        random_walk_alg2(n, m, seed, 8_000);
+    }
+}

@@ -1,0 +1,111 @@
+//! Lock-free word codecs for anonymous register values.
+//!
+//! The real (threaded) anonymous memory in `amx-registers` stores each
+//! register in one `AtomicU64`.  Two encodings are provided:
+//!
+//! * [`encode_slot`]/[`decode_slot`] — a bare [`Slot`] in the low 32 bits
+//!   (0 = ⊥).  Used by the RMW memory, where `compare&swap` needs the raw
+//!   value space to be exactly the slot space.
+//! * [`encode_stamped`]/[`decode_stamped`] — a `(sequence, Slot)` pair,
+//!   sequence in the high 32 bits.  Used by the RW memory so that the
+//!   double-collect snapshot can detect intervening writes, exactly as the
+//!   paper prescribes: each `write` is tagged with the writer's local
+//!   sequence number, making every write unambiguously identified (no two
+//!   processes share an identity, so `(id, seq)` pairs never collide; the
+//!   stored stamp alone changing is what double-collect observes).
+//!
+//! Sequence numbers wrap at 2³², which would only confuse a double-collect
+//! if exactly 2³² writes landed on one register between its two reads.
+
+use crate::{Pid, Slot};
+
+/// Encodes a bare slot into a `u64` word (0 encodes ⊥).
+///
+/// # Example
+///
+/// ```
+/// use amx_ids::{codec, Slot};
+/// assert_eq!(codec::encode_slot(Slot::BOTTOM), 0);
+/// ```
+#[must_use]
+pub fn encode_slot(slot: Slot) -> u64 {
+    match slot.pid() {
+        None => 0,
+        Some(p) => u64::from(p.to_raw()),
+    }
+}
+
+/// Decodes a `u64` word produced by [`encode_slot`].
+///
+/// Ignores the high 32 bits so that a stamped word decodes to the same
+/// slot as its unstamped projection.
+#[must_use]
+pub fn decode_slot(word: u64) -> Slot {
+    Slot::from(Pid::from_raw((word & 0xFFFF_FFFF) as u32))
+}
+
+/// Encodes a `(sequence, slot)` pair for the RW memory.
+#[must_use]
+pub fn encode_stamped(seq: u32, slot: Slot) -> u64 {
+    (u64::from(seq) << 32) | encode_slot(slot)
+}
+
+/// Decodes a stamped word into its `(sequence, slot)` pair.
+#[must_use]
+pub fn decode_stamped(word: u64) -> (u32, Slot) {
+    ((word >> 32) as u32, decode_slot(word))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PidPool;
+
+    #[test]
+    fn slot_round_trip() {
+        let mut pool = PidPool::shuffled(11);
+        assert_eq!(decode_slot(encode_slot(Slot::BOTTOM)), Slot::BOTTOM);
+        for _ in 0..64 {
+            let id = pool.mint();
+            let slot = Slot::from(id);
+            assert_eq!(decode_slot(encode_slot(slot)), slot);
+        }
+    }
+
+    #[test]
+    fn stamped_round_trip() {
+        let mut pool = PidPool::sequential();
+        let id = pool.mint();
+        for seq in [0u32, 1, 77, u32::MAX] {
+            for slot in [Slot::BOTTOM, Slot::from(id)] {
+                let (s2, v2) = decode_stamped(encode_stamped(seq, slot));
+                assert_eq!((s2, v2), (seq, slot));
+            }
+        }
+    }
+
+    #[test]
+    fn stamped_word_projects_to_slot() {
+        let mut pool = PidPool::sequential();
+        let id = pool.mint();
+        let word = encode_stamped(123, Slot::from(id));
+        assert_eq!(decode_slot(word), Slot::from(id));
+    }
+
+    #[test]
+    fn bottom_is_zero_word() {
+        assert_eq!(encode_slot(Slot::BOTTOM), 0);
+        assert_eq!(encode_stamped(0, Slot::BOTTOM), 0);
+        assert!(decode_slot(0).is_bottom());
+    }
+
+    #[test]
+    fn distinct_slots_distinct_words() {
+        let ids = PidPool::shuffled(5).mint_many(32);
+        let mut words: Vec<u64> = ids.iter().map(|&p| encode_slot(Slot::from(p))).collect();
+        words.push(encode_slot(Slot::BOTTOM));
+        words.sort_unstable();
+        words.dedup();
+        assert_eq!(words.len(), 33);
+    }
+}

@@ -1,0 +1,302 @@
+//! Symmetric process identities and anonymous-register values.
+//!
+//! The PODC 2019 paper requires a *symmetric* algorithm: process identities
+//! belong to an opaque data type that supports **equality comparison only** —
+//! no ordering, no conversion to integers, no odd/even structure.  This crate
+//! enforces that discipline at the type level:
+//!
+//! * [`Pid`] is an opaque identity.  It implements [`Eq`]/[`PartialEq`] (and
+//!   `Clone`/`Copy`/`Debug`/`Hash` for harness bookkeeping) but deliberately
+//!   **not** `Ord`/`PartialOrd`.  Algorithm code cannot rank identities.
+//! * [`Slot`] is the value space of an anonymous register: either the common
+//!   default value ⊥ ([`Slot::BOTTOM`]) or some process identity.
+//! * [`PidPool`] mints distinct identities, optionally in a shuffled order so
+//!   tests cannot accidentally depend on allocation order.
+//! * [`view`] provides the equality-only aggregate operations the two
+//!   algorithms need over a snapshot/collect of the memory: number of
+//!   registers owned, number of distinct competitors, and the multiplicity
+//!   of the most present identity.
+//! * [`codec`] packs slots (and sequence-stamped slots used by the
+//!   double-collect snapshot) into `u64` words for lock-free atomics.
+//!
+//! # Example
+//!
+//! ```
+//! use amx_ids::{PidPool, Slot, view};
+//!
+//! let mut pool = PidPool::sequential();
+//! let (a, b) = (pool.mint(), pool.mint());
+//! assert_ne!(a, b);
+//!
+//! let snapshot = [Slot::from(a), Slot::from(b), Slot::from(a), Slot::BOTTOM];
+//! assert_eq!(view::owned_count(&snapshot, a), 2);
+//! assert_eq!(view::distinct_competitors(&snapshot), 2);
+//! assert_eq!(view::most_present(&snapshot), 2);
+//! assert!(!view::is_full(&snapshot));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod view;
+
+use std::fmt;
+use std::num::NonZeroU32;
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// An opaque, symmetric process identity.
+///
+/// Identities can be compared for equality and nothing else — there is no
+/// `Ord` implementation, mirroring the paper's symmetric-algorithm model
+/// where "process identities define a specific data type which allows a
+/// process to check only if two identities are equal or not".
+///
+/// `Hash` and `Debug` are provided for *harness* bookkeeping (keying metrics
+/// maps, printing traces); the mutual-exclusion algorithms in `amx-core`
+/// restrict themselves to equality.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pid(NonZeroU32);
+
+impl Pid {
+    /// Reconstructs an identity from a raw token previously obtained via
+    /// [`Pid::to_raw`].  Returns `None` for the reserved value 0 (⊥).
+    ///
+    /// This exists for the register codecs and test harnesses; algorithm
+    /// code never calls it.
+    #[must_use]
+    pub fn from_raw(raw: u32) -> Option<Self> {
+        NonZeroU32::new(raw).map(Pid)
+    }
+
+    /// Returns the raw token backing this identity (never 0).
+    ///
+    /// Harness/codec use only — treating the token as a number inside an
+    /// algorithm would break the symmetry assumption.
+    #[must_use]
+    pub fn to_raw(self) -> u32 {
+        self.0.get()
+    }
+}
+
+impl fmt::Debug for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pid(#{:x})", self.0.get())
+    }
+}
+
+/// The value stored in one anonymous register: ⊥ or a process identity.
+///
+/// All registers are initialized to the common default ⊥ so initial values
+/// cannot be used to break anonymity (paper §II-D).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Slot(Option<Pid>);
+
+impl Slot {
+    /// The common default value ⊥ shared by all processes.
+    pub const BOTTOM: Slot = Slot(None);
+
+    /// Returns `true` when the slot holds ⊥.
+    #[must_use]
+    pub fn is_bottom(self) -> bool {
+        self.0.is_none()
+    }
+
+    /// Returns the identity stored in the slot, or `None` for ⊥.
+    #[must_use]
+    pub fn pid(self) -> Option<Pid> {
+        self.0
+    }
+
+    /// Returns `true` when the slot holds exactly `id`.
+    #[must_use]
+    pub fn is_owned_by(self, id: Pid) -> bool {
+        self.0 == Some(id)
+    }
+}
+
+impl From<Pid> for Slot {
+    fn from(id: Pid) -> Self {
+        Slot(Some(id))
+    }
+}
+
+impl From<Option<Pid>> for Slot {
+    fn from(v: Option<Pid>) -> Self {
+        Slot(v)
+    }
+}
+
+impl fmt::Debug for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            None => write!(f, "⊥"),
+            Some(p) => write!(f, "{p:?}"),
+        }
+    }
+}
+
+/// Mints distinct process identities.
+///
+/// # Example
+///
+/// ```
+/// use amx_ids::PidPool;
+/// let mut pool = PidPool::shuffled(42);
+/// let ids = pool.mint_many(4);
+/// for (i, a) in ids.iter().enumerate() {
+///     for b in &ids[i + 1..] {
+///         assert_ne!(a, b);
+///     }
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PidPool {
+    next: u32,
+    remap: Option<Vec<u32>>,
+}
+
+/// Maximum number of identities a shuffled pool can mint.
+const SHUFFLED_CAPACITY: u32 = 4096;
+
+impl PidPool {
+    /// A pool minting identities backed by sequential tokens 1, 2, 3, …
+    #[must_use]
+    pub fn sequential() -> Self {
+        PidPool {
+            next: 0,
+            remap: None,
+        }
+    }
+
+    /// A pool minting identities backed by a seed-determined permutation of
+    /// tokens, so nothing downstream can rely on allocation order mapping to
+    /// token order.
+    ///
+    /// # Panics
+    ///
+    /// [`PidPool::mint`] panics after 4096 identities have been minted from
+    /// a shuffled pool.
+    #[must_use]
+    pub fn shuffled(seed: u64) -> Self {
+        let mut tokens: Vec<u32> = (1..=SHUFFLED_CAPACITY).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        tokens.shuffle(&mut rng);
+        PidPool {
+            next: 0,
+            remap: Some(tokens),
+        }
+    }
+
+    /// Mints a fresh identity, distinct from every identity previously
+    /// minted by this pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shuffled pool is exhausted (more than 4096 mints) or a
+    /// sequential pool overflows `u32`.
+    pub fn mint(&mut self) -> Pid {
+        let token = match &self.remap {
+            None => self.next.checked_add(1).expect("pid pool exhausted"),
+            Some(tokens) => *tokens.get(self.next as usize).expect("pid pool exhausted"),
+        };
+        self.next += 1;
+        Pid(NonZeroU32::new(token).expect("tokens start at 1"))
+    }
+
+    /// Mints `k` fresh identities.
+    pub fn mint_many(&mut self, k: usize) -> Vec<Pid> {
+        (0..k).map(|_| self.mint()).collect()
+    }
+}
+
+impl Default for PidPool {
+    fn default() -> Self {
+        Self::sequential()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_pool_mints_distinct() {
+        let mut pool = PidPool::sequential();
+        let ids = pool.mint_many(100);
+        for (i, a) in ids.iter().enumerate() {
+            for b in &ids[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn shuffled_pool_mints_distinct_and_deterministic() {
+        let mut p1 = PidPool::shuffled(7);
+        let mut p2 = PidPool::shuffled(7);
+        let a = p1.mint_many(50);
+        let b = p2.mint_many(50);
+        assert_eq!(a, b, "same seed, same ids");
+        let mut seen = std::collections::HashSet::new();
+        for id in a {
+            assert!(seen.insert(id.to_raw()));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = PidPool::shuffled(1).mint_many(20);
+        let b = PidPool::shuffled(2).mint_many(20);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn slot_basics() {
+        let mut pool = PidPool::sequential();
+        let id = pool.mint();
+        assert!(Slot::BOTTOM.is_bottom());
+        assert_eq!(Slot::BOTTOM.pid(), None);
+        assert!(!Slot::from(id).is_bottom());
+        assert_eq!(Slot::from(id).pid(), Some(id));
+        assert!(Slot::from(id).is_owned_by(id));
+        let other = pool.mint();
+        assert!(!Slot::from(id).is_owned_by(other));
+        assert!(!Slot::BOTTOM.is_owned_by(id));
+    }
+
+    #[test]
+    fn slot_default_is_bottom() {
+        assert_eq!(Slot::default(), Slot::BOTTOM);
+    }
+
+    #[test]
+    fn pid_raw_round_trip() {
+        let mut pool = PidPool::shuffled(3);
+        for _ in 0..32 {
+            let id = pool.mint();
+            assert_eq!(Pid::from_raw(id.to_raw()), Some(id));
+        }
+        assert_eq!(Pid::from_raw(0), None);
+    }
+
+    #[test]
+    fn debug_formats_are_nonempty() {
+        let mut pool = PidPool::sequential();
+        let id = pool.mint();
+        assert!(!format!("{id:?}").is_empty());
+        assert_eq!(format!("{:?}", Slot::BOTTOM), "⊥");
+        assert!(format!("{:?}", Slot::from(id)).contains("Pid"));
+    }
+
+    #[test]
+    #[should_panic(expected = "pid pool exhausted")]
+    fn shuffled_pool_exhaustion_panics() {
+        let mut pool = PidPool::shuffled(0);
+        for _ in 0..=SHUFFLED_CAPACITY {
+            let _ = pool.mint();
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Equality-only aggregate operations over memory views.
+//!
+//! Both algorithms make decisions from a *view* of the anonymous memory
+//! (a snapshot in Algorithm 1, an asynchronous collect in Algorithm 2).
+//! Every aggregate they need can be computed with equality comparisons
+//! only, preserving the symmetric-algorithm restriction.  The quadratic
+//! loops below are intentional: they witness that no ordering or hashing
+//! of identities is required (views are tiny — `m` is typically the first
+//! prime above `n`).
+
+use crate::{Pid, Slot};
+
+/// Number of registers in `view` owned by `id` — the paper's `owned()`.
+///
+/// # Example
+///
+/// ```
+/// use amx_ids::{PidPool, Slot, view};
+/// let mut pool = PidPool::sequential();
+/// let me = pool.mint();
+/// let view_arr = [Slot::from(me), Slot::BOTTOM, Slot::from(me)];
+/// assert_eq!(view::owned_count(&view_arr, me), 2);
+/// ```
+#[must_use]
+pub fn owned_count(view: &[Slot], id: Pid) -> usize {
+    view.iter().filter(|s| s.is_owned_by(id)).count()
+}
+
+/// `true` when every register in `view` is owned (no ⊥ entries) —
+/// the paper's "R is full".
+#[must_use]
+pub fn is_full(view: &[Slot]) -> bool {
+    view.iter().all(|s| !s.is_bottom())
+}
+
+/// `true` when no register in `view` is owned — the paper's "R is empty".
+#[must_use]
+pub fn is_empty(view: &[Slot]) -> bool {
+    view.iter().all(|s| s.is_bottom())
+}
+
+/// `true` when every register in `view` is owned by `id` — the exit
+/// condition of Algorithm 1's `lock()`.
+#[must_use]
+pub fn owns_all(view: &[Slot], id: Pid) -> bool {
+    view.iter().all(|s| s.is_owned_by(id))
+}
+
+/// Number of *distinct* non-⊥ identities present in `view` — the paper's
+/// `cnt_i = |{view_i[1], …, view_i[m]}|` computed on a full view.
+///
+/// Note: on a full view the paper counts distinct values of the whole
+/// array; since the view is full there are no ⊥ entries and this function
+/// agrees.  On a partial view we count distinct *identities* (⊥ excluded),
+/// which is what "number of current competitors" means.
+///
+/// Uses only equality comparisons (O(m²)).
+#[must_use]
+pub fn distinct_competitors(view: &[Slot]) -> usize {
+    let mut count = 0;
+    for (i, s) in view.iter().enumerate() {
+        if let Some(p) = s.pid() {
+            let first_occurrence = view[..i].iter().all(|t| !t.is_owned_by(p));
+            if first_occurrence {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// The multiplicity of the most frequent non-⊥ identity in `view` — the
+/// paper's `most_present_i` (Algorithm 2, line 4).  Returns 0 for an
+/// empty view.
+///
+/// Uses only equality comparisons (O(m²)).
+#[must_use]
+pub fn most_present(view: &[Slot]) -> usize {
+    let mut best = 0;
+    for (i, s) in view.iter().enumerate() {
+        if let Some(p) = s.pid() {
+            let first_occurrence = view[..i].iter().all(|t| !t.is_owned_by(p));
+            if first_occurrence {
+                best = best.max(owned_count(view, p));
+            }
+        }
+    }
+    best
+}
+
+/// Index of some ⊥ entry in `view`, if any, according to `policy`-free
+/// first-fit order.  Algorithm 1 line 5 only requires *some* free index;
+/// policies live in `amx-core` — this is the plain first-fit helper.
+#[must_use]
+pub fn first_free(view: &[Slot]) -> Option<usize> {
+    view.iter().position(|s| s.is_bottom())
+}
+
+/// All indices of `view` owned by `id`, in increasing order (used by
+/// `shrink()` loops).
+#[must_use]
+pub fn owned_indices(view: &[Slot], id: Pid) -> Vec<usize> {
+    view.iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.is_owned_by(id).then_some(i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PidPool;
+
+    fn ids(k: usize) -> Vec<Pid> {
+        PidPool::sequential().mint_many(k)
+    }
+
+    #[test]
+    fn empty_view_aggregates() {
+        let view = [Slot::BOTTOM; 5];
+        let id = ids(1)[0];
+        assert_eq!(owned_count(&view, id), 0);
+        assert!(is_empty(&view));
+        assert!(!is_full(&view));
+        assert!(!owns_all(&view, id));
+        assert_eq!(distinct_competitors(&view), 0);
+        assert_eq!(most_present(&view), 0);
+        assert_eq!(first_free(&view), Some(0));
+        assert!(owned_indices(&view, id).is_empty());
+    }
+
+    #[test]
+    fn zero_length_view() {
+        let view: [Slot; 0] = [];
+        let id = ids(1)[0];
+        assert!(is_empty(&view));
+        assert!(is_full(&view)); // vacuously
+        assert!(owns_all(&view, id)); // vacuously
+        assert_eq!(first_free(&view), None);
+    }
+
+    #[test]
+    fn full_single_owner() {
+        let id = ids(1)[0];
+        let view = [Slot::from(id); 7];
+        assert!(is_full(&view));
+        assert!(owns_all(&view, id));
+        assert_eq!(owned_count(&view, id), 7);
+        assert_eq!(distinct_competitors(&view), 1);
+        assert_eq!(most_present(&view), 7);
+        assert_eq!(first_free(&view), None);
+        assert_eq!(owned_indices(&view, id), vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn mixed_view() {
+        let ps = ids(3);
+        let (a, b, c) = (ps[0], ps[1], ps[2]);
+        let view = [
+            Slot::from(a),
+            Slot::from(b),
+            Slot::from(a),
+            Slot::BOTTOM,
+            Slot::from(c),
+            Slot::from(a),
+            Slot::BOTTOM,
+        ];
+        assert_eq!(owned_count(&view, a), 3);
+        assert_eq!(owned_count(&view, b), 1);
+        assert_eq!(owned_count(&view, c), 1);
+        assert!(!is_full(&view));
+        assert!(!is_empty(&view));
+        assert!(!owns_all(&view, a));
+        assert_eq!(distinct_competitors(&view), 3);
+        assert_eq!(most_present(&view), 3);
+        assert_eq!(first_free(&view), Some(3));
+        assert_eq!(owned_indices(&view, a), vec![0, 2, 5]);
+        assert_eq!(owned_indices(&view, b), vec![1]);
+    }
+
+    #[test]
+    fn most_present_with_tie() {
+        let ps = ids(2);
+        let view = [
+            Slot::from(ps[0]),
+            Slot::from(ps[1]),
+            Slot::from(ps[0]),
+            Slot::from(ps[1]),
+        ];
+        assert_eq!(most_present(&view), 2);
+        assert_eq!(distinct_competitors(&view), 2);
+    }
+
+    #[test]
+    fn distinct_competitors_ignores_bottom() {
+        let ps = ids(1);
+        let view = [Slot::BOTTOM, Slot::from(ps[0]), Slot::BOTTOM];
+        assert_eq!(distinct_competitors(&view), 1);
+    }
+}

@@ -1,0 +1,214 @@
+//! A deliberately gate-less symmetric protocol exhibiting the *other*
+//! branch of the Theorem 5 dichotomy.
+//!
+//! The proof of Theorem 5 concludes that on the ring, in lock steps,
+//! "either all the processes will enter their critical sections at the
+//! same time, violating mutual exclusion, or no process will ever enter
+//! its critical section, violating deadlock-freedom."  The paper's
+//! Algorithms 1 and 2 always land in the second branch because their
+//! entry conditions (own *all* registers / own a *majority*) can never
+//! hold for two processes at once.  [`GreedyClaimer`] is the simplest
+//! symmetric protocol without such a gate — claim free registers, enter
+//! as soon as you own your "fair share" `m/ℓ` — and on the ring it lands
+//! squarely in the first branch: **every** process enters in the same
+//! round.
+//!
+//! This is not a correct mutex (that is the point); it exists so the
+//! executable lower bound demonstrates the dichotomy exhaustively rather
+//! than only its livelock half.
+
+use amx_ids::{Pid, Slot};
+use amx_sim::automaton::{Automaton, Outcome};
+use amx_sim::mem::MemoryOps;
+
+/// Claim ⊥ registers with `compare&swap`; enter once `target` registers
+/// are owned (per the last read pass).  Symmetric (equality-only) and
+/// deliberately unsound as a mutex.
+#[derive(Debug, Clone)]
+pub struct GreedyClaimer {
+    id: Pid,
+    m: usize,
+    target: usize,
+}
+
+impl GreedyClaimer {
+    /// A claimer for process `id` over `m` registers, entering at
+    /// `target` owned registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is 0 or exceeds `m`.
+    #[must_use]
+    pub fn new(id: Pid, m: usize, target: usize) -> Self {
+        assert!(target >= 1 && target <= m, "target must be in 1..=m");
+        GreedyClaimer { id, m, target }
+    }
+}
+
+/// Program counter for [`GreedyClaimer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GreedyState {
+    /// No pending invocation.
+    Idle,
+    /// Claiming sweep at index `x`, with `owned` successes so far this
+    /// pass (counting both fresh claims and registers already ours).
+    Sweep {
+        /// Sweep cursor.
+        x: usize,
+        /// Registers observed/claimed as ours this pass.
+        owned: usize,
+    },
+    /// Unlock sweep at index `x`.
+    Unlock {
+        /// Sweep cursor.
+        x: usize,
+    },
+}
+
+impl Automaton for GreedyClaimer {
+    type State = GreedyState;
+
+    fn init_state(&self) -> GreedyState {
+        GreedyState::Idle
+    }
+
+    fn start_lock(&self, state: &mut GreedyState) {
+        *state = GreedyState::Sweep { x: 0, owned: 0 };
+    }
+
+    fn start_unlock(&self, state: &mut GreedyState) {
+        *state = GreedyState::Unlock { x: 0 };
+    }
+
+    fn step<M: MemoryOps + ?Sized>(&self, state: &mut GreedyState, mem: &mut M) -> Outcome {
+        match *state {
+            GreedyState::Sweep { x, owned } => {
+                let mine = mem.compare_and_swap(x, Slot::BOTTOM, Slot::from(self.id))
+                    || mem.read(x).is_owned_by(self.id);
+                let owned = owned + usize::from(mine);
+                if owned >= self.target {
+                    *state = GreedyState::Idle;
+                    return Outcome::Acquired;
+                }
+                *state = if x + 1 < self.m {
+                    GreedyState::Sweep { x: x + 1, owned }
+                } else {
+                    GreedyState::Sweep { x: 0, owned: 0 }
+                };
+                Outcome::Progress
+            }
+            GreedyState::Unlock { x } => {
+                let _ = mem.compare_and_swap(x, Slot::from(self.id), Slot::BOTTOM);
+                if x + 1 < self.m {
+                    *state = GreedyState::Unlock { x: x + 1 };
+                    Outcome::Progress
+                } else {
+                    *state = GreedyState::Idle;
+                    Outcome::Released
+                }
+            }
+            GreedyState::Idle => panic!("step without pending invocation"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lockstep::{LockstepExecutor, LockstepOutcome};
+    use crate::ring::RingArrangement;
+    use amx_ids::PidPool;
+    use amx_sim::mem::MemoryModel;
+
+    /// The dichotomy's first branch: with the fair-share target `m/ℓ`,
+    /// all ring processes enter in the same round.
+    #[test]
+    fn greedy_claimer_enters_simultaneously_on_the_ring() {
+        for (m, ell) in [(4usize, 2usize), (6, 2), (6, 3), (9, 3)] {
+            let ring = RingArrangement::new(m, ell).unwrap();
+            let ids = PidPool::sequential().mint_many(ell);
+            let automata: Vec<GreedyClaimer> = ids
+                .iter()
+                .map(|&id| GreedyClaimer::new(id, m, m / ell))
+                .collect();
+            let mut exec =
+                LockstepExecutor::with_automata(automata, ids, MemoryModel::Rmw, &ring).unwrap();
+            let report = exec.run(10_000);
+            match report.outcome {
+                LockstepOutcome::SimultaneousEntry { entered, .. } => {
+                    assert_eq!(entered.len(), ell, "ALL processes enter together (m={m})");
+                }
+                other => panic!("expected simultaneous entry at m={m}, ℓ={ell}: {other:?}"),
+            }
+            assert!(
+                report.symmetry_held,
+                "symmetry holds right up to the violation"
+            );
+        }
+    }
+
+    /// A demanding target (all m) sends the same protocol into the other
+    /// branch: livelock, just like the real algorithms.
+    #[test]
+    fn greedy_claimer_with_all_m_target_livelocks() {
+        let ring = RingArrangement::new(4, 2).unwrap();
+        let ids = PidPool::sequential().mint_many(2);
+        let automata: Vec<GreedyClaimer> =
+            ids.iter().map(|&id| GreedyClaimer::new(id, 4, 4)).collect();
+        let mut exec =
+            LockstepExecutor::with_automata(automata, ids, MemoryModel::Rmw, &ring).unwrap();
+        let report = exec.run(10_000);
+        assert!(
+            matches!(report.outcome, LockstepOutcome::Livelock { .. }),
+            "got {:?}",
+            report.outcome
+        );
+        assert!(report.symmetry_held);
+    }
+
+    #[test]
+    fn greedy_claimer_solo_locks_and_unlocks() {
+        use amx_registers::Adversary;
+        use amx_sim::mem::SimMemory;
+        let id = PidPool::sequential().mint();
+        let a = GreedyClaimer::new(id, 3, 2);
+        let mut st = a.init_state();
+        let mut mem = SimMemory::new(MemoryModel::Rmw, 3, &Adversary::Identity, 1).unwrap();
+        a.start_lock(&mut st);
+        let mut acquired = false;
+        for _ in 0..10 {
+            if a.step(&mut st, &mut mem.view(0)) == Outcome::Acquired {
+                acquired = true;
+                break;
+            }
+        }
+        assert!(acquired);
+        a.start_unlock(&mut st);
+        while a.step(&mut st, &mut mem.view(0)) != Outcome::Released {}
+        assert!(mem.slots().iter().all(|s| s.is_bottom()));
+    }
+
+    #[test]
+    #[should_panic(expected = "target must be in 1..=m")]
+    fn zero_target_panics() {
+        let id = PidPool::sequential().mint();
+        let _ = GreedyClaimer::new(id, 3, 0);
+    }
+
+    /// Independent cross-check: the exhaustive model checker also finds
+    /// GreedyClaimer's mutual-exclusion violation, without needing the
+    /// ring or the lock-step schedule.
+    #[test]
+    fn model_checker_finds_greedy_claimer_violation() {
+        use amx_sim::mc::{ModelChecker, Verdict};
+        let report =
+            ModelChecker::from_factory(|id| GreedyClaimer::new(id, 2, 1), MemoryModel::Rmw, 2, 2)
+                .run()
+                .unwrap();
+        assert!(
+            matches!(report.verdict, Verdict::MutualExclusionViolation { .. }),
+            "got {:?}",
+            report.verdict
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Executable Theorem 5: the RMW space lower bound.
+//!
+//! Theorem 5 of the PODC 2019 paper states that no symmetric deadlock-free
+//! mutual exclusion algorithm exists on `m ≥ 1` anonymous RMW registers
+//! unless `m ∈ M(n)`.  The proof is constructive and this crate *runs* it:
+//!
+//! 1. pick `ℓ` with `1 < ℓ ≤ n` and `ℓ | m` (it exists iff `m ∉ M(n)` —
+//!    see [`amx_numth::lower_bound_witnesses`]);
+//! 2. arrange the `m` registers on a ring and give each of `ℓ` processes
+//!    an initial register `m/ℓ` positions after its predecessor's, with
+//!    register ordering following the ring ([`ring::RingArrangement`] —
+//!    concretely, process `i` addresses the memory through the rotation
+//!    by `i·m/ℓ`);
+//! 3. run the ℓ processes in lock steps ([`lockstep::LockstepExecutor`]).
+//!
+//! Because identities support equality only and all registers start at the
+//! same value ⊥, the configuration after every round is invariant under
+//! the rotation that simultaneously advances the ring by `m/ℓ` and renames
+//! process `i` to process `i+1 (mod ℓ)`.  The executor *verifies* that
+//! invariance every round (see [`lockstep::LockstepReport::symmetry_held`]), and the
+//! run must therefore end in the dichotomy of the proof: either every
+//! process enters the critical section in the same round (violating
+//! mutual exclusion) or the global state revisits itself and no process
+//! ever enters (violating deadlock-freedom).
+//!
+//! # Example
+//!
+//! ```
+//! use amx_core::{Alg2Automaton, MutexSpec};
+//! use amx_lowerbound::lockstep::{LockstepExecutor, LockstepOutcome};
+//! use amx_lowerbound::ring::RingArrangement;
+//!
+//! // m = 4 ∉ M(2): ℓ = 2 divides 4.
+//! let ring = RingArrangement::new(4, 2)?;
+//! let spec = MutexSpec::rmw_unchecked(2, 4);
+//! let report = LockstepExecutor::for_alg2(spec, &ring)?.run(100_000);
+//! assert!(matches!(report.outcome, LockstepOutcome::Livelock { .. }));
+//! assert!(report.symmetry_held, "the rotation invariant must never break");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod demo;
+pub mod lockstep;
+pub mod ring;
+
+pub use demo::GreedyClaimer;
+pub use lockstep::{LockstepExecutor, LockstepOutcome, LockstepReport};
+pub use ring::{RingArrangement, RingError};

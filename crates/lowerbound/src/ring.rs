@@ -1,0 +1,228 @@
+//! The ring arrangement of Theorem 5.
+//!
+//! "Let us arrange the m RMW registers on a ring with m nodes […] To each
+//! one of the ℓ processes, we assign an initial RMW register such that for
+//! every two processes p_i and p_{i+1 (mod ℓ)}, the distance between their
+//! initial registers is exactly m/ℓ when walking on the ring in a
+//! clockwise direction."  (Paper, proof of Theorem 5.)
+//!
+//! Process `i`'s register *ordering* follows the ring from its initial
+//! register: `order(p_i, k)` is the register at clockwise distance `k−1`.
+//! Both pieces together are exactly the rotation permutation
+//! `x ↦ (x + i·m/ℓ) mod m`, which [`RingArrangement::adversary`] returns.
+
+use amx_numth::lower_bound_witnesses;
+use amx_registers::{Adversary, Permutation};
+
+/// Error constructing a [`RingArrangement`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RingError {
+    /// `ℓ` must satisfy `1 < ℓ` and divide `m`.
+    NotADivisor {
+        /// Requested process count.
+        ell: usize,
+        /// Memory size.
+        m: usize,
+    },
+    /// `m` must be at least 1.
+    EmptyMemory,
+}
+
+impl std::fmt::Display for RingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RingError::NotADivisor { ell, m } => {
+                write!(f, "Theorem 5 needs 1 < ℓ and ℓ | m; got ℓ = {ell}, m = {m}")
+            }
+            RingError::EmptyMemory => write!(f, "memory must contain at least one register"),
+        }
+    }
+}
+
+impl std::error::Error for RingError {}
+
+/// The Theorem 5 register arrangement for `ℓ` processes on `m` registers.
+///
+/// # Example
+///
+/// ```
+/// use amx_lowerbound::ring::RingArrangement;
+///
+/// let ring = RingArrangement::new(6, 3)?;
+/// assert_eq!(ring.step(), 2);
+/// assert_eq!(ring.initial_register(0), 0);
+/// assert_eq!(ring.initial_register(1), 2);
+/// assert_eq!(ring.initial_register(2), 4);
+/// # Ok::<(), amx_lowerbound::ring::RingError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingArrangement {
+    m: usize,
+    ell: usize,
+}
+
+impl RingArrangement {
+    /// Builds the arrangement; requires `1 < ℓ ≤ m` and `ℓ | m`.
+    ///
+    /// # Errors
+    ///
+    /// [`RingError::NotADivisor`] when the divisibility precondition
+    /// fails, [`RingError::EmptyMemory`] when `m == 0`.
+    pub fn new(m: usize, ell: usize) -> Result<Self, RingError> {
+        if m == 0 {
+            return Err(RingError::EmptyMemory);
+        }
+        if ell <= 1 || !m.is_multiple_of(ell) {
+            return Err(RingError::NotADivisor { ell, m });
+        }
+        Ok(RingArrangement { m, ell })
+    }
+
+    /// Builds the arrangement for the *canonical witness*: the smallest
+    /// `ℓ` with `1 < ℓ ≤ n` and `ℓ | m`.  Returns `None` when `m ∈ M(n)`
+    /// (no witness exists — the lower bound does not apply).
+    #[must_use]
+    pub fn for_invalid_m(m: usize, n: usize) -> Option<Self> {
+        let ell = lower_bound_witnesses(m as u64, n as u64).next()? as usize;
+        Some(RingArrangement { m, ell })
+    }
+
+    /// Memory size `m`.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Number of processes `ℓ` placed on the ring.
+    #[must_use]
+    pub fn ell(&self) -> usize {
+        self.ell
+    }
+
+    /// Clockwise spacing `m/ℓ` between consecutive initial registers.
+    #[must_use]
+    pub fn step(&self) -> usize {
+        self.m / self.ell
+    }
+
+    /// The physical index of process `i`'s initial register
+    /// (`order(p_i, 1)` in the paper's notation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ ℓ`.
+    #[must_use]
+    pub fn initial_register(&self, i: usize) -> usize {
+        assert!(i < self.ell, "process index out of range");
+        (i * self.step()) % self.m
+    }
+
+    /// The physical index of `order(p_i, k)` — the `k`-th distinct
+    /// register process `i` accesses (1-based `k`, as in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ ℓ` or `k` is not in `1..=m`.
+    #[must_use]
+    pub fn order(&self, i: usize, k: usize) -> usize {
+        assert!(k >= 1 && k <= self.m, "k must be in 1..=m");
+        (self.initial_register(i) + (k - 1)) % self.m
+    }
+
+    /// The per-process permutation (local name `x` → physical index).
+    #[must_use]
+    pub fn permutation(&self, i: usize) -> Permutation {
+        Permutation::rotation(self.m, self.initial_register(i))
+    }
+
+    /// The adversary assigning every process its ring rotation.
+    #[must_use]
+    pub fn adversary(&self) -> Adversary {
+        Adversary::Ring { ell: self.ell }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_divisibility() {
+        assert!(RingArrangement::new(6, 2).is_ok());
+        assert!(RingArrangement::new(6, 3).is_ok());
+        assert!(RingArrangement::new(6, 6).is_ok());
+        assert_eq!(
+            RingArrangement::new(6, 4),
+            Err(RingError::NotADivisor { ell: 4, m: 6 })
+        );
+        assert_eq!(
+            RingArrangement::new(5, 2),
+            Err(RingError::NotADivisor { ell: 2, m: 5 })
+        );
+        assert_eq!(
+            RingArrangement::new(6, 1),
+            Err(RingError::NotADivisor { ell: 1, m: 6 })
+        );
+        assert_eq!(RingArrangement::new(0, 2), Err(RingError::EmptyMemory));
+    }
+
+    #[test]
+    fn canonical_witness_matches_numth() {
+        // m = 12, n = 5 → witnesses {2, 3, 4}; canonical is 2.
+        let ring = RingArrangement::for_invalid_m(12, 5).unwrap();
+        assert_eq!(ring.ell(), 2);
+        assert_eq!(ring.step(), 6);
+        // Valid m has no arrangement.
+        assert_eq!(RingArrangement::for_invalid_m(7, 5), None);
+        assert_eq!(RingArrangement::for_invalid_m(1, 5), None);
+    }
+
+    #[test]
+    fn initial_registers_evenly_spaced() {
+        let ring = RingArrangement::new(12, 4).unwrap();
+        let initials: Vec<usize> = (0..4).map(|i| ring.initial_register(i)).collect();
+        assert_eq!(initials, vec![0, 3, 6, 9]);
+        // Pairwise clockwise distance is exactly m/ℓ.
+        for i in 0..4 {
+            let a = ring.initial_register(i);
+            let b = ring.initial_register((i + 1) % 4);
+            assert_eq!((b + 12 - a) % 12, 3, "distance {i}→{}", (i + 1) % 4);
+        }
+    }
+
+    #[test]
+    fn order_walks_the_ring_clockwise() {
+        let ring = RingArrangement::new(6, 2).unwrap();
+        let walk: Vec<usize> = (1..=6).map(|k| ring.order(1, k)).collect();
+        assert_eq!(walk, vec![3, 4, 5, 0, 1, 2]);
+        assert_eq!(ring.order(0, 1), ring.initial_register(0));
+    }
+
+    #[test]
+    fn permutation_matches_order() {
+        let ring = RingArrangement::new(8, 4).unwrap();
+        for i in 0..4 {
+            let p = ring.permutation(i);
+            for x in 0..8 {
+                assert_eq!(p.apply(x), ring.order(i, x + 1), "process {i}, local {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn adversary_materializes_to_same_permutations() {
+        let ring = RingArrangement::new(9, 3).unwrap();
+        let perms = ring.adversary().permutations(3, 9).unwrap();
+        for (i, perm) in perms.iter().enumerate() {
+            assert_eq!(*perm, ring.permutation(i));
+        }
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        assert!(!RingError::NotADivisor { ell: 4, m: 6 }
+            .to_string()
+            .is_empty());
+        assert!(!RingError::EmptyMemory.to_string().is_empty());
+    }
+}

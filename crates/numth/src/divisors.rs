@@ -1,0 +1,221 @@
+//! Divisor enumeration supporting the Theorem 5 lower-bound construction.
+//!
+//! When `m ∉ M(n)` there is some `ℓ` with `1 < ℓ ≤ n` and `gcd(ℓ, m) > 1`;
+//! the proof of Theorem 5 needs a *divisor* `ℓ` of `m` in that range (it
+//! exists: take the smallest prime factor shared by some such `ℓ` and `m`).
+//! [`lower_bound_witnesses`] enumerates exactly those `ℓ`.
+
+use crate::primes::smallest_prime_factor;
+
+/// Iterator over the divisors of a number, in increasing order.
+///
+/// Produced by [`divisors`] and [`proper_divisors`].
+#[derive(Debug, Clone)]
+pub struct DivisorIter {
+    sorted: std::vec::IntoIter<u64>,
+}
+
+impl Iterator for DivisorIter {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        self.sorted.next()
+    }
+}
+
+fn divisor_list(n: u64) -> Vec<u64> {
+    let mut small = Vec::new();
+    let mut large = Vec::new();
+    let mut d = 1u64;
+    while d.saturating_mul(d) <= n {
+        if n.is_multiple_of(d) {
+            small.push(d);
+            if d != n / d {
+                large.push(n / d);
+            }
+        }
+        d += 1;
+    }
+    large.reverse();
+    small.extend(large);
+    small
+}
+
+/// Returns all divisors of `n` in increasing order (empty for `n == 0`).
+///
+/// # Example
+///
+/// ```
+/// use amx_numth::divisors;
+/// let d: Vec<u64> = divisors(12).collect();
+/// assert_eq!(d, vec![1, 2, 3, 4, 6, 12]);
+/// ```
+#[must_use]
+pub fn divisors(n: u64) -> DivisorIter {
+    DivisorIter {
+        sorted: if n == 0 { Vec::new() } else { divisor_list(n) }.into_iter(),
+    }
+}
+
+/// Returns the divisors of `n` excluding 1 and `n` itself, increasing.
+///
+/// # Example
+///
+/// ```
+/// use amx_numth::proper_divisors;
+/// let d: Vec<u64> = proper_divisors(12).collect();
+/// assert_eq!(d, vec![2, 3, 4, 6]);
+/// ```
+#[must_use]
+pub fn proper_divisors(n: u64) -> DivisorIter {
+    DivisorIter {
+        sorted: if n == 0 {
+            Vec::new()
+        } else {
+            divisor_list(n)
+                .into_iter()
+                .filter(|&d| d != 1 && d != n)
+                .collect::<Vec<_>>()
+        }
+        .into_iter(),
+    }
+}
+
+/// Enumerates the Theorem 5 witnesses for an invalid pair `(m, n)`:
+/// all `ℓ` with `1 < ℓ ≤ n` and `ℓ | m`.
+///
+/// The iterator is empty iff `m ∈ M(n)` or `m ≤ 1` — that equivalence is
+/// exactly the smallest-prime-factor characterization, and is verified by
+/// property tests.
+///
+/// # Example
+///
+/// ```
+/// use amx_numth::lower_bound_witnesses;
+/// let w: Vec<u64> = lower_bound_witnesses(12, 5).collect();
+/// assert_eq!(w, vec![2, 3, 4]);
+/// assert_eq!(lower_bound_witnesses(7, 5).count(), 0); // 7 ∈ M(5)
+/// ```
+#[must_use]
+pub fn lower_bound_witnesses(m: u64, n: u64) -> DivisorIter {
+    DivisorIter {
+        sorted: if m <= 1 {
+            Vec::new()
+        } else {
+            divisor_list(m)
+                .into_iter()
+                .filter(|&l| l > 1 && l <= n)
+                .collect::<Vec<_>>()
+        }
+        .into_iter(),
+    }
+}
+
+/// Returns the canonical (smallest) Theorem 5 witness for an invalid pair,
+/// or `None` when `m ∈ M(n)`.
+///
+/// The smallest witness is always prime — it is the smallest prime factor
+/// of `m` when that factor is ≤ `n`.
+///
+/// # Example
+///
+/// ```
+/// use amx_numth::lower_bound_witnesses;
+/// assert_eq!(lower_bound_witnesses(15, 4).next(), Some(3));
+/// ```
+#[must_use]
+pub fn smallest_witness(m: u64, n: u64) -> Option<u64> {
+    smallest_prime_factor(m).filter(|&p| p <= n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::valid_m::is_valid_m;
+
+    #[test]
+    fn divisors_of_small_numbers() {
+        assert_eq!(divisors(1).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(divisors(2).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(
+            divisors(36).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 6, 9, 12, 18, 36]
+        );
+        assert_eq!(divisors(0).count(), 0);
+    }
+
+    #[test]
+    fn proper_divisors_of_primes_is_empty() {
+        for p in [2u64, 3, 5, 7, 11, 97] {
+            assert_eq!(proper_divisors(p).count(), 0, "p={p}");
+        }
+    }
+
+    #[test]
+    fn divisors_are_sorted_and_divide() {
+        for n in 1..=200u64 {
+            let ds: Vec<u64> = divisors(n).collect();
+            assert!(ds.windows(2).all(|w| w[0] < w[1]), "sorted for {n}");
+            assert!(ds.iter().all(|&d| n % d == 0), "divide for {n}");
+            // Count matches brute force.
+            let brute = (1..=n).filter(|&d| n % d == 0).count();
+            assert_eq!(ds.len(), brute, "count for {n}");
+        }
+    }
+
+    #[test]
+    fn witnesses_exist_iff_invalid() {
+        for n in 2..=12u64 {
+            for m in 2..=300u64 {
+                let has_witness = lower_bound_witnesses(m, n).next().is_some();
+                assert_eq!(
+                    has_witness,
+                    !is_valid_m(m, n),
+                    "witness/validity disagreement at m={m}, n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn witnesses_divide_m_and_bounded_by_n() {
+        for n in 2..=10u64 {
+            for m in 2..=200u64 {
+                for l in lower_bound_witnesses(m, n) {
+                    assert!(
+                        l > 1 && l <= n && m % l == 0,
+                        "bad witness {l} for m={m} n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smallest_witness_agrees_with_enumeration() {
+        for n in 2..=10u64 {
+            for m in 0..=200u64 {
+                assert_eq!(
+                    smallest_witness(m, n),
+                    lower_bound_witnesses(m, n).next(),
+                    "m={m} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn smallest_witness_is_prime_when_present() {
+        use crate::primes::is_prime;
+        for n in 2..=10u64 {
+            for m in 2..=200u64 {
+                if let Some(l) = lower_bound_witnesses(m, n).next() {
+                    assert!(
+                        is_prime(l),
+                        "smallest witness {l} for m={m} n={n} not prime"
+                    );
+                }
+            }
+        }
+    }
+}

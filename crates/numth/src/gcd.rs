@@ -1,0 +1,177 @@
+//! Greatest common divisor and related primitives.
+
+/// Computes the greatest common divisor of `a` and `b` by the binary
+/// (Stein) algorithm.
+///
+/// By convention `gcd(0, 0) == 0`, and `gcd(a, 0) == a`.
+///
+/// # Example
+///
+/// ```
+/// use amx_numth::gcd;
+/// assert_eq!(gcd(12, 18), 6);
+/// assert_eq!(gcd(7, 13), 1);
+/// assert_eq!(gcd(0, 5), 5);
+/// ```
+#[must_use]
+pub fn gcd(mut a: u64, mut b: u64) -> u64 {
+    if a == 0 {
+        return b;
+    }
+    if b == 0 {
+        return a;
+    }
+    let shift = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            core::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return a << shift;
+        }
+    }
+}
+
+/// Computes the least common multiple of `a` and `b`.
+///
+/// Returns 0 when either argument is 0.
+///
+/// # Panics
+///
+/// Panics if the result overflows `u64`.
+///
+/// # Example
+///
+/// ```
+/// use amx_numth::lcm;
+/// assert_eq!(lcm(4, 6), 12);
+/// assert_eq!(lcm(0, 9), 0);
+/// ```
+#[must_use]
+pub fn lcm(a: u64, b: u64) -> u64 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let g = gcd(a, b);
+    (a / g).checked_mul(b).expect("lcm overflow")
+}
+
+/// Returns `true` when `gcd(a, b) == 1`.
+///
+/// # Example
+///
+/// ```
+/// use amx_numth::are_coprime;
+/// assert!(are_coprime(8, 9));
+/// assert!(!are_coprime(8, 10));
+/// ```
+#[must_use]
+pub fn are_coprime(a: u64, b: u64) -> bool {
+    gcd(a, b) == 1
+}
+
+/// Extended Euclidean algorithm.
+///
+/// Returns `(g, x, y)` with `g = gcd(a, b)` and `a*x + b*y = g`
+/// (computed over signed integers).
+///
+/// # Example
+///
+/// ```
+/// use amx_numth::extended_gcd;
+/// let (g, x, y) = extended_gcd(240, 46);
+/// assert_eq!(g, 2);
+/// assert_eq!(240 * x + 46 * y, 2);
+/// ```
+#[must_use]
+pub fn extended_gcd(a: i64, b: i64) -> (i64, i64, i64) {
+    if b == 0 {
+        let sign = if a < 0 { -1 } else { 1 };
+        return (a.abs(), sign, 0);
+    }
+    let (g, x1, y1) = extended_gcd(b, a % b);
+    (g, y1, x1 - (a / b) * y1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(0, 7), 7);
+        assert_eq!(gcd(7, 0), 7);
+        assert_eq!(gcd(1, 1), 1);
+        assert_eq!(gcd(48, 18), 6);
+        assert_eq!(gcd(18, 48), 6);
+        assert_eq!(gcd(17, 17), 17);
+    }
+
+    #[test]
+    fn gcd_large_values() {
+        assert_eq!(gcd(u64::MAX, u64::MAX), u64::MAX);
+        assert_eq!(gcd(u64::MAX, 1), 1);
+        // 2^40 and 2^20 share 2^20.
+        assert_eq!(gcd(1 << 40, 1 << 20), 1 << 20);
+    }
+
+    #[test]
+    fn gcd_primes_are_coprime() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 10_007];
+        for (i, &p) in primes.iter().enumerate() {
+            for &q in &primes[i + 1..] {
+                assert_eq!(gcd(p, q), 1, "primes {p} and {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm(0, 0), 0);
+        assert_eq!(lcm(3, 0), 0);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(7, 13), 91);
+        assert_eq!(lcm(6, 6), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "lcm overflow")]
+    fn lcm_overflow_panics() {
+        let _ = lcm(u64::MAX, u64::MAX - 1);
+    }
+
+    #[test]
+    fn coprime_basics() {
+        assert!(are_coprime(1, 1));
+        assert!(are_coprime(1, 100));
+        assert!(!are_coprime(2, 100));
+        assert!(are_coprime(25, 36));
+    }
+
+    #[test]
+    fn extended_gcd_bezout() {
+        for &(a, b) in &[
+            (240i64, 46i64),
+            (46, 240),
+            (7, 13),
+            (0, 5),
+            (5, 0),
+            (12, 18),
+        ] {
+            let (g, x, y) = extended_gcd(a, b);
+            assert_eq!(g, gcd(a.unsigned_abs(), b.unsigned_abs()) as i64);
+            assert_eq!(a * x + b * y, g, "bezout for ({a}, {b})");
+        }
+    }
+
+    #[test]
+    fn extended_gcd_negative_inputs() {
+        let (g, x, y) = extended_gcd(-240, 46);
+        assert_eq!(g, 2);
+        assert_eq!(-240 * x + 46 * y, 2);
+    }
+}

@@ -1,0 +1,54 @@
+//! Number-theoretic substrate for memory-anonymous mutual exclusion.
+//!
+//! The central object of the PODC 2019 paper *"Optimal Memory-Anonymous
+//! Symmetric Deadlock-Free Mutual Exclusion"* (Aghazadeh, Imbs, Raynal,
+//! Taubenfeld, Woelfel) is the set
+//!
+//! ```text
+//! M(n) = { m : ∀ ℓ, 1 < ℓ ≤ n : gcd(ℓ, m) = 1 }
+//! ```
+//!
+//! of memory sizes `m` for which symmetric deadlock-free mutual exclusion
+//! over `m` anonymous registers is possible for `n` processes.  This crate
+//! provides the arithmetic needed throughout the workspace:
+//!
+//! * [`gcd`], [`extended_gcd`], [`lcm`] and coprimality tests;
+//! * primality testing and prime iteration ([`is_prime`], [`primes`]);
+//! * the `M(n)` membership test [`is_valid_m`], its equivalent
+//!   characterizations, and iterators over valid memory sizes
+//!   ([`valid_memory_sizes`], [`smallest_valid_m`]);
+//! * divisor enumeration used by the Theorem 5 lower-bound construction
+//!   ([`divisors`], [`lower_bound_witnesses`]).
+//!
+//! # Example
+//!
+//! ```
+//! use amx_numth::{is_valid_m, smallest_valid_m, lower_bound_witnesses};
+//!
+//! // For n = 4 processes, m = 5 registers is the smallest valid size ≥ n.
+//! assert!(is_valid_m(5, 4));
+//! assert!(!is_valid_m(6, 4)); // gcd(2, 6) ≠ 1
+//! assert_eq!(smallest_valid_m(4), 5);
+//!
+//! // m = 6 is invalid for n = 4: ℓ ∈ {2, 3} both divide it.
+//! let w: Vec<u64> = lower_bound_witnesses(6, 4).collect();
+//! assert_eq!(w, vec![2, 3]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod divisors;
+mod gcd;
+mod primes;
+mod valid_m;
+
+pub use divisors::{
+    divisors, lower_bound_witnesses, proper_divisors, smallest_witness, DivisorIter,
+};
+pub use gcd::{are_coprime, extended_gcd, gcd, lcm};
+pub use primes::{is_prime, next_prime, primes, smallest_prime_factor, Primes};
+pub use valid_m::{
+    is_valid_m, is_valid_m_rw, smallest_valid_m, smallest_valid_m_rw, valid_memory_sizes,
+    ValidMemorySizes,
+};

@@ -1,0 +1,181 @@
+//! Primality testing and prime enumeration.
+//!
+//! The valid memory sizes of the paper are tightly connected to primes:
+//! `m ∈ M(n)` iff `m = 1` or the smallest prime factor of `m` is larger
+//! than `n`.  In particular the smallest valid `m ≥ n` is the smallest
+//! prime strictly greater than `n` (for `n ≥ 2`).
+
+/// Returns the smallest prime factor of `n`, or `None` for `n < 2`.
+///
+/// Runs in `O(√n)` using a 2-3-5 wheel.
+///
+/// # Example
+///
+/// ```
+/// use amx_numth::smallest_prime_factor;
+/// assert_eq!(smallest_prime_factor(91), Some(7));
+/// assert_eq!(smallest_prime_factor(97), Some(97));
+/// assert_eq!(smallest_prime_factor(1), None);
+/// ```
+#[must_use]
+pub fn smallest_prime_factor(n: u64) -> Option<u64> {
+    if n < 2 {
+        return None;
+    }
+    for small in [2u64, 3, 5] {
+        if n.is_multiple_of(small) {
+            return Some(small);
+        }
+    }
+    // Wheel of increments modulo 30 starting at 7: 7 11 13 17 19 23 29 31 ...
+    const INC: [u64; 8] = [4, 2, 4, 2, 4, 6, 2, 6];
+    let mut d = 7u64;
+    let mut i = 0usize;
+    while d.saturating_mul(d) <= n {
+        if n.is_multiple_of(d) {
+            return Some(d);
+        }
+        d += INC[i];
+        i = (i + 1) % INC.len();
+    }
+    Some(n)
+}
+
+/// Deterministic primality test for `u64` values in the ranges used by this
+/// workspace (trial division with a wheel; `O(√n)`).
+///
+/// # Example
+///
+/// ```
+/// use amx_numth::is_prime;
+/// assert!(is_prime(2));
+/// assert!(is_prime(7919));
+/// assert!(!is_prime(1));
+/// assert!(!is_prime(7917));
+/// ```
+#[must_use]
+pub fn is_prime(n: u64) -> bool {
+    smallest_prime_factor(n) == Some(n)
+}
+
+/// Returns the smallest prime strictly greater than `n`.
+///
+/// # Example
+///
+/// ```
+/// use amx_numth::next_prime;
+/// assert_eq!(next_prime(4), 5);
+/// assert_eq!(next_prime(5), 7);
+/// assert_eq!(next_prime(0), 2);
+/// ```
+#[must_use]
+pub fn next_prime(n: u64) -> u64 {
+    let mut candidate = n + 1;
+    loop {
+        if is_prime(candidate) {
+            return candidate;
+        }
+        candidate += 1;
+    }
+}
+
+/// An unbounded iterator over the primes `2, 3, 5, 7, ...`.
+///
+/// Produced by [`primes`].
+#[derive(Debug, Clone, Default)]
+pub struct Primes {
+    last: u64,
+}
+
+impl Iterator for Primes {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        self.last = next_prime(self.last);
+        Some(self.last)
+    }
+}
+
+/// Returns an unbounded iterator over all primes in increasing order.
+///
+/// # Example
+///
+/// ```
+/// use amx_numth::primes;
+/// let first: Vec<u64> = primes().take(5).collect();
+/// assert_eq!(first, vec![2, 3, 5, 7, 11]);
+/// ```
+#[must_use]
+pub fn primes() -> Primes {
+    Primes::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_prime_table() {
+        let known = [
+            2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79,
+            83, 89, 97,
+        ];
+        for n in 0..100u64 {
+            assert_eq!(is_prime(n), known.contains(&n), "primality of {n}");
+        }
+    }
+
+    #[test]
+    fn spf_of_composites() {
+        assert_eq!(smallest_prime_factor(4), Some(2));
+        assert_eq!(smallest_prime_factor(9), Some(3));
+        assert_eq!(smallest_prime_factor(49), Some(7));
+        assert_eq!(smallest_prime_factor(77), Some(7));
+        assert_eq!(smallest_prime_factor(121), Some(11));
+        assert_eq!(smallest_prime_factor(2 * 3 * 5 * 7 * 11), Some(2));
+    }
+
+    #[test]
+    fn spf_of_primes_is_self() {
+        for p in [2u64, 3, 5, 7, 11, 101, 10_007] {
+            assert_eq!(smallest_prime_factor(p), Some(p));
+        }
+    }
+
+    #[test]
+    fn spf_edge_cases() {
+        assert_eq!(smallest_prime_factor(0), None);
+        assert_eq!(smallest_prime_factor(1), None);
+        assert_eq!(smallest_prime_factor(2), Some(2));
+    }
+
+    #[test]
+    fn next_prime_progression() {
+        let mut p = 0;
+        let via_next: Vec<u64> = (0..10)
+            .map(|_| {
+                p = next_prime(p);
+                p
+            })
+            .collect();
+        let via_iter: Vec<u64> = primes().take(10).collect();
+        assert_eq!(via_next, via_iter);
+    }
+
+    #[test]
+    fn larger_prime() {
+        assert!(is_prime(1_000_003));
+        assert!(!is_prime(1_000_001)); // 101 × 9901
+        assert_eq!(next_prime(1_000_000), 1_000_003);
+    }
+
+    #[test]
+    fn primes_iterator_is_sorted_and_prime() {
+        let mut prev = 1;
+        for p in primes().take(200) {
+            assert!(p > prev);
+            assert!(is_prime(p));
+            prev = p;
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! The `M(n)` characterization of valid anonymous-memory sizes.
+//!
+//! `M(n) = { m : ∀ ℓ, 1 < ℓ ≤ n : gcd(ℓ, m) = 1 }` is the set of memory
+//! sizes that admit symmetric deadlock-free mutual exclusion for `n`
+//! processes (Taubenfeld PODC 2017 necessity for RW; Theorem 5 of the
+//! PODC 2019 paper for RMW; Algorithms 1 and 2 for sufficiency).
+//!
+//! Two useful equivalent characterizations, both exposed and property-tested:
+//!
+//! 1. `m ∈ M(n)` ⇔ `m == 1` or the smallest prime factor of `m` exceeds `n`;
+//! 2. `m ∈ M(n)` ⇔ no `ℓ` with `1 < ℓ ≤ n` divides... — careful: the
+//!    condition is *coprimality* with every `ℓ ≤ n`, which is exactly (1).
+
+#[cfg(test)]
+use crate::gcd::gcd;
+use crate::primes::{next_prime, smallest_prime_factor};
+
+/// Tests `m ∈ M(n)`: every `ℓ` with `1 < ℓ ≤ n` is coprime with `m`.
+///
+/// This is the condition required by Algorithm 2 (anonymous RMW registers),
+/// where `m = 1` is allowed.  For the RW model use [`is_valid_m_rw`], which
+/// additionally requires `m ≥ n` (equivalently `m ≠ 1`).
+///
+/// The check runs in `O(√m)` via the smallest-prime-factor characterization
+/// rather than the `O(n)` definitional loop.
+///
+/// # Example
+///
+/// ```
+/// use amx_numth::is_valid_m;
+/// assert!(is_valid_m(1, 10));  // m = 1 is in M(n) for every n
+/// assert!(is_valid_m(7, 4));
+/// assert!(!is_valid_m(9, 4));  // gcd(3, 9) = 3
+/// assert!(is_valid_m(25, 4));  // smallest prime factor 5 > 4
+/// ```
+#[must_use]
+pub fn is_valid_m(m: u64, n: u64) -> bool {
+    match smallest_prime_factor(m) {
+        None => m == 1, // m = 0 is never valid; m = 1 always is
+        Some(spf) => spf > n,
+    }
+}
+
+/// Tests the RW-model condition: `m ∈ M(n)` **and** `m ≥ n`.
+///
+/// Burns–Lynch requires `m ≥ n` registers for deadlock-free mutex even in a
+/// non-anonymous RW system; the paper notes this is equivalent to excluding
+/// the pathological `m = 1` from `M(n)` (every other member of `M(n)`
+/// exceeds `n`).
+///
+/// # Example
+///
+/// ```
+/// use amx_numth::is_valid_m_rw;
+/// assert!(!is_valid_m_rw(1, 3)); // excluded in the RW model
+/// assert!(is_valid_m_rw(5, 3));
+/// assert!(!is_valid_m_rw(6, 3));
+/// ```
+#[must_use]
+pub fn is_valid_m_rw(m: u64, n: u64) -> bool {
+    is_valid_m(m, n) && m >= n
+}
+
+/// The smallest `m > 1` with `m ∈ M(n)`, i.e. the smallest usable anonymous
+/// RMW memory size beyond the degenerate single register.
+///
+/// For `n ≥ 1` this is the smallest prime strictly greater than `n`.
+///
+/// # Example
+///
+/// ```
+/// use amx_numth::smallest_valid_m;
+/// assert_eq!(smallest_valid_m(2), 3);
+/// assert_eq!(smallest_valid_m(4), 5);
+/// assert_eq!(smallest_valid_m(5), 7);
+/// ```
+#[must_use]
+pub fn smallest_valid_m(n: u64) -> u64 {
+    next_prime(n.max(1))
+}
+
+/// The smallest `m` valid in the RW model (`m ∈ M(n)`, `m ≥ n`).
+///
+/// Identical to [`smallest_valid_m`] for `n ≥ 2`.
+///
+/// # Example
+///
+/// ```
+/// use amx_numth::smallest_valid_m_rw;
+/// assert_eq!(smallest_valid_m_rw(4), 5);
+/// ```
+#[must_use]
+pub fn smallest_valid_m_rw(n: u64) -> u64 {
+    smallest_valid_m(n)
+}
+
+/// Unbounded iterator over the members of `M(n)` greater than 1, in
+/// increasing order.  Produced by [`valid_memory_sizes`].
+#[derive(Debug, Clone)]
+pub struct ValidMemorySizes {
+    n: u64,
+    candidate: u64,
+}
+
+impl Iterator for ValidMemorySizes {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        loop {
+            self.candidate += 1;
+            if is_valid_m(self.candidate, self.n) {
+                return Some(self.candidate);
+            }
+        }
+    }
+}
+
+/// Returns an unbounded iterator over all `m ∈ M(n)`, `m > 1`, increasing.
+///
+/// The set is infinite (it contains all primes above `n` and all their
+/// products), so callers should `take` as many as they need.
+///
+/// # Example
+///
+/// ```
+/// use amx_numth::valid_memory_sizes;
+/// let sizes: Vec<u64> = valid_memory_sizes(4).take(5).collect();
+/// assert_eq!(sizes, vec![5, 7, 11, 13, 17]);
+/// ```
+#[must_use]
+pub fn valid_memory_sizes(n: u64) -> ValidMemorySizes {
+    ValidMemorySizes { n, candidate: 1 }
+}
+
+/// Definitional check, kept for cross-validation in tests: iterate all
+/// `ℓ ∈ 2..=n` and test coprimality directly.
+#[cfg(test)]
+#[must_use]
+pub(crate) fn is_valid_m_definitional(m: u64, n: u64) -> bool {
+    if m == 0 {
+        return false;
+    }
+    (2..=n).all(|l| gcd(l, m) == 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_definition_on_grid() {
+        for n in 1..=20u64 {
+            for m in 0..=200u64 {
+                assert_eq!(
+                    is_valid_m(m, n),
+                    is_valid_m_definitional(m, n),
+                    "mismatch at m={m}, n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_is_always_valid_rmw_never_rw() {
+        for n in 1..=10 {
+            assert!(is_valid_m(1, n));
+            assert!(!is_valid_m_rw(1, n) || n <= 1);
+        }
+    }
+
+    #[test]
+    fn zero_is_never_valid() {
+        for n in 1..=10 {
+            assert!(!is_valid_m(0, n));
+            assert!(!is_valid_m_rw(0, n));
+        }
+    }
+
+    #[test]
+    fn paper_examples_n2() {
+        // For n = 2 the valid sizes are the odd numbers.
+        for m in 1..50u64 {
+            assert_eq!(is_valid_m(m, 2), m % 2 == 1, "m={m}");
+        }
+    }
+
+    #[test]
+    fn prime_powers_above_n_are_valid() {
+        // 25 = 5² has smallest prime factor 5 > 4.
+        assert!(is_valid_m(25, 4));
+        assert!(is_valid_m(35, 4)); // 5 × 7
+        assert!(!is_valid_m(25, 5));
+        assert!(!is_valid_m(35, 5));
+    }
+
+    #[test]
+    fn rw_validity_implies_m_at_least_n() {
+        for n in 2..=12u64 {
+            for m in 0..=300u64 {
+                if is_valid_m_rw(m, n) {
+                    assert!(m >= n);
+                    assert!(is_valid_m(m, n));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn members_of_mn_above_one_exceed_n() {
+        // The paper's observation: every m ∈ M(n) with m > 1 satisfies m > n,
+        // so "m ≥ n" and "m ≠ 1" coincide as extra RW constraints.
+        for n in 2..=12u64 {
+            for m in 2..=300u64 {
+                if is_valid_m(m, n) {
+                    assert!(m > n, "m={m} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smallest_valid_sizes() {
+        assert_eq!(smallest_valid_m(1), 2);
+        assert_eq!(smallest_valid_m(2), 3);
+        assert_eq!(smallest_valid_m(3), 5);
+        assert_eq!(smallest_valid_m(4), 5);
+        assert_eq!(smallest_valid_m(5), 7);
+        assert_eq!(smallest_valid_m(6), 7);
+        assert_eq!(smallest_valid_m(7), 11);
+        assert_eq!(smallest_valid_m_rw(7), 11);
+    }
+
+    #[test]
+    fn iterator_agrees_with_filter() {
+        for n in 2..=8u64 {
+            let from_iter: Vec<u64> = valid_memory_sizes(n).take(10).collect();
+            let from_filter: Vec<u64> = (2..=1000).filter(|&m| is_valid_m(m, n)).take(10).collect();
+            assert_eq!(from_iter, from_filter, "n={n}");
+        }
+    }
+
+    #[test]
+    fn set_is_monotone_decreasing_in_n() {
+        // M(n+1) ⊆ M(n).
+        for n in 1..=10u64 {
+            for m in 0..=200u64 {
+                if is_valid_m(m, n + 1) {
+                    assert!(is_valid_m(m, n), "m={m} n={n}");
+                }
+            }
+        }
+    }
+}

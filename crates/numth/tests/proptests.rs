@@ -1,0 +1,121 @@
+//! Property-based tests for the number-theoretic substrate.
+
+use amx_numth::{
+    are_coprime, divisors, extended_gcd, gcd, is_prime, is_valid_m, lcm, lower_bound_witnesses,
+    next_prime, smallest_prime_factor, smallest_valid_m, valid_memory_sizes,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// gcd is commutative.
+    #[test]
+    fn gcd_commutative(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        prop_assert_eq!(gcd(a, b), gcd(b, a));
+    }
+
+    /// gcd is associative.
+    #[test]
+    fn gcd_associative(a in 0u64..100_000, b in 0u64..100_000, c in 0u64..100_000) {
+        prop_assert_eq!(gcd(a, gcd(b, c)), gcd(gcd(a, b), c));
+    }
+
+    /// gcd divides both operands.
+    #[test]
+    fn gcd_divides(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+        let g = gcd(a, b);
+        prop_assert!(g > 0);
+        prop_assert_eq!(a % g, 0);
+        prop_assert_eq!(b % g, 0);
+    }
+
+    /// Every common divisor divides the gcd.
+    #[test]
+    fn gcd_is_greatest(a in 1u64..10_000, b in 1u64..10_000, d in 1u64..100) {
+        if a % d == 0 && b % d == 0 {
+            prop_assert_eq!(gcd(a, b) % d, 0);
+        }
+    }
+
+    /// gcd · lcm = a · b.
+    #[test]
+    fn gcd_lcm_product(a in 1u64..100_000, b in 1u64..100_000) {
+        prop_assert_eq!(gcd(a, b) as u128 * lcm(a, b) as u128, a as u128 * b as u128);
+    }
+
+    /// Bézout identity from the extended gcd.
+    #[test]
+    fn bezout(a in -100_000i64..100_000, b in -100_000i64..100_000) {
+        let (g, x, y) = extended_gcd(a, b);
+        prop_assert_eq!(a * x + b * y, g);
+        prop_assert_eq!(g, gcd(a.unsigned_abs(), b.unsigned_abs()) as i64);
+    }
+
+    /// The two characterizations of M(n) coincide:
+    /// definitional (∀ ℓ ∈ 2..=n coprime) vs smallest-prime-factor.
+    #[test]
+    fn valid_m_characterizations_agree(m in 0u64..100_000, n in 1u64..64) {
+        let definitional = m != 0 && (2..=n).all(|l| are_coprime(l, m));
+        prop_assert_eq!(is_valid_m(m, n), definitional);
+    }
+
+    /// Witness enumeration is exactly the complement of validity.
+    #[test]
+    fn witnesses_complement_validity(m in 2u64..50_000, n in 2u64..32) {
+        let has = lower_bound_witnesses(m, n).next().is_some();
+        prop_assert_eq!(has, !is_valid_m(m, n));
+    }
+
+    /// The smallest prime factor really is prime, divides, and is minimal.
+    #[test]
+    fn spf_properties(n in 2u64..1_000_000) {
+        let p = smallest_prime_factor(n).unwrap();
+        prop_assert!(is_prime(p));
+        prop_assert_eq!(n % p, 0);
+        for d in 2..p.min(1000) {
+            prop_assert_ne!(n % d, 0);
+        }
+    }
+
+    /// next_prime returns a prime strictly above its argument with no
+    /// prime strictly between.
+    #[test]
+    fn next_prime_is_next(n in 0u64..100_000) {
+        let p = next_prime(n);
+        prop_assert!(p > n);
+        prop_assert!(is_prime(p));
+        for q in (n + 1)..p {
+            prop_assert!(!is_prime(q));
+        }
+    }
+
+    /// Divisor enumeration is sorted, complete and correct.
+    #[test]
+    fn divisors_sound(n in 1u64..20_000) {
+        let ds: Vec<u64> = divisors(n).collect();
+        prop_assert!(ds.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(ds.iter().all(|&d| n % d == 0));
+        prop_assert_eq!(ds.first().copied(), Some(1));
+        prop_assert_eq!(ds.last().copied(), Some(n));
+    }
+
+    /// Everything yielded by valid_memory_sizes is valid, above n, and the
+    /// first element is smallest_valid_m.
+    #[test]
+    fn valid_sizes_iterator_sound(n in 2u64..40) {
+        let sizes: Vec<u64> = valid_memory_sizes(n).take(8).collect();
+        prop_assert_eq!(sizes[0], smallest_valid_m(n));
+        for &m in &sizes {
+            prop_assert!(is_valid_m(m, n));
+            prop_assert!(m > n);
+        }
+    }
+
+    /// Products of members of M(n) stay in M(n) (it is multiplicatively
+    /// closed — coprimality with each ℓ is preserved under products).
+    #[test]
+    fn valid_m_multiplicative(n in 2u64..16, a_idx in 0usize..6, b_idx in 0usize..6) {
+        let sizes: Vec<u64> = valid_memory_sizes(n).take(6).collect();
+        let prod = sizes[a_idx] * sizes[b_idx];
+        prop_assert!(is_valid_m(prod, n));
+    }
+}

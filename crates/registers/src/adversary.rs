@@ -1,0 +1,289 @@
+//! Static anonymity adversaries.
+//!
+//! In the paper's model an adversary fixes, **before the execution**, one
+//! permutation per process.  [`Adversary`] packages the strategies used
+//! throughout this workspace: the trivial identity assignment (a
+//! non-anonymous baseline), seeded random assignments (the "typical"
+//! adversary), uniform rotations, the exact Table I example, and the
+//! Theorem 5 ring assignment that spaces `ℓ` processes' initial registers
+//! `m/ℓ` apart.
+
+use crate::permutation::{Permutation, PermutationError};
+
+/// Error returned by [`Adversary::permutations`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdversaryError {
+    /// An explicit strategy supplied the wrong number of permutations.
+    WrongCount {
+        /// Permutations supplied.
+        got: usize,
+        /// Processes requested.
+        want: usize,
+    },
+    /// An explicit permutation has the wrong domain size.
+    WrongSize {
+        /// Domain size found.
+        got: usize,
+        /// Memory size requested.
+        want: usize,
+    },
+    /// The ring strategy requires `ℓ` to divide `m`.
+    RingNotDividing {
+        /// Number of processes on the ring.
+        ell: usize,
+        /// Memory size.
+        m: usize,
+    },
+    /// An underlying permutation was invalid.
+    Invalid(PermutationError),
+}
+
+impl std::fmt::Display for AdversaryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdversaryError::WrongCount { got, want } => {
+                write!(
+                    f,
+                    "explicit adversary supplied {got} permutations for {want} processes"
+                )
+            }
+            AdversaryError::WrongSize { got, want } => {
+                write!(
+                    f,
+                    "explicit permutation has size {got}, memory has {want} registers"
+                )
+            }
+            AdversaryError::RingNotDividing { ell, m } => {
+                write!(f, "ring adversary requires ℓ | m, got ℓ={ell}, m={m}")
+            }
+            AdversaryError::Invalid(e) => write!(f, "invalid permutation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AdversaryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AdversaryError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PermutationError> for AdversaryError {
+    fn from(e: PermutationError) -> Self {
+        AdversaryError::Invalid(e)
+    }
+}
+
+/// A strategy assigning one register-name permutation to each process.
+///
+/// # Example
+///
+/// ```
+/// use amx_registers::Adversary;
+/// let perms = Adversary::random(99).permutations(3, 7).unwrap();
+/// assert_eq!(perms.len(), 3);
+/// assert!(perms.iter().all(|p| p.len() == 7));
+/// ```
+#[derive(Debug, Clone)]
+pub enum Adversary {
+    /// Every process gets the identity permutation (non-anonymous memory).
+    Identity,
+    /// Process `i` gets a random permutation seeded by `seed ⊕ i`.
+    Random(
+        /// Base seed; process `i` uses `seed.wrapping_add(i)`.
+        u64,
+    ),
+    /// Process `i` gets the rotation by `i · stride`.
+    Rotations {
+        /// Per-process rotation stride.
+        stride: usize,
+    },
+    /// Theorem 5 ring assignment: process `i` of `ℓ` gets the rotation by
+    /// `i · (m/ℓ)`, spacing initial registers evenly on the ring.
+    Ring {
+        /// Number of processes placed on the ring; must divide `m`.
+        ell: usize,
+    },
+    /// An explicit list of permutations, one per process.
+    Explicit(
+        /// The permutations, in process order.
+        Vec<Permutation>,
+    ),
+}
+
+impl Adversary {
+    /// Convenience constructor for [`Adversary::Explicit`].
+    #[must_use]
+    pub fn explicit(perms: Vec<Permutation>) -> Self {
+        Adversary::Explicit(perms)
+    }
+
+    /// Convenience constructor for [`Adversary::Random`].
+    #[must_use]
+    pub fn random(seed: u64) -> Self {
+        Adversary::Random(seed)
+    }
+
+    /// The paper's Table I assignment for 2 processes over 3 registers:
+    /// `p` uses permutation (2,3,1) and `q` uses (3,1,2) in the paper's
+    /// 1-based notation.
+    ///
+    /// In the paper's table, the *row for physical `R[k]`* lists the local
+    /// name each process uses for it; converting to our 0-based forward
+    /// (local → physical) maps gives `p: [2,0,1]` and `q: [1,2,0]`.
+    #[must_use]
+    pub fn table1() -> Self {
+        Adversary::Explicit(vec![
+            Permutation::from_forward(vec![2, 0, 1]).expect("static"),
+            Permutation::from_forward(vec![1, 2, 0]).expect("static"),
+        ])
+    }
+
+    /// Materializes the permutations for `n` processes over `m` registers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdversaryError`] when an explicit strategy does not match
+    /// `(n, m)` or the ring strategy's `ℓ` does not divide `m`.
+    pub fn permutations(&self, n: usize, m: usize) -> Result<Vec<Permutation>, AdversaryError> {
+        match self {
+            Adversary::Identity => Ok((0..n).map(|_| Permutation::identity(m)).collect()),
+            Adversary::Random(seed) => Ok((0..n)
+                .map(|i| Permutation::random(m, seed.wrapping_add(i as u64)))
+                .collect()),
+            Adversary::Rotations { stride } => Ok((0..n)
+                .map(|i| Permutation::rotation(m, i * stride))
+                .collect()),
+            Adversary::Ring { ell } => {
+                if *ell == 0 || !m.is_multiple_of(*ell) {
+                    return Err(AdversaryError::RingNotDividing { ell: *ell, m });
+                }
+                let step = m / ell;
+                Ok((0..n)
+                    .map(|i| Permutation::rotation(m, (i % ell) * step))
+                    .collect())
+            }
+            Adversary::Explicit(perms) => {
+                if perms.len() != n {
+                    return Err(AdversaryError::WrongCount {
+                        got: perms.len(),
+                        want: n,
+                    });
+                }
+                for p in perms {
+                    if p.len() != m {
+                        return Err(AdversaryError::WrongSize {
+                            got: p.len(),
+                            want: m,
+                        });
+                    }
+                }
+                Ok(perms.clone())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_strategy() {
+        let perms = Adversary::Identity.permutations(4, 6).unwrap();
+        assert_eq!(perms.len(), 4);
+        assert!(perms.iter().all(Permutation::is_identity));
+    }
+
+    #[test]
+    fn random_strategy_distinct_per_process() {
+        let perms = Adversary::random(1).permutations(4, 16).unwrap();
+        for i in 0..perms.len() {
+            for j in i + 1..perms.len() {
+                assert_ne!(perms[i], perms[j], "processes {i} and {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_strategy_deterministic() {
+        assert_eq!(
+            Adversary::random(9).permutations(3, 8).unwrap(),
+            Adversary::random(9).permutations(3, 8).unwrap()
+        );
+    }
+
+    #[test]
+    fn rotations_strategy() {
+        let perms = Adversary::Rotations { stride: 2 }
+            .permutations(3, 6)
+            .unwrap();
+        assert_eq!(perms[0], Permutation::rotation(6, 0));
+        assert_eq!(perms[1], Permutation::rotation(6, 2));
+        assert_eq!(perms[2], Permutation::rotation(6, 4));
+    }
+
+    #[test]
+    fn ring_strategy_spaces_initial_registers() {
+        let perms = Adversary::Ring { ell: 3 }.permutations(3, 6).unwrap();
+        // "Initial register" of process i is its local name 0.
+        let initials: Vec<usize> = perms.iter().map(|p| p.apply(0)).collect();
+        assert_eq!(initials, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn ring_requires_divisibility() {
+        assert!(matches!(
+            Adversary::Ring { ell: 3 }.permutations(3, 7),
+            Err(AdversaryError::RingNotDividing { ell: 3, m: 7 })
+        ));
+        assert!(matches!(
+            Adversary::Ring { ell: 0 }.permutations(1, 6),
+            Err(AdversaryError::RingNotDividing { .. })
+        ));
+    }
+
+    #[test]
+    fn explicit_strategy_validates_shape() {
+        let p = Permutation::identity(3);
+        assert!(matches!(
+            Adversary::explicit(vec![p.clone()]).permutations(2, 3),
+            Err(AdversaryError::WrongCount { got: 1, want: 2 })
+        ));
+        assert!(matches!(
+            Adversary::explicit(vec![p.clone(), p.clone()]).permutations(2, 4),
+            Err(AdversaryError::WrongSize { got: 3, want: 4 })
+        ));
+        assert!(Adversary::explicit(vec![p.clone(), p])
+            .permutations(2, 3)
+            .is_ok());
+    }
+
+    #[test]
+    fn table1_matches_paper() {
+        let perms = Adversary::table1().permutations(2, 3).unwrap();
+        // Physical register seen by p under local name x, per the paper:
+        // p's names (1-based): R[2]→phys R[1], R[3]→phys R[2], R[1]→phys R[3].
+        // 0-based forward for p: local 0→2, 1→0, 2→1.
+        assert_eq!(perms[0].as_slice(), &[2, 0, 1]);
+        assert_eq!(perms[1].as_slice(), &[1, 2, 0]);
+        // The same physical register (paper's external R[1]) is p's R[2]
+        // and q's R[3]: p.apply(1) == q.apply(2) == 0.
+        assert_eq!(perms[0].apply(1), 0);
+        assert_eq!(perms[1].apply(2), 0);
+    }
+
+    #[test]
+    fn error_display() {
+        for e in [
+            AdversaryError::WrongCount { got: 1, want: 2 },
+            AdversaryError::WrongSize { got: 3, want: 4 },
+            AdversaryError::RingNotDividing { ell: 3, m: 7 },
+            AdversaryError::Invalid(PermutationError::Duplicate { index: 0 }),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Permutations of register indices.
+//!
+//! The anonymity adversary equips each process with a permutation over the
+//! physical register indices `{0, …, m-1}`.  [`Permutation`] stores the
+//! forward map (`local name → physical index`) and validates totality and
+//! bijectivity on construction.
+
+use std::fmt;
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Error returned when a vector of indices is not a permutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PermutationError {
+    /// An index was out of range `0..m`.
+    OutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The domain size.
+        size: usize,
+    },
+    /// Some physical index appeared twice (and thus another not at all).
+    Duplicate {
+        /// The duplicated physical index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for PermutationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PermutationError::OutOfRange { index, size } => {
+                write!(
+                    f,
+                    "index {index} out of range for permutation of size {size}"
+                )
+            }
+            PermutationError::Duplicate { index } => {
+                write!(f, "physical index {index} appears more than once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PermutationError {}
+
+/// A bijection on `{0, …, m-1}` mapping a process's local register names to
+/// physical register indices.
+///
+/// # Example
+///
+/// ```
+/// use amx_registers::Permutation;
+/// let f = Permutation::rotation(5, 2);
+/// assert_eq!(f.apply(0), 2);
+/// assert_eq!(f.apply(4), 1);
+/// assert_eq!(f.inverse().apply(2), 0);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Permutation {
+    forward: Vec<usize>,
+}
+
+impl Permutation {
+    /// The identity permutation on `m` indices.
+    #[must_use]
+    pub fn identity(m: usize) -> Self {
+        Permutation {
+            forward: (0..m).collect(),
+        }
+    }
+
+    /// The clockwise rotation by `k`: local `x` maps to `(x + k) mod m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    #[must_use]
+    pub fn rotation(m: usize, k: usize) -> Self {
+        assert!(m > 0, "rotation of empty domain");
+        Permutation {
+            forward: (0..m).map(|x| (x + k) % m).collect(),
+        }
+    }
+
+    /// A uniformly random permutation of `m` indices from `seed`.
+    #[must_use]
+    pub fn random(m: usize, seed: u64) -> Self {
+        let mut forward: Vec<usize> = (0..m).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        forward.shuffle(&mut rng);
+        Permutation { forward }
+    }
+
+    /// Builds a permutation from the forward map `local → physical`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PermutationError`] when `forward` is not a bijection on
+    /// `0..forward.len()`.
+    pub fn from_forward(forward: Vec<usize>) -> Result<Self, PermutationError> {
+        let m = forward.len();
+        let mut seen = vec![false; m];
+        for &idx in &forward {
+            if idx >= m {
+                return Err(PermutationError::OutOfRange {
+                    index: idx,
+                    size: m,
+                });
+            }
+            if seen[idx] {
+                return Err(PermutationError::Duplicate { index: idx });
+            }
+            seen[idx] = true;
+        }
+        Ok(Permutation { forward })
+    }
+
+    /// Domain size `m`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// `true` for the (degenerate) permutation on an empty domain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// Applies the permutation: physical index for local name `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x ≥ m`.
+    #[must_use]
+    pub fn apply(&self, x: usize) -> usize {
+        self.forward[x]
+    }
+
+    /// Returns the inverse permutation (physical → local).
+    #[must_use]
+    pub fn inverse(&self) -> Self {
+        let mut inv = vec![0; self.forward.len()];
+        for (local, &phys) in self.forward.iter().enumerate() {
+            inv[phys] = local;
+        }
+        Permutation { forward: inv }
+    }
+
+    /// Composition `self ∘ other`: first apply `other`, then `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sizes differ.
+    #[must_use]
+    pub fn compose(&self, other: &Self) -> Self {
+        assert_eq!(self.len(), other.len(), "size mismatch in composition");
+        Permutation {
+            forward: (0..other.len())
+                .map(|x| self.apply(other.apply(x)))
+                .collect(),
+        }
+    }
+
+    /// The forward map as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[usize] {
+        &self.forward
+    }
+
+    /// `true` when this is the identity map.
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        self.forward.iter().enumerate().all(|(i, &v)| i == v)
+    }
+}
+
+impl fmt::Debug for Permutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Permutation{:?}", self.forward)
+    }
+}
+
+impl TryFrom<Vec<usize>> for Permutation {
+    type Error = PermutationError;
+
+    fn try_from(forward: Vec<usize>) -> Result<Self, Self::Error> {
+        Permutation::from_forward(forward)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_maps_to_self() {
+        let p = Permutation::identity(6);
+        assert!(p.is_identity());
+        for x in 0..6 {
+            assert_eq!(p.apply(x), x);
+        }
+    }
+
+    #[test]
+    fn rotation_wraps() {
+        let p = Permutation::rotation(5, 7); // k > m is fine
+        for x in 0..5 {
+            assert_eq!(p.apply(x), (x + 7) % 5);
+        }
+        assert!(Permutation::rotation(5, 0).is_identity());
+        assert!(Permutation::rotation(5, 5).is_identity());
+    }
+
+    #[test]
+    #[should_panic(expected = "rotation of empty domain")]
+    fn rotation_of_empty_domain_panics() {
+        let _ = Permutation::rotation(0, 1);
+    }
+
+    #[test]
+    fn from_forward_validates() {
+        assert!(Permutation::from_forward(vec![2, 0, 1]).is_ok());
+        assert_eq!(
+            Permutation::from_forward(vec![0, 3, 1]),
+            Err(PermutationError::OutOfRange { index: 3, size: 3 })
+        );
+        assert_eq!(
+            Permutation::from_forward(vec![0, 1, 1]),
+            Err(PermutationError::Duplicate { index: 1 })
+        );
+        assert!(Permutation::from_forward(vec![]).is_ok());
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let p = Permutation::random(9, 42);
+        let inv = p.inverse();
+        for x in 0..9 {
+            assert_eq!(inv.apply(p.apply(x)), x);
+            assert_eq!(p.apply(inv.apply(x)), x);
+        }
+    }
+
+    #[test]
+    fn compose_with_inverse_is_identity() {
+        let p = Permutation::random(8, 3);
+        assert!(p.compose(&p.inverse()).is_identity());
+        assert!(p.inverse().compose(&p).is_identity());
+    }
+
+    #[test]
+    fn compose_order_matters() {
+        let r1 = Permutation::rotation(5, 1);
+        let swap = Permutation::from_forward(vec![1, 0, 2, 3, 4]).unwrap();
+        let a = r1.compose(&swap);
+        let b = swap.compose(&r1);
+        assert_ne!(a, b);
+        // a = r1 ∘ swap: apply swap first.
+        assert_eq!(a.apply(0), r1.apply(swap.apply(0)));
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        assert_eq!(Permutation::random(16, 5), Permutation::random(16, 5));
+        assert_ne!(Permutation::random(16, 5), Permutation::random(16, 6));
+    }
+
+    #[test]
+    fn random_is_a_bijection() {
+        for seed in 0..20 {
+            let p = Permutation::random(12, seed);
+            let mut image: Vec<usize> = (0..12).map(|x| p.apply(x)).collect();
+            image.sort_unstable();
+            assert_eq!(image, (0..12).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let e = PermutationError::OutOfRange { index: 9, size: 3 };
+        assert!(!e.to_string().is_empty());
+        let e = PermutationError::Duplicate { index: 1 };
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,197 @@
+//! Shared-memory operation counters.
+//!
+//! The complexity experiments (EXPERIMENTS.md, experiment C1) compare how
+//! much work each algorithm does per critical-section entry.  Handles
+//! update an [`OpCounters`] on every primitive operation; counters are
+//! plain relaxed atomics, cheap enough to leave enabled.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cumulative counts of primitive shared-memory operations.
+///
+/// Cloning shares the underlying counters (handles and their memory hold
+/// the same instance).
+///
+/// # Example
+///
+/// ```
+/// use amx_registers::OpCounters;
+/// let c = OpCounters::new();
+/// c.record_read();
+/// c.record_write();
+/// c.record_write();
+/// assert_eq!(c.reads(), 1);
+/// assert_eq!(c.writes(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OpCounters {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    cas: AtomicU64,
+    snapshots: AtomicU64,
+    collect_rounds: AtomicU64,
+}
+
+impl OpCounters {
+    /// Creates a fresh set of zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one atomic register read.
+    pub fn record_read(&self) {
+        self.inner.reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one atomic register write.
+    pub fn record_write(&self) {
+        self.inner.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one compare&swap invocation (successful or not).
+    pub fn record_cas(&self) {
+        self.inner.cas.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one completed snapshot operation.
+    pub fn record_snapshot(&self) {
+        self.inner.snapshots.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one collect round performed inside a snapshot.
+    pub fn record_collect_round(&self) {
+        self.inner.collect_rounds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total reads recorded.
+    #[must_use]
+    pub fn reads(&self) -> u64 {
+        self.inner.reads.load(Ordering::Relaxed)
+    }
+
+    /// Total writes recorded.
+    #[must_use]
+    pub fn writes(&self) -> u64 {
+        self.inner.writes.load(Ordering::Relaxed)
+    }
+
+    /// Total compare&swap operations recorded.
+    #[must_use]
+    pub fn cas_ops(&self) -> u64 {
+        self.inner.cas.load(Ordering::Relaxed)
+    }
+
+    /// Total snapshots recorded.
+    #[must_use]
+    pub fn snapshots(&self) -> u64 {
+        self.inner.snapshots.load(Ordering::Relaxed)
+    }
+
+    /// Total collect rounds recorded across all snapshots.
+    #[must_use]
+    pub fn collect_rounds(&self) -> u64 {
+        self.inner.collect_rounds.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all primitive operations (reads + writes + cas).
+    #[must_use]
+    pub fn total_primitive_ops(&self) -> u64 {
+        self.reads() + self.writes() + self.cas_ops()
+    }
+
+    /// Adds every count from `other` into this counter set (used to
+    /// aggregate per-participant counters into a per-run total).
+    pub fn merge(&self, other: &OpCounters) {
+        self.inner.reads.fetch_add(other.reads(), Ordering::Relaxed);
+        self.inner
+            .writes
+            .fetch_add(other.writes(), Ordering::Relaxed);
+        self.inner.cas.fetch_add(other.cas_ops(), Ordering::Relaxed);
+        self.inner
+            .snapshots
+            .fetch_add(other.snapshots(), Ordering::Relaxed);
+        self.inner
+            .collect_rounds
+            .fetch_add(other.collect_rounds(), Ordering::Relaxed);
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.inner.reads.store(0, Ordering::Relaxed);
+        self.inner.writes.store(0, Ordering::Relaxed);
+        self.inner.cas.store(0, Ordering::Relaxed);
+        self.inner.snapshots.store(0, Ordering::Relaxed);
+        self.inner.collect_rounds.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let c = OpCounters::new();
+        c.record_read();
+        c.record_write();
+        c.record_cas();
+        c.record_snapshot();
+        c.record_collect_round();
+        c.record_collect_round();
+        assert_eq!(c.reads(), 1);
+        assert_eq!(c.writes(), 1);
+        assert_eq!(c.cas_ops(), 1);
+        assert_eq!(c.snapshots(), 1);
+        assert_eq!(c.collect_rounds(), 2);
+        assert_eq!(c.total_primitive_ops(), 3);
+        c.reset();
+        assert_eq!(c.total_primitive_ops(), 0);
+        assert_eq!(c.snapshots(), 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = OpCounters::new();
+        let b = OpCounters::new();
+        a.record_read();
+        b.record_read();
+        b.record_cas();
+        a.merge(&b);
+        assert_eq!(a.reads(), 2);
+        assert_eq!(a.cas_ops(), 1);
+        assert_eq!(b.reads(), 1, "merge must not mutate the source");
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let c = OpCounters::new();
+        let d = c.clone();
+        c.record_write();
+        d.record_write();
+        assert_eq!(c.writes(), 2);
+        assert_eq!(d.writes(), 2);
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let c = OpCounters::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.record_read();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.reads(), 4000);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the anonymous-memory substrate.
+
+use amx_ids::{PidPool, Slot};
+use amx_registers::{Adversary, AnonymousRmwMemory, AnonymousRwMemory, Permutation};
+use proptest::prelude::*;
+
+proptest! {
+    /// apply ∘ inverse and inverse ∘ apply are both the identity.
+    #[test]
+    fn inverse_is_two_sided((m, seed) in (1usize..64, any::<u64>())) {
+        let p = Permutation::random(m, seed);
+        let inv = p.inverse();
+        for x in 0..m {
+            prop_assert_eq!(inv.apply(p.apply(x)), x);
+            prop_assert_eq!(p.apply(inv.apply(x)), x);
+        }
+    }
+
+    /// Composition is associative.
+    #[test]
+    fn composition_associative((m, s1, s2, s3) in (1usize..32, any::<u64>(), any::<u64>(), any::<u64>())) {
+        let a = Permutation::random(m, s1);
+        let b = Permutation::random(m, s2);
+        let c = Permutation::random(m, s3);
+        prop_assert_eq!(a.compose(&b).compose(&c), a.compose(&b.compose(&c)));
+    }
+
+    /// Sequential writes through any permutation land exactly where the
+    /// permutation says, and nowhere else.
+    #[test]
+    fn rw_writes_land_on_permuted_register(m in 1usize..24, seed in any::<u64>(), x_frac in 0.0f64..1.0) {
+        let mem = AnonymousRwMemory::new(m);
+        let id = PidPool::sequential().mint();
+        let p = Permutation::random(m, seed);
+        let x = ((m as f64 * x_frac) as usize).min(m - 1);
+        let phys = p.apply(x);
+        let h = mem.handle(id, p);
+        h.write(x, Slot::from(id));
+        for i in 0..m {
+            if i == phys {
+                prop_assert!(mem.observe(i).is_owned_by(id));
+            } else {
+                prop_assert!(mem.observe(i).is_bottom());
+            }
+        }
+        prop_assert!(h.read(x).is_owned_by(id));
+    }
+
+    /// A handle's collect equals the omniscient view re-indexed through the
+    /// handle's permutation.
+    #[test]
+    fn collect_is_permuted_observe(m in 1usize..16, seed in any::<u64>(), writes in prop::collection::vec((0usize..16, any::<bool>()), 0..12)) {
+        let mem = AnonymousRmwMemory::new(m);
+        let mut pool = PidPool::sequential();
+        let writer = pool.mint();
+        let wh = mem.handle(writer, Permutation::identity(m));
+        for (x, own) in writes {
+            let x = x % m;
+            wh.write(x, if own { Slot::from(writer) } else { Slot::BOTTOM });
+        }
+        let reader = pool.mint();
+        let p = Permutation::random(m, seed);
+        let rh = mem.handle(reader, p.clone());
+        let collected = rh.collect();
+        let physical = mem.observe_all();
+        for x in 0..m {
+            prop_assert_eq!(collected[x], physical[p.apply(x)]);
+        }
+    }
+
+    /// In a quiescent memory a snapshot equals a collect.
+    #[test]
+    fn quiescent_snapshot_equals_collect(m in 1usize..16, seed in any::<u64>(), fills in prop::collection::vec(any::<bool>(), 0..16)) {
+        let mem = AnonymousRwMemory::new(m);
+        let mut pool = PidPool::sequential();
+        let w = pool.mint();
+        let wh = mem.handle(w, Permutation::identity(m));
+        for (x, fill) in fills.iter().take(m).enumerate() {
+            if *fill {
+                wh.write(x, Slot::from(w));
+            }
+        }
+        let rh = mem.handle(pool.mint(), Permutation::random(m, seed));
+        prop_assert_eq!(rh.snapshot(), rh.collect());
+        prop_assert_eq!(rh.try_snapshot(3).unwrap(), rh.collect());
+    }
+
+    /// CAS succeeds exactly when the expected value matches, for arbitrary
+    /// interleaved sequences of operations by one process.
+    #[test]
+    fn cas_success_tracks_model(ops in prop::collection::vec((0usize..8, 0u8..3), 1..64)) {
+        let m = 8;
+        let mem = AnonymousRmwMemory::new(m);
+        let id = PidPool::sequential().mint();
+        let h = mem.handle(id, Permutation::identity(m));
+        let mut model: Vec<Slot> = vec![Slot::BOTTOM; m];
+        for (x, kind) in ops {
+            match kind {
+                0 => {
+                    // acquire
+                    let ok = h.compare_and_swap(x, Slot::BOTTOM, Slot::from(id));
+                    prop_assert_eq!(ok, model[x].is_bottom());
+                    if ok { model[x] = Slot::from(id); }
+                }
+                1 => {
+                    // release
+                    let ok = h.compare_and_swap(x, Slot::from(id), Slot::BOTTOM);
+                    prop_assert_eq!(ok, model[x].is_owned_by(id));
+                    if ok { model[x] = Slot::BOTTOM; }
+                }
+                _ => {
+                    prop_assert_eq!(h.read(x), model[x]);
+                }
+            }
+        }
+        for (x, expected) in model.iter().enumerate() {
+            prop_assert_eq!(h.read(x), *expected);
+        }
+    }
+
+    /// Every adversary strategy yields valid bijections of the right shape.
+    #[test]
+    fn adversaries_yield_bijections(n in 1usize..8, mult in 1usize..5, seed in any::<u64>(), strat in 0u8..4) {
+        let m = n * mult;
+        let adv = match strat {
+            0 => Adversary::Identity,
+            1 => Adversary::Random(seed),
+            2 => Adversary::Rotations { stride: (seed % 7) as usize },
+            _ => Adversary::Ring { ell: n },
+        };
+        let perms = adv.permutations(n, m).unwrap();
+        prop_assert_eq!(perms.len(), n);
+        for p in &perms {
+            let mut image: Vec<usize> = (0..m).map(|x| p.apply(x)).collect();
+            image.sort_unstable();
+            prop_assert_eq!(image, (0..m).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Mutual-exclusion protocols as explicit step machines.
+//!
+//! An [`Automaton`] separates a protocol's immutable *configuration*
+//! (memory size, process identity, tie-breaking policy) from its mutable
+//! per-execution [`Automaton::State`].  Drivers — the random-schedule
+//! [`crate::runner::Runner`], the exhaustive [`crate::mc::ModelChecker`],
+//! the Theorem 5 lock-step executor in `amx-lowerbound`, and the threaded
+//! adapters in `amx-core` — advance the state one step at a time.
+//!
+//! **Step discipline:** every call to [`Automaton::step`] performs at most
+//! one shared-memory operation.  Local computation rides along with the
+//! step that consumes its input, which keeps simulated interleavings in
+//! one-to-one correspondence with sequences of memory linearization
+//! points (local steps commute with everything).
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use crate::mem::MemoryOps;
+
+/// What a protocol step produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// The step performed a shared-memory operation (or a bookkeeping
+    /// transition) and the current invocation is still in progress.
+    Progress,
+    /// The pending `lock()` completed — the process is now in its
+    /// critical section.
+    Acquired,
+    /// The pending `unlock()` completed — the process is back in its
+    /// remainder section.
+    Released,
+}
+
+/// Where a process is in its lifecycle, as tracked by drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Not competing: no pending invocation.
+    Remainder,
+    /// Inside `lock()`.
+    Trying,
+    /// Inside the critical section.
+    Cs,
+    /// Inside `unlock()`.
+    Exiting,
+}
+
+/// A mutual-exclusion protocol, instantiated for one process.
+///
+/// The implementor owns configuration (its identity, `m`, policies);
+/// execution state lives in [`Automaton::State`] so drivers can clone,
+/// hash, and compare it (the model checker's state space is the product
+/// of process states and memory contents).
+pub trait Automaton {
+    /// Mutable per-execution protocol state.
+    type State: Clone + Eq + Hash + Debug;
+
+    /// State of a process in its remainder section, before any invocation.
+    fn init_state(&self) -> Self::State;
+
+    /// Begins a `lock()` invocation.  The next [`step`](Self::step) call
+    /// executes the first operation of the entry protocol.
+    fn start_lock(&self, state: &mut Self::State);
+
+    /// Begins an `unlock()` invocation.
+    fn start_unlock(&self, state: &mut Self::State);
+
+    /// Executes one step of the pending invocation against `mem`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called with no pending invocation
+    /// (i.e. without a preceding `start_lock`/`start_unlock`) — drivers
+    /// never do this.
+    fn step<M: MemoryOps + ?Sized>(&self, state: &mut Self::State, mem: &mut M) -> Outcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_and_phase_are_plain_data() {
+        // Hash/Eq/Copy smoke tests; these types key maps in drivers.
+        use std::collections::HashSet;
+        let outcomes: HashSet<Outcome> = [Outcome::Progress, Outcome::Acquired, Outcome::Released]
+            .into_iter()
+            .collect();
+        assert_eq!(outcomes.len(), 3);
+        let phases: HashSet<Phase> = [Phase::Remainder, Phase::Trying, Phase::Cs, Phase::Exiting]
+            .into_iter()
+            .collect();
+        assert_eq!(phases.len(), 4);
+        let p = Phase::Trying;
+        let q = p; // Copy
+        assert_eq!(p, q);
+    }
+}

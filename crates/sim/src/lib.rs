@@ -1,0 +1,58 @@
+//! Deterministic concurrency simulator and bounded model checker.
+//!
+//! The correctness arguments of the PODC 2019 paper quantify over *all*
+//! asynchronous schedules and *all* adversary permutations.  Real threads
+//! only sample a few schedules; this crate makes schedules first-class so
+//! the arguments become executable:
+//!
+//! * [`mem::MemoryOps`] — the abstract interface of an anonymous memory
+//!   (read / write / compare&swap / snapshot), implemented both by the
+//!   deterministic [`mem::SimMemory`] here and by the real atomic arrays
+//!   in `amx-registers` (via adapters in `amx-core`).
+//! * [`automaton::Automaton`] — a mutual-exclusion protocol as an explicit
+//!   step machine: each step performs **exactly one** shared-memory
+//!   operation (or completes a lock/unlock).  Algorithms 1 and 2 of the
+//!   paper are implemented against this trait in `amx-core`.
+//! * [`schedule::Scheduler`] — round-robin, seeded-random, lock-step and
+//!   scripted schedules.
+//! * [`runner::Runner`] — closed-loop executions with invariant monitors
+//!   (mutual exclusion, progress counters, traces).
+//! * [`mc::ModelChecker`] — exhaustive exploration of the reachable state
+//!   space for small configurations, checking mutual exclusion on every
+//!   state and detecting *fair livelock* (the formal negation of
+//!   deadlock-freedom) by SCC analysis.
+//!
+//! The simulator linearizes each operation (including `snapshot`) at a
+//! single step, which is exactly the atomicity the paper's proofs assume.
+//!
+//! # Example: model-check a toy broken lock
+//!
+//! ```
+//! use amx_sim::mc::{ModelChecker, Verdict};
+//! use amx_sim::toys::NaiveFlagLock;
+//! use amx_sim::MemoryModel;
+//!
+//! // Two processes, one register, a lock with a classic check-then-act
+//! // race: the checker finds the mutual-exclusion violation.
+//! let report = ModelChecker::from_factory(NaiveFlagLock::new, MemoryModel::Rw, 2, 1)
+//!     .run()
+//!     .unwrap();
+//! assert!(matches!(report.verdict, Verdict::MutualExclusionViolation { .. }));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod automaton;
+pub mod mc;
+pub mod mem;
+pub mod runner;
+pub mod schedule;
+pub mod toys;
+pub mod trace;
+
+pub use automaton::{Automaton, Outcome, Phase};
+pub use mc::{McReport, ModelChecker, Verdict};
+pub use mem::{MemoryModel, MemoryOps, SimMemory};
+pub use runner::{RunReport, Runner, Stop, TraceEvent, Workload};
+pub use schedule::Scheduler;

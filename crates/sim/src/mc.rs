@@ -1,0 +1,577 @@
+//! Exhaustive state-space exploration for small configurations.
+//!
+//! For `n` automata over an `m`-register [`SimMemory`], every process
+//! always has exactly one next step, so the reachable state space is the
+//! graph whose nodes are `(memory contents, per-process phase+state)` and
+//! whose edges are "process `i` takes its next step".  The automata of
+//! this workspace have finite state in the simulator model, so the graph
+//! is finite and the paper's two correctness properties become decidable:
+//!
+//! * **Mutual exclusion** — no reachable node has two processes in phase
+//!   [`Phase::Cs`].  Checked on every node during exploration; on failure
+//!   the breadth-first parent chain yields a shortest violating schedule.
+//! * **Deadlock-freedom** — no *fair livelock*: after deleting all
+//!   completion edges (lock/unlock finishing), no strongly-connected
+//!   component may contain steps of every pending process while some
+//!   process is pending and none is parked inside its critical section.
+//!   A fair infinite execution without completions must eventually stay
+//!   inside one SCC of the completion-free graph, so this check is sound
+//!   and complete for the explored model.
+//!
+//! Processes run the closed loop `remainder → lock → CS → unlock → …`
+//! forever (the workload under which deadlock-freedom is stated).
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use crate::automaton::{Automaton, Outcome, Phase};
+use crate::mem::SimMemory;
+
+use amx_ids::Slot;
+
+/// Final verdict of a model-checking run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Both properties hold on the full reachable state space.
+    Ok,
+    /// Two processes can be in the critical section simultaneously.
+    MutualExclusionViolation {
+        /// A shortest schedule (sequence of process indices) reaching the
+        /// violation from the initial state.
+        schedule: Vec<usize>,
+        /// The two processes simultaneously in the critical section.
+        procs: (usize, usize),
+    },
+    /// A fair livelock: the processes in `pending` can step forever
+    /// without any lock/unlock completing, no other process holding the
+    /// critical section.
+    FairLivelock {
+        /// Processes with pending invocations that all keep stepping.
+        pending: Vec<usize>,
+        /// Number of states in the livelock component.
+        scc_states: usize,
+        /// A schedule (sequence of process indices) leading from the
+        /// initial state into the livelock component.
+        witness_schedule: Vec<usize>,
+    },
+}
+
+/// Statistics and verdict of a model-checking run.
+#[derive(Debug, Clone)]
+pub struct McReport {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Reachable states explored.
+    pub states: usize,
+    /// Transitions explored.
+    pub transitions: usize,
+    /// How many transitions were critical-section acquisitions.
+    pub acquisitions: usize,
+}
+
+/// Error: the state space exceeded the configured bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateSpaceExceeded {
+    /// The configured bound.
+    pub limit: usize,
+}
+
+impl std::fmt::Display for StateSpaceExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "state space exceeded the bound of {} states", self.limit)
+    }
+}
+
+impl std::error::Error for StateSpaceExceeded {}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Node<S> {
+    slots: Vec<Slot>,
+    procs: Vec<(Phase, S)>,
+}
+
+/// Exhaustive explorer; see the module docs.
+///
+/// # Example
+///
+/// ```
+/// use amx_ids::PidPool;
+/// use amx_sim::mc::{ModelChecker, Verdict};
+/// use amx_sim::toys::CasLock;
+///
+/// let ids = PidPool::sequential().mint_many(2);
+/// let automata: Vec<CasLock> = ids.into_iter().map(CasLock::new).collect();
+/// let report = ModelChecker::with_automata(
+///     automata,
+///     amx_sim::MemoryModel::Rmw,
+///     1,
+///     &amx_registers::Adversary::Identity,
+/// )
+/// .unwrap()
+/// .run()
+/// .unwrap();
+/// assert_eq!(report.verdict, Verdict::Ok);
+/// ```
+#[derive(Debug)]
+pub struct ModelChecker<A: Automaton> {
+    automata: Vec<A>,
+    mem0: SimMemory,
+    max_states: usize,
+}
+
+impl<A: Automaton> ModelChecker<A> {
+    /// Checker for `n` processes whose automata are minted by `factory`
+    /// (one fresh [`amx_ids::Pid`] each) over an `m`-register memory with
+    /// the identity adversary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `m == 0`.
+    #[must_use]
+    pub fn from_factory(
+        mut factory: impl FnMut(amx_ids::Pid) -> A,
+        model: crate::mem::MemoryModel,
+        n: usize,
+        m: usize,
+    ) -> Self {
+        let mut pool = amx_ids::PidPool::sequential();
+        let automata: Vec<A> = (0..n).map(|_| factory(pool.mint())).collect();
+        Self::with_automata(automata, model, m, &amx_registers::Adversary::Identity)
+            .expect("identity adversary is always valid")
+    }
+    /// Checker for the given per-process automata, memory model, size and
+    /// adversary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates adversary materialization failures.
+    pub fn with_automata(
+        automata: Vec<A>,
+        model: crate::mem::MemoryModel,
+        m: usize,
+        adversary: &amx_registers::Adversary,
+    ) -> Result<Self, amx_registers::adversary::AdversaryError> {
+        assert!(!automata.is_empty(), "need at least one process");
+        let n = automata.len();
+        Ok(ModelChecker {
+            automata,
+            mem0: SimMemory::new(model, m, adversary, n)?,
+            max_states: 2_000_000,
+        })
+    }
+
+    /// Sets the state-space bound (default 2,000,000).
+    #[must_use]
+    pub fn max_states(mut self, max_states: usize) -> Self {
+        self.max_states = max_states;
+        self
+    }
+
+    /// Explores the full reachable state space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateSpaceExceeded`] if more than the configured number
+    /// of states are reachable.
+    pub fn run(&self) -> Result<McReport, StateSpaceExceeded> {
+        let n = self.automata.len();
+        let init = Node {
+            slots: vec![Slot::BOTTOM; self.mem0.m()],
+            procs: self
+                .automata
+                .iter()
+                .map(|a| (Phase::Remainder, a.init_state()))
+                .collect(),
+        };
+
+        let mut ids: HashMap<Node<A::State>, u32> = HashMap::new();
+        let mut nodes: Vec<Node<A::State>> = Vec::new();
+        let mut parent: Vec<(u32, u8)> = Vec::new(); // (parent id, actor)
+                                                     // Flat edge list: (from, to, actor, completion).
+        let mut edges: Vec<(u32, u32, u8, bool)> = Vec::new();
+        let mut acquisitions = 0usize;
+
+        ids.insert(init.clone(), 0);
+        nodes.push(init);
+        parent.push((u32::MAX, 0));
+
+        let mut frontier = 0usize;
+        while frontier < nodes.len() {
+            let from = frontier as u32;
+            for i in 0..n {
+                let mut node = nodes[frontier].clone();
+                let outcome = self.advance(&mut node, i);
+                if outcome == Outcome::Acquired {
+                    acquisitions += 1;
+                    if let Some(j) = (0..n).find(|&j| j != i && node.procs[j].0 == Phase::Cs) {
+                        // Reconstruct the schedule via parent pointers.
+                        let mut schedule = vec![i];
+                        let mut cur = from;
+                        while cur != 0 {
+                            let (p, actor) = parent[cur as usize];
+                            schedule.push(actor as usize);
+                            cur = p;
+                        }
+                        schedule.reverse();
+                        return Ok(McReport {
+                            verdict: Verdict::MutualExclusionViolation {
+                                schedule,
+                                procs: (j, i),
+                            },
+                            states: nodes.len(),
+                            transitions: edges.len() + 1,
+                            acquisitions,
+                        });
+                    }
+                }
+                let completion = outcome != Outcome::Progress;
+                let next_id = match ids.entry(node) {
+                    Entry::Occupied(e) => *e.get(),
+                    Entry::Vacant(e) => {
+                        let id = nodes.len() as u32;
+                        if nodes.len() >= self.max_states {
+                            return Err(StateSpaceExceeded {
+                                limit: self.max_states,
+                            });
+                        }
+                        nodes.push(e.key().clone());
+                        parent.push((from, i as u8));
+                        e.insert(id);
+                        id
+                    }
+                };
+                edges.push((from, next_id, i as u8, completion));
+            }
+            frontier += 1;
+        }
+
+        // Fair-livelock search on the completion-free subgraph.
+        if let Some(v) = self.find_fair_livelock(&nodes, &edges, &parent) {
+            return Ok(McReport {
+                verdict: v,
+                states: nodes.len(),
+                transitions: edges.len(),
+                acquisitions,
+            });
+        }
+
+        Ok(McReport {
+            verdict: Verdict::Ok,
+            states: nodes.len(),
+            transitions: edges.len(),
+            acquisitions,
+        })
+    }
+
+    /// Applies one scheduled step of process `i` to `node`, mutating its
+    /// memory slots and process entry, and returns the step outcome.
+    fn advance(&self, node: &mut Node<A::State>, i: usize) -> Outcome {
+        let mut mem = self.mem0.clone();
+        mem.restore(&node.slots);
+        let (phase, state) = &mut node.procs[i];
+        match *phase {
+            Phase::Remainder => {
+                self.automata[i].start_lock(state);
+                *phase = Phase::Trying;
+            }
+            Phase::Cs => {
+                self.automata[i].start_unlock(state);
+                *phase = Phase::Exiting;
+            }
+            Phase::Trying | Phase::Exiting => {}
+        }
+        let outcome = self.automata[i].step(state, &mut mem.view(i));
+        match outcome {
+            Outcome::Acquired => *phase = Phase::Cs,
+            Outcome::Released => *phase = Phase::Remainder,
+            Outcome::Progress => {}
+        }
+        node.slots = mem.slots().to_vec();
+        outcome
+    }
+
+    fn find_fair_livelock(
+        &self,
+        nodes: &[Node<A::State>],
+        edges: &[(u32, u32, u8, bool)],
+        parent: &[(u32, u8)],
+    ) -> Option<Verdict> {
+        let n_states = nodes.len();
+        // Adjacency over non-completion edges only.
+        let mut adj: Vec<Vec<(u32, u8)>> = vec![Vec::new(); n_states];
+        for &(from, to, actor, completion) in edges {
+            if !completion {
+                adj[from as usize].push((to, actor));
+            }
+        }
+        let sccs = tarjan_sccs(n_states, &adj);
+        // Component id per node for internal-edge testing.
+        let mut comp = vec![u32::MAX; n_states];
+        for (cid, scc) in sccs.iter().enumerate() {
+            for &v in scc {
+                comp[v as usize] = cid as u32;
+            }
+        }
+        let n_procs = self.automata.len();
+        for scc in &sccs {
+            // Which processes step inside this component?
+            let mut actors = vec![false; n_procs];
+            let mut has_edge = false;
+            for &v in scc {
+                for &(to, actor) in &adj[v as usize] {
+                    if comp[to as usize] == comp[v as usize] {
+                        actors[actor as usize] = true;
+                        has_edge = true;
+                    }
+                }
+            }
+            if !has_edge {
+                continue;
+            }
+            // Within a completion-free SCC each process's phase is constant
+            // (phase changes other than via completions cannot be undone
+            // without a completion); read phases off any member.
+            let phases: Vec<Phase> = nodes[scc[0] as usize]
+                .procs
+                .iter()
+                .map(|(p, _)| *p)
+                .collect();
+            if phases.contains(&Phase::Cs) {
+                // Someone is parked in the CS: the antecedent of
+                // deadlock-freedom fails; this is just "the lock is held".
+                continue;
+            }
+            let pending: Vec<usize> = (0..n_procs)
+                .filter(|&i| matches!(phases[i], Phase::Trying | Phase::Exiting))
+                .collect();
+            if pending.is_empty() {
+                continue;
+            }
+            // Fairness: every pending process must itself keep stepping in
+            // the component; a component where some pending process is
+            // starved is an unfair execution and proves nothing.
+            if pending.iter().all(|&i| actors[i]) {
+                // Witness: BFS parent chain from the initial state to the
+                // SCC member with the smallest id (the first one reached).
+                let entry = *scc.iter().min().expect("nonempty SCC");
+                let mut witness_schedule = Vec::new();
+                let mut cur = entry;
+                while cur != 0 {
+                    let (p, actor) = parent[cur as usize];
+                    witness_schedule.push(actor as usize);
+                    cur = p;
+                }
+                witness_schedule.reverse();
+                return Some(Verdict::FairLivelock {
+                    pending,
+                    scc_states: scc.len(),
+                    witness_schedule,
+                });
+            }
+        }
+        None
+    }
+}
+
+/// Iterative Tarjan strongly-connected components.
+///
+/// Returns the list of components, each a list of node ids.
+fn tarjan_sccs(n: usize, adj: &[Vec<(u32, u8)>]) -> Vec<Vec<u32>> {
+    #[derive(Clone, Copy)]
+    struct Frame {
+        v: u32,
+        edge: usize,
+    }
+
+    let mut index = vec![u32::MAX; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut sccs: Vec<Vec<u32>> = Vec::new();
+    let mut call_stack: Vec<Frame> = Vec::new();
+
+    for root in 0..n as u32 {
+        if index[root as usize] != u32::MAX {
+            continue;
+        }
+        call_stack.push(Frame { v: root, edge: 0 });
+        index[root as usize] = next_index;
+        lowlink[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(frame) = call_stack.last_mut() {
+            let v = frame.v;
+            if frame.edge < adj[v as usize].len() {
+                let (w, _) = adj[v as usize][frame.edge];
+                frame.edge += 1;
+                if index[w as usize] == u32::MAX {
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    call_stack.push(Frame { v: w, edge: 0 });
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(parent_frame) = call_stack.last() {
+                    let p = parent_frame.v;
+                    lowlink[p as usize] = lowlink[p as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(scc);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemoryModel;
+    use crate::toys::{CasLock, NaiveFlagLock, SpinForever};
+    use amx_ids::PidPool;
+    use amx_registers::Adversary;
+
+    fn check<A: Automaton>(automata: Vec<A>, model: MemoryModel, m: usize) -> McReport {
+        ModelChecker::with_automata(automata, model, m, &Adversary::Identity)
+            .unwrap()
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn cas_lock_is_correct_for_two_processes() {
+        let ids = PidPool::sequential().mint_many(2);
+        let report = check(
+            ids.into_iter().map(CasLock::new).collect(),
+            MemoryModel::Rmw,
+            1,
+        );
+        assert_eq!(report.verdict, Verdict::Ok);
+        assert!(report.states > 1);
+        assert!(report.acquisitions > 0);
+    }
+
+    #[test]
+    fn cas_lock_is_correct_for_three_processes() {
+        let ids = PidPool::sequential().mint_many(3);
+        let report = check(
+            ids.into_iter().map(CasLock::new).collect(),
+            MemoryModel::Rmw,
+            1,
+        );
+        assert_eq!(report.verdict, Verdict::Ok);
+    }
+
+    #[test]
+    fn naive_flag_lock_violates_mutual_exclusion() {
+        let ids = PidPool::sequential().mint_many(2);
+        let report = check(
+            ids.into_iter().map(NaiveFlagLock::new).collect(),
+            MemoryModel::Rw,
+            1,
+        );
+        match report.verdict {
+            Verdict::MutualExclusionViolation { schedule, procs } => {
+                assert!(!schedule.is_empty());
+                assert_ne!(procs.0, procs.1);
+                // Shortest counterexample: both check, then both claim.
+                assert!(schedule.len() <= 6, "schedule {schedule:?} not minimal-ish");
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn violation_schedule_replays_to_a_violation() {
+        use crate::runner::{Runner, Stop, Workload};
+        use crate::schedule::Scheduler;
+        let ids = PidPool::sequential().mint_many(2);
+        let automata: Vec<NaiveFlagLock> = ids.iter().copied().map(NaiveFlagLock::new).collect();
+        let report = check(automata.clone(), MemoryModel::Rw, 1);
+        let Verdict::MutualExclusionViolation { schedule, .. } = report.verdict else {
+            panic!("expected violation");
+        };
+        let runner = Runner::with_adversary(automata, MemoryModel::Rw, 1, &Adversary::Identity)
+            .unwrap()
+            .workload(Workload::unbounded())
+            .scheduler(Scheduler::script(schedule))
+            .max_steps(100);
+        let rr = runner.run();
+        assert!(matches!(rr.stop, Stop::MutualExclusionViolation { .. }));
+    }
+
+    #[test]
+    fn spin_forever_is_a_fair_livelock() {
+        let report = check(vec![SpinForever, SpinForever], MemoryModel::Rw, 1);
+        match report.verdict {
+            Verdict::FairLivelock {
+                pending,
+                scc_states,
+                witness_schedule: _,
+            } => {
+                assert_eq!(pending, vec![0, 1]);
+                assert!(scc_states >= 1);
+            }
+            other => panic!("expected livelock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_spinner_is_still_a_livelock() {
+        // Even one process spinning forever violates deadlock-freedom.
+        let report = check(vec![SpinForever], MemoryModel::Rw, 1);
+        assert!(matches!(report.verdict, Verdict::FairLivelock { .. }));
+    }
+
+    #[test]
+    fn state_space_bound_is_enforced() {
+        let ids = PidPool::sequential().mint_many(3);
+        let automata: Vec<CasLock> = ids.into_iter().map(CasLock::new).collect();
+        let err = ModelChecker::with_automata(automata, MemoryModel::Rmw, 1, &Adversary::Identity)
+            .unwrap()
+            .max_states(2)
+            .run()
+            .unwrap_err();
+        assert_eq!(err, StateSpaceExceeded { limit: 2 });
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn tarjan_handles_simple_graphs() {
+        // 0 → 1 → 2 → 0 (one SCC), 3 isolated.
+        let adj = vec![vec![(1u32, 0u8)], vec![(2, 0)], vec![(0, 0)], vec![]];
+        let mut sccs = tarjan_sccs(4, &adj);
+        for s in &mut sccs {
+            s.sort_unstable();
+        }
+        sccs.sort();
+        assert!(sccs.contains(&vec![0, 1, 2]));
+        assert!(sccs.contains(&vec![3]));
+    }
+
+    #[test]
+    fn tarjan_chain_has_singleton_components() {
+        let adj = vec![vec![(1u32, 0u8)], vec![(2, 0)], vec![]];
+        let sccs = tarjan_sccs(3, &adj);
+        assert_eq!(sccs.len(), 3);
+        assert!(sccs.iter().all(|s| s.len() == 1));
+    }
+}

@@ -1,0 +1,243 @@
+//! Schedulers: who takes the next step.
+//!
+//! A scheduler picks, at each point, one of the currently *runnable*
+//! processes.  The asynchronous adversary of the paper corresponds to
+//! quantifying over all schedulers; the model checker does that
+//! exhaustively, while the [`crate::runner::Runner`] samples one schedule
+//! per run from the strategies here.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A schedule strategy over process indices `0..n`.
+#[derive(Debug, Clone)]
+pub enum Scheduler {
+    /// Cycle through runnable processes in index order.  With identical
+    /// automata and permutation-aligned starts this *is* the paper's
+    /// "lock steps" adversary.
+    RoundRobin {
+        /// Next index to try (internal cursor).
+        cursor: usize,
+    },
+    /// Uniformly random choice among runnable processes.
+    Random(
+        /// Seeded generator (deterministic per seed).
+        StdRng,
+    ),
+    /// Random with per-process weights: a weight-2 process is scheduled
+    /// twice as often as a weight-1 process, modelling speed asymmetry.
+    Weighted {
+        /// Per-process relative speeds (index-aligned, all ≥ 1).
+        weights: Vec<u32>,
+        /// Seeded generator.
+        rng: StdRng,
+    },
+    /// Fixed script of process indices, consumed one per step; falls back
+    /// to round-robin when exhausted.  Not-runnable entries are skipped.
+    Script {
+        /// The scripted sequence.
+        script: Vec<usize>,
+        /// Position in the script (internal cursor).
+        pos: usize,
+    },
+}
+
+impl Scheduler {
+    /// Round-robin (and lock-step) scheduling.
+    #[must_use]
+    pub fn round_robin() -> Self {
+        Scheduler::RoundRobin { cursor: 0 }
+    }
+
+    /// Seeded uniform-random scheduling.
+    #[must_use]
+    pub fn random(seed: u64) -> Self {
+        Scheduler::Random(StdRng::seed_from_u64(seed))
+    }
+
+    /// Seeded weighted-random scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or contains a zero.
+    #[must_use]
+    pub fn weighted(weights: Vec<u32>, seed: u64) -> Self {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        assert!(weights.iter().all(|&w| w > 0), "weights must be positive");
+        Scheduler::Weighted {
+            weights,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Scripted scheduling.
+    #[must_use]
+    pub fn script(script: Vec<usize>) -> Self {
+        Scheduler::Script { script, pos: 0 }
+    }
+
+    /// Chooses the next process among `runnable` (indices into `0..n`).
+    ///
+    /// Returns `None` when no process is runnable.
+    pub fn next(&mut self, runnable: &[bool]) -> Option<usize> {
+        let n = runnable.len();
+        let count = runnable.iter().filter(|&&r| r).count();
+        if count == 0 {
+            return None;
+        }
+        match self {
+            Scheduler::RoundRobin { cursor } => {
+                for _ in 0..n {
+                    let i = *cursor % n;
+                    *cursor = (*cursor + 1) % n;
+                    if runnable[i] {
+                        return Some(i);
+                    }
+                }
+                unreachable!("count > 0 guarantees a runnable index")
+            }
+            Scheduler::Random(rng) => {
+                let k = rng.gen_range(0..count);
+                Some(nth_runnable(runnable, k))
+            }
+            Scheduler::Weighted { weights, rng } => {
+                assert_eq!(weights.len(), n, "weights must be index-aligned");
+                let total: u64 = runnable
+                    .iter()
+                    .zip(weights.iter())
+                    .filter(|(&r, _)| r)
+                    .map(|(_, &w)| u64::from(w))
+                    .sum();
+                let mut pick = rng.gen_range(0..total);
+                for (i, (&r, &w)) in runnable.iter().zip(weights.iter()).enumerate() {
+                    if r {
+                        if pick < u64::from(w) {
+                            return Some(i);
+                        }
+                        pick -= u64::from(w);
+                    }
+                }
+                unreachable!("weighted pick within total")
+            }
+            Scheduler::Script { script, pos } => {
+                while *pos < script.len() {
+                    let i = script[*pos];
+                    *pos += 1;
+                    if i < n && runnable[i] {
+                        return Some(i);
+                    }
+                }
+                // Script exhausted: fall back to first runnable.
+                runnable.iter().position(|&r| r)
+            }
+        }
+    }
+}
+
+fn nth_runnable(runnable: &[bool], k: usize) -> usize {
+    let mut seen = 0;
+    for (i, &r) in runnable.iter().enumerate() {
+        if r {
+            if seen == k {
+                return i;
+            }
+            seen += 1;
+        }
+    }
+    unreachable!("k < count of runnable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles_runnable() {
+        let mut s = Scheduler::round_robin();
+        let runnable = vec![true, true, true];
+        let picks: Vec<usize> = (0..6).map(|_| s.next(&runnable).unwrap()).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_skips_blocked() {
+        let mut s = Scheduler::round_robin();
+        let runnable = vec![false, true, false, true];
+        let picks: Vec<usize> = (0..4).map(|_| s.next(&runnable).unwrap()).collect();
+        assert_eq!(picks, vec![1, 3, 1, 3]);
+    }
+
+    #[test]
+    fn no_runnable_returns_none() {
+        for mut s in [
+            Scheduler::round_robin(),
+            Scheduler::random(1),
+            Scheduler::weighted(vec![1, 1], 1),
+            Scheduler::script(vec![0, 1]),
+        ] {
+            assert_eq!(s.next(&[false, false]), None);
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let runnable = vec![true; 5];
+        let mut a = Scheduler::random(9);
+        let mut b = Scheduler::random(9);
+        for _ in 0..50 {
+            assert_eq!(a.next(&runnable), b.next(&runnable));
+        }
+    }
+
+    #[test]
+    fn random_only_picks_runnable() {
+        let runnable = vec![false, true, false, true, false];
+        let mut s = Scheduler::random(3);
+        for _ in 0..100 {
+            let i = s.next(&runnable).unwrap();
+            assert!(runnable[i]);
+        }
+    }
+
+    #[test]
+    fn weighted_respects_weights_roughly() {
+        let runnable = vec![true, true];
+        let mut s = Scheduler::weighted(vec![9, 1], 42);
+        let mut counts = [0usize; 2];
+        for _ in 0..2000 {
+            counts[s.next(&runnable).unwrap()] += 1;
+        }
+        assert!(counts[0] > counts[1] * 5, "weights ignored: {counts:?}");
+    }
+
+    #[test]
+    fn weighted_skips_blocked() {
+        let runnable = vec![true, false];
+        let mut s = Scheduler::weighted(vec![1, 100], 0);
+        for _ in 0..50 {
+            assert_eq!(s.next(&runnable), Some(0));
+        }
+    }
+
+    #[test]
+    fn script_plays_then_falls_back() {
+        let mut s = Scheduler::script(vec![2, 2, 0]);
+        let runnable = vec![true, true, true];
+        assert_eq!(s.next(&runnable), Some(2));
+        assert_eq!(s.next(&runnable), Some(2));
+        assert_eq!(s.next(&runnable), Some(0));
+        assert_eq!(s.next(&runnable), Some(0)); // fallback: first runnable
+    }
+
+    #[test]
+    fn script_skips_non_runnable_entries() {
+        let mut s = Scheduler::script(vec![0, 1]);
+        assert_eq!(s.next(&[false, true]), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn zero_weight_panics() {
+        let _ = Scheduler::weighted(vec![1, 0], 1);
+    }
+}

@@ -1,0 +1,441 @@
+//! Tiny reference protocols used to validate the drivers themselves.
+//!
+//! Before trusting the model checker's verdict on the paper's algorithms,
+//! we point it at protocols whose verdicts are known by inspection:
+//!
+//! * [`CasLock`] — a correct one-register test-and-set lock (RMW model).
+//! * [`NaiveFlagLock`] — a classic check-then-act race; **violates**
+//!   mutual exclusion.  The checker must find it.
+//! * [`SpinForever`] — never acquires; a guaranteed **fair livelock**.
+//!   The checker must flag it without reporting an exclusion violation.
+//! * [`PetersonTwo`] — Peterson's classic 2-process lock; correct and
+//!   non-anonymous, certified `Ok` exhaustively (and a same-side
+//!   misconfiguration of it is correctly flagged as a violation).
+//!
+//! These toys are `pub` so downstream crates (and doctests) can exercise
+//! the drivers without depending on `amx-core`.
+
+use amx_ids::{Pid, Slot};
+
+use crate::automaton::{Automaton, Outcome};
+use crate::mem::MemoryOps;
+
+/// Correct one-register test-and-set lock built on `compare&swap`.
+///
+/// `lock()` retries `cas(0, ⊥, id)` until it succeeds; `unlock()` resets
+/// the register.  Requires the RMW memory model; uses only register 0.
+#[derive(Debug, Clone)]
+pub struct CasLock {
+    id: Pid,
+}
+
+impl CasLock {
+    /// A lock automaton for process `id`.
+    #[must_use]
+    pub fn new(id: Pid) -> Self {
+        CasLock { id }
+    }
+}
+
+/// Program counter for [`CasLock`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CasLockState {
+    /// No pending invocation.
+    Idle,
+    /// Spinning on `cas(0, ⊥, id)`.
+    TryCas,
+    /// About to clear the register.
+    Unlock,
+}
+
+impl Automaton for CasLock {
+    type State = CasLockState;
+
+    fn init_state(&self) -> CasLockState {
+        CasLockState::Idle
+    }
+
+    fn start_lock(&self, state: &mut CasLockState) {
+        *state = CasLockState::TryCas;
+    }
+
+    fn start_unlock(&self, state: &mut CasLockState) {
+        *state = CasLockState::Unlock;
+    }
+
+    fn step<M: MemoryOps + ?Sized>(&self, state: &mut CasLockState, mem: &mut M) -> Outcome {
+        match *state {
+            CasLockState::TryCas => {
+                if mem.compare_and_swap(0, Slot::BOTTOM, Slot::from(self.id)) {
+                    *state = CasLockState::Idle;
+                    Outcome::Acquired
+                } else {
+                    Outcome::Progress
+                }
+            }
+            CasLockState::Unlock => {
+                mem.write(0, Slot::BOTTOM);
+                *state = CasLockState::Idle;
+                Outcome::Released
+            }
+            CasLockState::Idle => panic!("step without pending invocation"),
+        }
+    }
+}
+
+/// A broken flag lock: read the register, and if it was ⊥, claim it with
+/// a plain write.  Two processes can both pass the check before either
+/// writes — the standard check-then-act mutual-exclusion bug.
+#[derive(Debug, Clone)]
+pub struct NaiveFlagLock {
+    id: Pid,
+}
+
+impl NaiveFlagLock {
+    /// A broken-lock automaton for process `id`.
+    #[must_use]
+    pub fn new(id: Pid) -> Self {
+        NaiveFlagLock { id }
+    }
+}
+
+/// Program counter for [`NaiveFlagLock`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NaiveFlagState {
+    /// No pending invocation.
+    Idle,
+    /// Reading the flag.
+    Check,
+    /// Passed the check; about to write the claim.
+    Claim,
+    /// About to clear the flag.
+    Unlock,
+}
+
+impl Automaton for NaiveFlagLock {
+    type State = NaiveFlagState;
+
+    fn init_state(&self) -> NaiveFlagState {
+        NaiveFlagState::Idle
+    }
+
+    fn start_lock(&self, state: &mut NaiveFlagState) {
+        *state = NaiveFlagState::Check;
+    }
+
+    fn start_unlock(&self, state: &mut NaiveFlagState) {
+        *state = NaiveFlagState::Unlock;
+    }
+
+    fn step<M: MemoryOps + ?Sized>(&self, state: &mut NaiveFlagState, mem: &mut M) -> Outcome {
+        match *state {
+            NaiveFlagState::Check => {
+                if mem.read(0).is_bottom() {
+                    *state = NaiveFlagState::Claim;
+                }
+                Outcome::Progress
+            }
+            NaiveFlagState::Claim => {
+                mem.write(0, Slot::from(self.id));
+                *state = NaiveFlagState::Idle;
+                Outcome::Acquired
+            }
+            NaiveFlagState::Unlock => {
+                mem.write(0, Slot::BOTTOM);
+                *state = NaiveFlagState::Idle;
+                Outcome::Released
+            }
+            NaiveFlagState::Idle => panic!("step without pending invocation"),
+        }
+    }
+}
+
+/// Peterson's classic 2-process lock as a step machine over three
+/// registers: `flag[0]`, `flag[1]` and `victim`.
+///
+/// This is a *non-anonymous* protocol (each process knows its side), but
+/// it is symmetric in the identity sense: flags are encoded as "⊥ = down,
+/// own id = up" and the victim register stores an identity compared only
+/// for equality.  Included as a starvation-free reference point the model
+/// checker must certify `Ok` — exhaustively validating both the checker
+/// and the threaded Peterson baseline's logic.
+///
+/// Register layout (local names, identity adversary expected):
+/// `0` = flag of side 0, `1` = flag of side 1, `2` = victim.
+#[derive(Debug, Clone)]
+pub struct PetersonTwo {
+    id: Pid,
+    side: usize,
+}
+
+impl PetersonTwo {
+    /// The automaton for process `id` playing `side` (0 or 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side > 1`.
+    #[must_use]
+    pub fn new(id: Pid, side: usize) -> Self {
+        assert!(side < 2, "Peterson has exactly two sides");
+        PetersonTwo { id, side }
+    }
+}
+
+/// Program counter for [`PetersonTwo`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PetersonState {
+    /// No pending invocation.
+    Idle,
+    /// About to raise own flag.
+    RaiseFlag,
+    /// About to write the victim register.
+    SetVictim,
+    /// Spin: about to read the rival's flag.
+    CheckFlag,
+    /// Rival's flag was up; about to read the victim register.
+    CheckVictim,
+    /// About to lower own flag.
+    Unlock,
+}
+
+impl Automaton for PetersonTwo {
+    type State = PetersonState;
+
+    fn init_state(&self) -> PetersonState {
+        PetersonState::Idle
+    }
+
+    fn start_lock(&self, state: &mut PetersonState) {
+        *state = PetersonState::RaiseFlag;
+    }
+
+    fn start_unlock(&self, state: &mut PetersonState) {
+        *state = PetersonState::Unlock;
+    }
+
+    fn step<M: MemoryOps + ?Sized>(&self, state: &mut PetersonState, mem: &mut M) -> Outcome {
+        match *state {
+            PetersonState::RaiseFlag => {
+                mem.write(self.side, Slot::from(self.id));
+                *state = PetersonState::SetVictim;
+                Outcome::Progress
+            }
+            PetersonState::SetVictim => {
+                mem.write(2, Slot::from(self.id));
+                *state = PetersonState::CheckFlag;
+                Outcome::Progress
+            }
+            PetersonState::CheckFlag => {
+                if mem.read(1 - self.side).is_bottom() {
+                    *state = PetersonState::Idle;
+                    Outcome::Acquired
+                } else {
+                    *state = PetersonState::CheckVictim;
+                    Outcome::Progress
+                }
+            }
+            PetersonState::CheckVictim => {
+                if mem.read(2).is_owned_by(self.id) {
+                    // Still the victim: keep spinning.
+                    *state = PetersonState::CheckFlag;
+                    Outcome::Progress
+                } else {
+                    *state = PetersonState::Idle;
+                    Outcome::Acquired
+                }
+            }
+            PetersonState::Unlock => {
+                mem.write(self.side, Slot::BOTTOM);
+                *state = PetersonState::Idle;
+                Outcome::Released
+            }
+            PetersonState::Idle => panic!("step without pending invocation"),
+        }
+    }
+}
+
+/// A protocol that spins reading register 0 and never acquires: the
+/// canonical fair livelock (every trying process steps forever, nobody
+/// completes).
+#[derive(Debug, Clone)]
+pub struct SpinForever;
+
+/// Program counter for [`SpinForever`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpinState {
+    /// No pending invocation.
+    Idle,
+    /// Spinning.
+    Spin,
+}
+
+impl Automaton for SpinForever {
+    type State = SpinState;
+
+    fn init_state(&self) -> SpinState {
+        SpinState::Idle
+    }
+
+    fn start_lock(&self, state: &mut SpinState) {
+        *state = SpinState::Spin;
+    }
+
+    fn start_unlock(&self, _state: &mut SpinState) {
+        unreachable!("SpinForever never acquires, so unlock is never invoked")
+    }
+
+    fn step<M: MemoryOps + ?Sized>(&self, state: &mut SpinState, mem: &mut M) -> Outcome {
+        match *state {
+            SpinState::Spin => {
+                let _ = mem.read(0);
+                Outcome::Progress
+            }
+            SpinState::Idle => panic!("step without pending invocation"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::{MemoryModel, SimMemory};
+    use amx_ids::PidPool;
+    use amx_registers::Adversary;
+
+    #[test]
+    fn cas_lock_acquires_alone() {
+        let id = PidPool::sequential().mint();
+        let lock = CasLock::new(id);
+        let mut st = lock.init_state();
+        let mut mem = SimMemory::new(MemoryModel::Rmw, 1, &Adversary::Identity, 1).unwrap();
+        lock.start_lock(&mut st);
+        assert_eq!(lock.step(&mut st, &mut mem.view(0)), Outcome::Acquired);
+        assert!(mem.slots()[0].is_owned_by(id));
+        lock.start_unlock(&mut st);
+        assert_eq!(lock.step(&mut st, &mut mem.view(0)), Outcome::Released);
+        assert!(mem.slots()[0].is_bottom());
+    }
+
+    #[test]
+    fn cas_lock_spins_when_held() {
+        let mut pool = PidPool::sequential();
+        let (a, b) = (pool.mint(), pool.mint());
+        let la = CasLock::new(a);
+        let lb = CasLock::new(b);
+        let mut sa = la.init_state();
+        let mut sb = lb.init_state();
+        let mut mem = SimMemory::new(MemoryModel::Rmw, 1, &Adversary::Identity, 2).unwrap();
+        la.start_lock(&mut sa);
+        lb.start_lock(&mut sb);
+        assert_eq!(la.step(&mut sa, &mut mem.view(0)), Outcome::Acquired);
+        for _ in 0..3 {
+            assert_eq!(lb.step(&mut sb, &mut mem.view(1)), Outcome::Progress);
+        }
+    }
+
+    #[test]
+    fn naive_flag_lock_races() {
+        let mut pool = PidPool::sequential();
+        let (a, b) = (pool.mint(), pool.mint());
+        let la = NaiveFlagLock::new(a);
+        let lb = NaiveFlagLock::new(b);
+        let mut sa = la.init_state();
+        let mut sb = lb.init_state();
+        let mut mem = SimMemory::new(MemoryModel::Rw, 1, &Adversary::Identity, 2).unwrap();
+        la.start_lock(&mut sa);
+        lb.start_lock(&mut sb);
+        // Both check while the flag is still ⊥ …
+        assert_eq!(la.step(&mut sa, &mut mem.view(0)), Outcome::Progress);
+        assert_eq!(lb.step(&mut sb, &mut mem.view(1)), Outcome::Progress);
+        // … and both acquire.
+        assert_eq!(la.step(&mut sa, &mut mem.view(0)), Outcome::Acquired);
+        assert_eq!(lb.step(&mut sb, &mut mem.view(1)), Outcome::Acquired);
+    }
+
+    #[test]
+    fn spin_forever_never_completes() {
+        let spin = SpinForever;
+        let mut st = spin.init_state();
+        let mut mem = SimMemory::new(MemoryModel::Rw, 1, &Adversary::Identity, 1).unwrap();
+        spin.start_lock(&mut st);
+        for _ in 0..100 {
+            assert_eq!(spin.step(&mut st, &mut mem.view(0)), Outcome::Progress);
+        }
+    }
+
+    #[test]
+    fn peterson_two_is_correct_exhaustively() {
+        use crate::mc::{ModelChecker, Verdict};
+        let mut pool = PidPool::sequential();
+        let automata = vec![
+            PetersonTwo::new(pool.mint(), 0),
+            PetersonTwo::new(pool.mint(), 1),
+        ];
+        let report =
+            ModelChecker::with_automata(automata, MemoryModel::Rw, 3, &Adversary::Identity)
+                .unwrap()
+                .run()
+                .unwrap();
+        assert_eq!(report.verdict, Verdict::Ok);
+        assert!(report.acquisitions > 0);
+    }
+
+    #[test]
+    fn broken_peterson_same_side_violates() {
+        // Validate the checker's sensitivity: a Peterson variant whose
+        // processes share a side (a plausible copy-paste bug) must fail.
+        use crate::mc::{ModelChecker, Verdict};
+        let mut pool = PidPool::sequential();
+        let automata = vec![
+            PetersonTwo::new(pool.mint(), 0),
+            PetersonTwo::new(pool.mint(), 0),
+        ];
+        let report =
+            ModelChecker::with_automata(automata, MemoryModel::Rw, 3, &Adversary::Identity)
+                .unwrap()
+                .run()
+                .unwrap();
+        assert!(
+            matches!(report.verdict, Verdict::MutualExclusionViolation { .. }),
+            "got {:?}",
+            report.verdict
+        );
+    }
+
+    #[test]
+    fn peterson_two_solo_acquires() {
+        let mut pool = PidPool::sequential();
+        let p = PetersonTwo::new(pool.mint(), 0);
+        let mut st = p.init_state();
+        let mut mem = SimMemory::new(MemoryModel::Rw, 3, &Adversary::Identity, 1).unwrap();
+        p.start_lock(&mut st);
+        let mut acquired = false;
+        for _ in 0..5 {
+            if p.step(&mut st, &mut mem.view(0)) == Outcome::Acquired {
+                acquired = true;
+                break;
+            }
+        }
+        assert!(acquired, "solo Peterson must enter in ≤ 3 steps");
+        p.start_unlock(&mut st);
+        assert_eq!(p.step(&mut st, &mut mem.view(0)), Outcome::Released);
+        assert!(mem.slots()[0].is_bottom());
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly two sides")]
+    fn peterson_bad_side_panics() {
+        let id = PidPool::sequential().mint();
+        let _ = PetersonTwo::new(id, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "step without pending invocation")]
+    fn stepping_idle_cas_lock_panics() {
+        let id = PidPool::sequential().mint();
+        let lock = CasLock::new(id);
+        let mut st = lock.init_state();
+        let mut mem = SimMemory::new(MemoryModel::Rmw, 1, &Adversary::Identity, 1).unwrap();
+        let _ = lock.step(&mut st, &mut mem.view(0));
+    }
+}

@@ -1,0 +1,198 @@
+//! Human-readable rendering of recorded executions.
+//!
+//! Counterexamples are only useful if someone can read them: this module
+//! turns the raw [`TraceEvent`] stream of a traced [`crate::Runner`] run
+//! (or a model-checker schedule replayed through one) into a compact
+//! listing plus summary statistics.
+
+use std::fmt::Write as _;
+
+use crate::automaton::{Outcome, Phase};
+use crate::runner::TraceEvent;
+
+/// Aggregate statistics over a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Scheduled steps per process (index-aligned).
+    pub steps_per_proc: Vec<u64>,
+    /// Lock completions per process.
+    pub acquisitions: Vec<u64>,
+    /// Unlock completions per process.
+    pub releases: Vec<u64>,
+    /// Dwell (no-op) turns observed.
+    pub dwell_turns: u64,
+}
+
+/// Summarizes a trace over `n` processes.
+///
+/// # Example
+///
+/// ```
+/// use amx_sim::trace::summarize;
+/// use amx_sim::{Outcome, Phase};
+/// use amx_sim::runner::TraceEvent;
+///
+/// let events = [
+///     TraceEvent { proc_index: 0, phase_before: Phase::Remainder, outcome: Some(Outcome::Acquired) },
+///     TraceEvent { proc_index: 1, phase_before: Phase::Trying, outcome: Some(Outcome::Progress) },
+///     TraceEvent { proc_index: 0, phase_before: Phase::Cs, outcome: Some(Outcome::Released) },
+/// ];
+/// let s = summarize(&events, 2);
+/// assert_eq!(s.steps_per_proc, vec![2, 1]);
+/// assert_eq!(s.acquisitions, vec![1, 0]);
+/// assert_eq!(s.releases, vec![1, 0]);
+/// ```
+#[must_use]
+pub fn summarize(events: &[TraceEvent], n: usize) -> TraceSummary {
+    let mut summary = TraceSummary {
+        steps_per_proc: vec![0; n],
+        acquisitions: vec![0; n],
+        releases: vec![0; n],
+        dwell_turns: 0,
+    };
+    for e in events {
+        if e.proc_index < n {
+            summary.steps_per_proc[e.proc_index] += 1;
+        }
+        match e.outcome {
+            None => summary.dwell_turns += 1,
+            Some(Outcome::Acquired) => summary.acquisitions[e.proc_index] += 1,
+            Some(Outcome::Released) => summary.releases[e.proc_index] += 1,
+            Some(Outcome::Progress) => {}
+        }
+    }
+    summary
+}
+
+fn phase_glyph(p: Phase) -> &'static str {
+    match p {
+        Phase::Remainder => "rem",
+        Phase::Trying => "try",
+        Phase::Cs => "CS ",
+        Phase::Exiting => "exi",
+    }
+}
+
+fn outcome_glyph(o: Option<Outcome>) -> &'static str {
+    match o {
+        None => "(dwell)",
+        Some(Outcome::Progress) => "·",
+        Some(Outcome::Acquired) => "ACQUIRED",
+        Some(Outcome::Released) => "released",
+    }
+}
+
+/// Renders a trace as one line per step:
+/// `step  proc  phase-before  outcome`, eliding runs of uneventful steps
+/// by the same process when `elide_spins` is set.
+///
+/// # Example
+///
+/// ```
+/// use amx_sim::trace::render;
+/// use amx_sim::{Outcome, Phase};
+/// use amx_sim::runner::TraceEvent;
+///
+/// let events = [
+///     TraceEvent { proc_index: 0, phase_before: Phase::Remainder, outcome: Some(Outcome::Acquired) },
+/// ];
+/// let text = render(&events, false);
+/// assert!(text.contains("ACQUIRED"));
+/// ```
+#[must_use]
+pub fn render(events: &[TraceEvent], elide_spins: bool) -> String {
+    let mut out = String::new();
+    let mut elided = 0usize;
+    let mut last: Option<(usize, Phase)> = None;
+    for (i, e) in events.iter().enumerate() {
+        let uneventful = matches!(e.outcome, Some(Outcome::Progress) | None);
+        if elide_spins && uneventful && last == Some((e.proc_index, e.phase_before)) {
+            elided += 1;
+            continue;
+        }
+        if elided > 0 {
+            let _ = writeln!(out, "        … {elided} similar steps elided …");
+            elided = 0;
+        }
+        let _ = writeln!(
+            out,
+            "{i:>6}  p{}  {}  {}",
+            e.proc_index,
+            phase_glyph(e.phase_before),
+            outcome_glyph(e.outcome)
+        );
+        last = Some((e.proc_index, e.phase_before));
+    }
+    if elided > 0 {
+        let _ = writeln!(out, "        … {elided} similar steps elided …");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemoryModel;
+    use crate::runner::{Runner, Workload};
+    use crate::schedule::Scheduler;
+    use crate::toys::CasLock;
+    use amx_ids::PidPool;
+    use amx_registers::Adversary;
+
+    fn traced_run() -> (Vec<TraceEvent>, usize) {
+        let ids = PidPool::sequential().mint_many(2);
+        let automata: Vec<CasLock> = ids.into_iter().map(CasLock::new).collect();
+        let report = Runner::with_adversary(automata, MemoryModel::Rmw, 1, &Adversary::Identity)
+            .unwrap()
+            .scheduler(Scheduler::random(5))
+            .workload(Workload::cycles(3))
+            .record_trace()
+            .run();
+        assert!(report.is_clean_completion());
+        (report.trace.unwrap(), 2)
+    }
+
+    #[test]
+    fn summary_balances_acquire_release() {
+        let (events, n) = traced_run();
+        let s = summarize(&events, n);
+        assert_eq!(s.acquisitions, vec![3, 3]);
+        assert_eq!(s.releases, vec![3, 3]);
+        assert_eq!(s.steps_per_proc.iter().sum::<u64>(), events.len() as u64);
+    }
+
+    #[test]
+    fn render_contains_key_events() {
+        let (events, _) = traced_run();
+        let text = render(&events, false);
+        assert_eq!(text.lines().count(), events.len());
+        assert!(text.contains("ACQUIRED"));
+        assert!(text.contains("released"));
+    }
+
+    #[test]
+    fn eliding_shrinks_spin_heavy_traces() {
+        let (events, _) = traced_run();
+        let full = render(&events, false);
+        let elided = render(&events, true);
+        assert!(elided.lines().count() <= full.lines().count());
+    }
+
+    #[test]
+    fn summary_counts_dwell() {
+        let events = [
+            TraceEvent {
+                proc_index: 0,
+                phase_before: Phase::Cs,
+                outcome: None,
+            },
+            TraceEvent {
+                proc_index: 0,
+                phase_before: Phase::Cs,
+                outcome: None,
+            },
+        ];
+        let s = summarize(&events, 1);
+        assert_eq!(s.dwell_turns, 2);
+    }
+}

@@ -1,0 +1,2 @@
+//! Integration test crate: the tests live in the `tests/` subdirectory
+//! and exercise the public APIs of every `amx-*` crate together.

@@ -1,0 +1,153 @@
+//! Grid sweep of the Theorem 5 construction: every invalid `(n, m)` cell
+//! must yield an executable impossibility witness, and no valid cell may
+//! admit the construction at all.
+
+use amx_core::{Alg1Automaton, Alg2Automaton, MutexSpec};
+use amx_ids::PidPool;
+use amx_lowerbound::{LockstepExecutor, LockstepOutcome, RingArrangement};
+use amx_numth::{is_valid_m, lower_bound_witnesses};
+use amx_sim::MemoryModel;
+
+#[test]
+fn ring_exists_exactly_for_invalid_cells() {
+    for n in 2..=8usize {
+        for m in 1..=24usize {
+            let ring = RingArrangement::for_invalid_m(m, n);
+            assert_eq!(
+                ring.is_some(),
+                !is_valid_m(m as u64, n as u64) && m > 1,
+                "n={n}, m={m}"
+            );
+            if let Some(r) = ring {
+                assert!(r.ell() > 1 && r.ell() <= n && m % r.ell() == 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn alg2_livelocks_on_every_invalid_cell_up_to_m16() {
+    for n in 2..=6usize {
+        for m in 2..=16usize {
+            let Some(ring) = RingArrangement::for_invalid_m(m, n) else {
+                continue;
+            };
+            let spec = MutexSpec::rmw_unchecked(ring.ell(), m);
+            let report = LockstepExecutor::for_alg2(spec, &ring)
+                .unwrap()
+                .run(1_000_000);
+            assert!(
+                matches!(report.outcome, LockstepOutcome::Livelock { .. }),
+                "n={n} m={m} ℓ={}: {:?}",
+                ring.ell(),
+                report.outcome
+            );
+            assert!(report.symmetry_held, "n={n} m={m}");
+        }
+    }
+}
+
+#[test]
+fn alg1_livelocks_on_every_invalid_cell_up_to_m16() {
+    for n in 2..=6usize {
+        for m in 2..=16usize {
+            let Some(ring) = RingArrangement::for_invalid_m(m, n) else {
+                continue;
+            };
+            let spec = MutexSpec::rw_unchecked(ring.ell(), m);
+            let report = LockstepExecutor::for_alg1(spec, &ring)
+                .unwrap()
+                .run(1_000_000);
+            assert!(
+                matches!(report.outcome, LockstepOutcome::Livelock { .. }),
+                "n={n} m={m} ℓ={}: {:?}",
+                ring.ell(),
+                report.outcome
+            );
+            assert!(report.symmetry_held, "n={n} m={m}");
+        }
+    }
+}
+
+#[test]
+fn every_witness_ell_livelocks_not_just_the_smallest() {
+    // Theorem 5 holds for every divisor ℓ ≤ n of m, not only the
+    // canonical witness.
+    let (n, m) = (6usize, 12usize);
+    let witnesses: Vec<usize> = lower_bound_witnesses(m as u64, n as u64)
+        .map(|l| l as usize)
+        .collect();
+    assert_eq!(witnesses, vec![2, 3, 4, 6]);
+    for ell in witnesses {
+        let ring = RingArrangement::new(m, ell).unwrap();
+        let spec = MutexSpec::rmw_unchecked(ell, m);
+        let report = LockstepExecutor::for_alg2(spec, &ring)
+            .unwrap()
+            .run(1_000_000);
+        assert!(
+            matches!(report.outcome, LockstepOutcome::Livelock { .. }),
+            "ℓ={ell}: {:?}",
+            report.outcome
+        );
+        assert!(report.symmetry_held, "ℓ={ell}");
+    }
+}
+
+#[test]
+fn lockstep_on_valid_m_with_offset_rotations_makes_progress() {
+    // Control experiment: on valid m the ring cannot exist, but even a
+    // rotation-based adversary with spacing coprime to m cannot keep the
+    // processes symmetric — someone enters (the accesses collide and
+    // break the symmetry).  Use Rotations{stride} with gcd(stride·i
+    // differences, m) … simplest: manual lockstep via with_automata is
+    // impossible (RingArrangement refuses), so run the round-robin
+    // Runner, which IS the lock-step schedule, and observe entries.
+    use amx_registers::Adversary;
+    use amx_sim::{Runner, Scheduler, Workload};
+
+    let (n, m) = (2usize, 5usize);
+    let spec = MutexSpec::rmw_unchecked(n, m);
+    let mut pool = PidPool::sequential();
+    let automata: Vec<Alg2Automaton> = (0..n)
+        .map(|_| Alg2Automaton::new(spec, pool.mint()))
+        .collect();
+    let report = Runner::with_adversary(
+        automata,
+        MemoryModel::Rmw,
+        m,
+        &Adversary::Rotations { stride: 2 },
+    )
+    .unwrap()
+    .scheduler(Scheduler::round_robin())
+    .workload(Workload::cycles(5))
+    .max_steps(1_000_000)
+    .run();
+    assert!(report.is_clean_completion(), "{:?}", report.stop);
+    assert_eq!(report.total_entries(), 10);
+}
+
+#[test]
+fn alg1_lockstep_on_valid_m_also_progresses() {
+    use amx_registers::Adversary;
+    use amx_sim::{Runner, Scheduler, Workload};
+
+    let (n, m) = (2usize, 3usize);
+    let spec = MutexSpec::rw_unchecked(n, m);
+    let mut pool = PidPool::sequential();
+    let automata: Vec<Alg1Automaton> = (0..n)
+        .map(|_| Alg1Automaton::new(spec, pool.mint()))
+        .collect();
+    let report = Runner::with_adversary(
+        automata,
+        MemoryModel::Rw,
+        m,
+        &Adversary::Rotations { stride: 1 },
+    )
+    .unwrap()
+    .scheduler(Scheduler::round_robin())
+    .workload(Workload::cycles(5))
+    .max_steps(1_000_000)
+    .run();
+    assert!(report.is_clean_completion(), "{:?}", report.stop);
+    assert_eq!(report.total_entries(), 10);
+}

@@ -1,0 +1,168 @@
+//! Cross-crate property tests: random small configurations, random
+//! adversaries and random schedules must uphold the paper's guarantees.
+
+use amx_core::{Alg1Automaton, Alg2Automaton, FreeSlotPolicy, MutexSpec};
+use amx_ids::PidPool;
+use amx_lowerbound::{LockstepExecutor, LockstepOutcome, RingArrangement};
+use amx_numth::{is_valid_m, is_valid_m_rw, smallest_valid_m};
+use amx_registers::Adversary;
+use amx_sim::{MemoryModel, Runner, Scheduler, Workload};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random valid RW configurations with random adversaries and random
+    /// schedules always complete their workload without violations.
+    #[test]
+    fn alg1_random_valid_configs_run_clean(
+        n in 2usize..4,
+        m_idx in 0usize..3,
+        adv_seed in any::<u64>(),
+        sched_seed in any::<u64>(),
+        policy_pick in 0u8..3,
+    ) {
+        let m = amx_numth::valid_memory_sizes(n as u64).nth(m_idx).unwrap() as usize;
+        prop_assume!(m <= 13);
+        let spec = MutexSpec::rw(n, m).unwrap();
+        let policy = match policy_pick {
+            0 => FreeSlotPolicy::FirstFree,
+            1 => FreeSlotPolicy::LastFree,
+            _ => FreeSlotPolicy::RotatingFrom(m / 2),
+        };
+        let mut pool = PidPool::sequential();
+        let automata: Vec<Alg1Automaton> = (0..n)
+            .map(|_| Alg1Automaton::new(spec, pool.mint()).with_policy(policy))
+            .collect();
+        let report = Runner::with_adversary(
+            automata,
+            MemoryModel::Rw,
+            m,
+            &Adversary::Random(adv_seed),
+        )
+        .unwrap()
+        .scheduler(Scheduler::random(sched_seed))
+        .workload(Workload::cycles(5))
+        .max_steps(2_000_000)
+        .run();
+        prop_assert!(report.is_clean_completion(), "{:?}", report.stop);
+        prop_assert_eq!(report.total_entries(), n as u64 * 5);
+    }
+
+    /// Same for Algorithm 2, including m = 1.
+    #[test]
+    fn alg2_random_valid_configs_run_clean(
+        n in 2usize..5,
+        use_m1 in any::<bool>(),
+        adv_seed in any::<u64>(),
+        sched_seed in any::<u64>(),
+    ) {
+        let m = if use_m1 { 1 } else { smallest_valid_m(n as u64) as usize };
+        let spec = MutexSpec::rmw(n, m).unwrap();
+        let mut pool = PidPool::sequential();
+        let automata: Vec<Alg2Automaton> =
+            (0..n).map(|_| Alg2Automaton::new(spec, pool.mint())).collect();
+        let report = Runner::with_adversary(
+            automata,
+            MemoryModel::Rmw,
+            m,
+            &Adversary::Random(adv_seed),
+        )
+        .unwrap()
+        .scheduler(Scheduler::random(sched_seed))
+        .workload(Workload::cycles(5))
+        .max_steps(2_000_000)
+        .run();
+        prop_assert!(report.is_clean_completion(), "{:?}", report.stop);
+        prop_assert_eq!(report.total_entries(), n as u64 * 5);
+    }
+
+    /// Weighted (speed-skewed) schedules change nothing.
+    #[test]
+    fn alg2_speed_asymmetry_is_harmless(
+        weights in prop::collection::vec(1u32..8, 3),
+        adv_seed in any::<u64>(),
+    ) {
+        let n = weights.len();
+        let m = smallest_valid_m(n as u64) as usize;
+        let spec = MutexSpec::rmw(n, m).unwrap();
+        let mut pool = PidPool::sequential();
+        let automata: Vec<Alg2Automaton> =
+            (0..n).map(|_| Alg2Automaton::new(spec, pool.mint())).collect();
+        let report = Runner::with_adversary(
+            automata,
+            MemoryModel::Rmw,
+            m,
+            &Adversary::Random(adv_seed),
+        )
+        .unwrap()
+        .scheduler(Scheduler::weighted(weights, adv_seed))
+        .workload(Workload::cycles(4))
+        .max_steps(2_000_000)
+        .run();
+        prop_assert!(report.is_clean_completion(), "{:?}", report.stop);
+    }
+
+    /// The validity predicates agree with spec construction for random
+    /// pairs — and the ring construction exists exactly on the RMW
+    /// complement.
+    #[test]
+    fn spec_ring_and_predicate_trichotomy(n in 2usize..10, m in 1usize..32) {
+        let rw_ok = MutexSpec::rw(n, m).is_ok();
+        let rmw_ok = MutexSpec::rmw(n, m).is_ok();
+        prop_assert_eq!(rw_ok, is_valid_m_rw(m as u64, n as u64));
+        prop_assert_eq!(rmw_ok, is_valid_m(m as u64, n as u64));
+        let ring = RingArrangement::for_invalid_m(m, n);
+        prop_assert_eq!(ring.is_some(), !rmw_ok && m > 1);
+    }
+
+    /// Lock-step ring executions livelock for random invalid cells.
+    #[test]
+    fn random_invalid_cell_livelocks(n in 2usize..6, m in 2usize..13) {
+        prop_assume!(!is_valid_m(m as u64, n as u64));
+        let ring = RingArrangement::for_invalid_m(m, n).unwrap();
+        let spec = MutexSpec::rmw_unchecked(ring.ell(), m);
+        let report = LockstepExecutor::for_alg2(spec, &ring).unwrap().run(500_000);
+        prop_assert!(
+            matches!(report.outcome, LockstepOutcome::Livelock { .. }),
+            "{:?}", report.outcome
+        );
+        prop_assert!(report.symmetry_held);
+    }
+
+    /// Metamorphic: composing every process's permutation with one common
+    /// permutation is just a relabeling of physical registers and cannot
+    /// change any observable outcome of a deterministic run.
+    #[test]
+    fn common_relabeling_is_unobservable(
+        base_seed in any::<u64>(),
+        relabel_seed in any::<u64>(),
+        sched_seed in any::<u64>(),
+    ) {
+        let (n, m) = (2usize, 3usize);
+        let spec = MutexSpec::rw(n, m).unwrap();
+        let base = Adversary::Random(base_seed).permutations(n, m).unwrap();
+        let relabel = amx_registers::Permutation::random(m, relabel_seed);
+        let composed: Vec<_> = base.iter().map(|p| relabel.compose(p)).collect();
+
+        let run = |perms: Vec<amx_registers::Permutation>| {
+            let mut pool = PidPool::sequential();
+            let automata: Vec<Alg1Automaton> =
+                (0..n).map(|_| Alg1Automaton::new(spec, pool.mint())).collect();
+            let report = Runner::with_adversary(
+                automata,
+                MemoryModel::Rw,
+                m,
+                &Adversary::explicit(perms),
+            )
+            .unwrap()
+            .scheduler(Scheduler::random(sched_seed))
+            .workload(Workload::cycles(4))
+            .max_steps(1_000_000)
+            .run();
+            (report.stop.clone(), report.cs_entries.clone(), report.steps)
+        };
+
+        prop_assert_eq!(run(base), run(composed));
+    }
+}

@@ -1,0 +1,191 @@
+//! Cross-validation: the same automata drive both the deterministic
+//! simulator and the real atomic arrays, so their solo behaviours must
+//! coincide exactly, and their concurrent behaviours must agree on all
+//! observable outcomes.
+
+use amx_core::adapter::{RmwMemoryOps, RwMemoryOps};
+use amx_core::{Alg1Automaton, Alg2Automaton, MutexSpec};
+use amx_ids::{PidPool, Slot};
+use amx_registers::{Adversary, AnonymousRmwMemory, AnonymousRwMemory, Permutation};
+use amx_sim::automaton::{Automaton, Outcome};
+use amx_sim::mem::{MemoryModel, SimMemory};
+
+/// Drives one automaton to acquisition on both backends, recording the
+/// physical memory after every step; the traces must be identical.
+#[test]
+fn alg1_solo_trace_identical_on_both_backends() {
+    let m = 5;
+    let id = PidPool::sequential().mint();
+    let spec = MutexSpec::rw_unchecked(1, m);
+    let perm = Permutation::random(m, 11);
+
+    // Simulator backend.
+    let a = Alg1Automaton::new(spec, id);
+    let mut st = a.init_state();
+    let mut sim = SimMemory::new(
+        MemoryModel::Rw,
+        m,
+        &Adversary::explicit(vec![perm.clone()]),
+        1,
+    )
+    .unwrap();
+    a.start_lock(&mut st);
+    let mut sim_trace: Vec<Vec<Slot>> = Vec::new();
+    loop {
+        let out = a.step(&mut st, &mut sim.view(0));
+        sim_trace.push(sim.slots().to_vec());
+        if out == Outcome::Acquired {
+            break;
+        }
+        assert!(sim_trace.len() < 1_000, "solo lock must terminate");
+    }
+
+    // Real-atomics backend.
+    let mem = AnonymousRwMemory::new(m);
+    let mut ops = RwMemoryOps::new(mem.handle(id, perm));
+    let b = Alg1Automaton::new(spec, id);
+    let mut st2 = b.init_state();
+    b.start_lock(&mut st2);
+    let mut real_trace: Vec<Vec<Slot>> = Vec::new();
+    loop {
+        let out = b.step(&mut st2, &mut ops);
+        real_trace.push(mem.observe_all());
+        if out == Outcome::Acquired {
+            break;
+        }
+    }
+
+    assert_eq!(
+        sim_trace, real_trace,
+        "backends must evolve identically when solo"
+    );
+}
+
+#[test]
+fn alg2_solo_trace_identical_on_both_backends() {
+    let m = 7;
+    let id = PidPool::sequential().mint();
+    let spec = MutexSpec::rmw_unchecked(1, m);
+    let perm = Permutation::random(m, 23);
+
+    let a = Alg2Automaton::new(spec, id);
+    let mut st = a.init_state();
+    let mut sim = SimMemory::new(
+        MemoryModel::Rmw,
+        m,
+        &Adversary::explicit(vec![perm.clone()]),
+        1,
+    )
+    .unwrap();
+    a.start_lock(&mut st);
+    let mut sim_trace: Vec<Vec<Slot>> = Vec::new();
+    loop {
+        let out = a.step(&mut st, &mut sim.view(0));
+        sim_trace.push(sim.slots().to_vec());
+        if out == Outcome::Acquired {
+            break;
+        }
+        assert!(sim_trace.len() < 1_000, "solo lock must terminate");
+    }
+
+    let mem = AnonymousRmwMemory::new(m);
+    let mut ops = RmwMemoryOps::new(mem.handle(id, perm));
+    let mut st2 = a.init_state();
+    a.start_lock(&mut st2);
+    let mut real_trace: Vec<Vec<Slot>> = Vec::new();
+    loop {
+        let out = a.step(&mut st2, &mut ops);
+        real_trace.push(mem.observe_all());
+        if out == Outcome::Acquired {
+            break;
+        }
+    }
+
+    assert_eq!(sim_trace, real_trace);
+
+    // Unlock traces must also agree.
+    a.start_unlock(&mut st);
+    a.start_unlock(&mut st2);
+    loop {
+        let o1 = a.step(&mut st, &mut sim.view(0));
+        let o2 = a.step(&mut st2, &mut ops);
+        assert_eq!(o1, o2);
+        assert_eq!(sim.slots().to_vec(), mem.observe_all());
+        if o1 == Outcome::Released {
+            break;
+        }
+    }
+    assert!(mem.observe_all().iter().all(|s| s.is_bottom()));
+}
+
+/// A scripted 2-process interleaving replayed on both backends produces
+/// the same outcome sequence and the same final memory.
+#[test]
+fn scripted_interleaving_agrees_across_backends() {
+    let m = 3;
+    let ids = PidPool::sequential().mint_many(2);
+    let spec = MutexSpec::rw_unchecked(2, m);
+    let perms = Adversary::Rotations { stride: 1 }
+        .permutations(2, m)
+        .unwrap();
+
+    // An alternating schedule for 200 steps.
+    let schedule: Vec<usize> = (0..200).map(|i| i % 2).collect();
+
+    let run_sim = || {
+        let automata: Vec<Alg1Automaton> =
+            ids.iter().map(|&id| Alg1Automaton::new(spec, id)).collect();
+        let mut states: Vec<_> = automata.iter().map(Automaton::init_state).collect();
+        let mut started = [false; 2];
+        let mut sim =
+            SimMemory::new(MemoryModel::Rw, m, &Adversary::Rotations { stride: 1 }, 2).unwrap();
+        let mut outcomes = Vec::new();
+        for &i in &schedule {
+            if !started[i] {
+                automata[i].start_lock(&mut states[i]);
+                started[i] = true;
+            }
+            let out = automata[i].step(&mut states[i], &mut sim.view(i));
+            outcomes.push(out);
+            if out == Outcome::Acquired {
+                break; // stop at first acquisition for comparability
+            }
+        }
+        (outcomes, sim.slots().to_vec())
+    };
+
+    let run_real = || {
+        let automata: Vec<Alg1Automaton> =
+            ids.iter().map(|&id| Alg1Automaton::new(spec, id)).collect();
+        let mut states: Vec<_> = automata.iter().map(Automaton::init_state).collect();
+        let mut started = [false; 2];
+        let mem = AnonymousRwMemory::new(m);
+        let mut ops: Vec<RwMemoryOps> = ids
+            .iter()
+            .zip(perms.iter())
+            .map(|(&id, p)| RwMemoryOps::new(mem.handle(id, p.clone())))
+            .collect();
+        let mut outcomes = Vec::new();
+        for &i in &schedule {
+            if !started[i] {
+                automata[i].start_lock(&mut states[i]);
+                started[i] = true;
+            }
+            let out = automata[i].step(&mut states[i], &mut ops[i]);
+            outcomes.push(out);
+            if out == Outcome::Acquired {
+                break;
+            }
+        }
+        (outcomes, mem.observe_all())
+    };
+
+    let (sim_out, sim_mem) = run_sim();
+    let (real_out, real_mem) = run_real();
+    assert_eq!(sim_out, real_out, "outcome sequences must agree");
+    assert_eq!(sim_mem, real_mem, "final memories must agree");
+    assert!(
+        sim_out.contains(&Outcome::Acquired),
+        "200 alternating steps are ample for one acquisition at n=2, m=3"
+    );
+}
