@@ -90,6 +90,16 @@ pub struct LockstepExecutor<A: Automaton> {
     ring: RingArrangement,
 }
 
+impl<A: Automaton> std::fmt::Debug for LockstepExecutor<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LockstepExecutor")
+            .field("ell", &self.automata.len())
+            .field("ids", &self.ids)
+            .field("ring", &self.ring)
+            .finish_non_exhaustive()
+    }
+}
+
 impl LockstepExecutor<Alg1Automaton> {
     /// Executor running Algorithm 1 on the Theorem 5 ring.
     ///

@@ -1,0 +1,233 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this shim keeps the
+//! amx-bench Criterion benches compiling and runnable as a smoke test:
+//! every benchmark executes a handful of timed iterations and prints a
+//! plain-text line. There are no statistics, warm-up phases, or
+//! reports — CI uses this to ensure the bench code cannot rot, while
+//! real benchmarking is expected to swap the shim for crates.io
+//! criterion.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Iterations each benchmark body is smoke-run for.
+const SMOKE_ITERS: u64 = 3;
+
+/// How measured throughput should be reported.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of a single benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name plus a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Times one benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `body` over a fixed number of smoke iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let start = Instant::now();
+        for _ in 0..SMOKE_ITERS {
+            black_box(body());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = SMOKE_ITERS;
+    }
+
+    /// Lets `body` time itself: it receives an iteration count and
+    /// returns the total measured duration.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut body: F) {
+        self.elapsed = body(SMOKE_ITERS);
+        self.iters = SMOKE_ITERS;
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim always smoke-runs.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim always smoke-runs.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; recorded nowhere.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs `body` once as a smoke test and prints its timing.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        body(&mut b);
+        report(&self.name, &id.into().id, &b);
+        self
+    }
+
+    /// Runs `body` once with `input` as a smoke test and prints its
+    /// timing.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        body(&mut b, input);
+        report(&self.name, &id.into().id, &b);
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &str, b: &Bencher) {
+    let per_iter = if b.iters == 0 {
+        Duration::ZERO
+    } else {
+        b.elapsed / u32::try_from(b.iters).unwrap_or(u32::MAX)
+    };
+    println!(
+        "bench {group}/{id}: {per_iter:?}/iter ({} iters, smoke)",
+        b.iters
+    );
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a free-standing benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        body(&mut b);
+        report("", &id.into().id, &b);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes harness flags like --bench; ignore them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_smoke_runs_bodies() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Elements(4));
+        let mut runs = 0;
+        group.bench_function("plain", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, SMOKE_ITERS);
+        let mut custom_iters = 0;
+        group.bench_with_input(BenchmarkId::new("f", 3), &7u64, |b, &seven| {
+            assert_eq!(seven, 7);
+            b.iter_custom(|iters| {
+                custom_iters = iters;
+                Duration::from_millis(1)
+            });
+        });
+        assert_eq!(custom_iters, SMOKE_ITERS);
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter(9).id, "9");
+    }
+}

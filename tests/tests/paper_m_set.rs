@@ -1,0 +1,107 @@
+//! Workspace smoke test for the paper's set of valid memory sizes
+//!
+//!   M(n) = { m : ∀ ℓ, 1 < ℓ ≤ n : gcd(ℓ, m) = 1 }
+//!
+//! (paper §I-B). This is the coprimality heart of both algorithms, so
+//! the definitional set is recomputed here from scratch (own gcd) and
+//! checked against `amx-numth`'s predicates and `amx-core`'s spec
+//! constructors for every n ≤ 8.
+
+use amx_core::spec::MAX_REGISTERS;
+use amx_core::MutexSpec;
+use amx_numth::{is_valid_m, is_valid_m_rw, smallest_valid_m, valid_memory_sizes};
+
+/// Independent gcd, so this test shares no code with amx-numth.
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// The definitional predicate `m ∈ M(n)`, straight from the paper.
+fn in_paper_m_set(m: u64, n: u64) -> bool {
+    m >= 1 && (2..=n).all(|ell| gcd(ell, m) == 1)
+}
+
+const M_MAX: u64 = 300;
+
+#[test]
+fn numth_predicate_matches_paper_set_for_small_n() {
+    for n in 1..=8u64 {
+        for m in 0..=M_MAX {
+            assert_eq!(
+                is_valid_m(m, n),
+                m != 0 && in_paper_m_set(m, n),
+                "is_valid_m({m}, {n}) disagrees with the paper's M(n)"
+            );
+        }
+    }
+}
+
+#[test]
+fn rw_predicate_is_paper_set_intersected_with_m_at_least_n() {
+    // Algorithm 1 (RW) additionally needs m ≥ n (paper §IV).
+    for n in 1..=8u64 {
+        for m in 0..=M_MAX {
+            assert_eq!(
+                is_valid_m_rw(m, n),
+                m >= n && m != 0 && in_paper_m_set(m, n),
+                "is_valid_m_rw({m}, {n}) disagrees with M(n) ∩ [n, ∞)"
+            );
+        }
+    }
+}
+
+#[test]
+fn spec_constructors_accept_exactly_the_paper_set() {
+    // The spec layer additionally caps m at its implementation bound
+    // MAX_REGISTERS; within that bound it must match M(n) exactly.
+    for n in 2..=8usize {
+        for m in 1..=MAX_REGISTERS {
+            assert_eq!(
+                MutexSpec::rmw(n, m).is_ok(),
+                in_paper_m_set(m as u64, n as u64),
+                "MutexSpec::rmw({n}, {m}) validity"
+            );
+            assert_eq!(
+                MutexSpec::rw(n, m).is_ok(),
+                m >= n && in_paper_m_set(m as u64, n as u64),
+                "MutexSpec::rw({n}, {m}) validity"
+            );
+        }
+    }
+}
+
+#[test]
+fn smallest_rw_spec_is_minimal_member_of_the_paper_set() {
+    for n in 2..=8usize {
+        let spec = MutexSpec::smallest_rw(n).expect("every n has valid sizes");
+        let expected = (n as u64..).find(|&m| in_paper_m_set(m, n as u64)).unwrap();
+        assert_eq!(spec.n(), n);
+        assert_eq!(
+            spec.m() as u64,
+            expected,
+            "smallest_rw({n}) must be minimal"
+        );
+        // No smaller m may admit a valid RW spec.
+        for m in 1..spec.m() {
+            assert!(MutexSpec::rw(n, m).is_err());
+        }
+    }
+}
+
+#[test]
+fn smallest_rmw_follows_smallest_valid_m() {
+    for n in 2..=8usize {
+        let spec = MutexSpec::smallest_rmw(n).expect("every n has valid sizes");
+        assert_eq!(spec.m() as u64, smallest_valid_m(n as u64));
+        // And the enumeration of valid sizes starts at the same place
+        // (valid_memory_sizes yields m > n by contract).
+        assert_eq!(
+            valid_memory_sizes(n as u64).next(),
+            Some(smallest_valid_m(n as u64))
+        );
+    }
+}
