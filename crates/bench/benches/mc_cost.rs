@@ -1,10 +1,11 @@
 //! Model-checker throughput: how fast the exhaustive explorer covers the
-//! algorithms' state spaces (useful for sizing new configurations).
+//! algorithms' state spaces (useful for sizing new configurations), and
+//! what the process-symmetry reduction buys on symmetric adversaries.
 
 use amx_core::{Alg1Automaton, Alg2Automaton, MutexSpec};
 use amx_ids::PidPool;
 use amx_registers::Adversary;
-use amx_sim::mc::{ModelChecker, Verdict};
+use amx_sim::mc::{ModelChecker, Symmetry, Verdict};
 use amx_sim::MemoryModel;
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -62,6 +63,50 @@ fn bench_mc(c: &mut Criterion) {
             report.states
         })
     });
+
+    // The same configuration with process-symmetry reduction: identical
+    // verdict from roughly half the stored states (S₂ orbits).
+    group.bench_function("alg1_n2_m3_symmetry", |b| {
+        b.iter(|| {
+            let spec = MutexSpec::rw_unchecked(2, 3);
+            let mut pool = PidPool::sequential();
+            let automata: Vec<Alg1Automaton> = (0..2)
+                .map(|_| Alg1Automaton::new(spec, pool.mint()))
+                .collect();
+            let report =
+                ModelChecker::with_automata(automata, MemoryModel::Rw, 3, &Adversary::Identity)
+                    .unwrap()
+                    .symmetry(Symmetry::Process)
+                    .run()
+                    .unwrap();
+            assert_eq!(report.verdict, Verdict::Ok);
+            assert!(report.canonical_states < report.full_states_estimate);
+            report.canonical_states
+        })
+    });
+
+    // Heavier symmetric configuration, sequential vs parallel frontier.
+    for threads in [1usize, 4] {
+        group.bench_function(format!("alg1_n3_m5_symmetry_t{threads}"), |b| {
+            b.iter(|| {
+                let spec = MutexSpec::rw_unchecked(3, 5);
+                let mut pool = PidPool::sequential();
+                let automata: Vec<Alg1Automaton> = (0..3)
+                    .map(|_| Alg1Automaton::new(spec, pool.mint()))
+                    .collect();
+                let report =
+                    ModelChecker::with_automata(automata, MemoryModel::Rw, 5, &Adversary::Identity)
+                        .unwrap()
+                        .symmetry(Symmetry::Process)
+                        .threads(threads)
+                        .max_states(4_000_000)
+                        .run()
+                        .unwrap();
+                assert_eq!(report.verdict, Verdict::Ok);
+                report.canonical_states
+            })
+        });
+    }
 
     group.finish();
 }

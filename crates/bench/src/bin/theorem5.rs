@@ -9,10 +9,12 @@
 //!
 //! Run: `cargo run --release -p amx-bench --bin theorem5`
 
-use amx_core::MutexSpec;
+use amx_core::{Alg2Automaton, MutexSpec};
 use amx_ids::PidPool;
 use amx_lowerbound::{GreedyClaimer, LockstepExecutor, LockstepOutcome, RingArrangement};
 use amx_numth::lower_bound_witnesses;
+use amx_registers::orbit::adversary_orbits;
+use amx_sim::mc::{ModelChecker, Symmetry, Verdict};
 use amx_sim::MemoryModel;
 
 fn main() {
@@ -84,6 +86,43 @@ fn main() {
     }
     println!("\nEither way, the ring + lock-step adversary defeats every symmetric");
     println!("algorithm when gcd(ℓ, m) > 1 — the complete dichotomy of the proof.");
+
+    // The lock-step executor exhibits ONE defeating schedule; the model
+    // checker closes the loop exhaustively: for invalid (ℓ, m) pairs it
+    // proves a fair livelock is reachable under EVERY adversary (one
+    // orbit representative per equivalence class covers them all) and
+    // EVERY schedule — the full strength of the theorem, not just the
+    // constructed ring execution.
+    println!("\nExhaustive confirmation (model checker, all adversary orbits,");
+    println!("process-symmetry reduction): Algorithm 2 on invalid (ℓ, m):");
+    for (ell, m) in [(2usize, 2usize), (2, 4), (3, 3)] {
+        let orbits = adversary_orbits(ell, m);
+        let mut livelocks = 0usize;
+        for adv in &orbits {
+            let spec = MutexSpec::rmw_unchecked(ell, m);
+            let mut pool = PidPool::sequential();
+            let automata: Vec<Alg2Automaton> = (0..ell)
+                .map(|_| Alg2Automaton::new(spec, pool.mint()))
+                .collect();
+            let report = ModelChecker::with_automata(automata, MemoryModel::Rmw, m, adv)
+                .expect("orbit reps are valid")
+                .symmetry(Symmetry::Process)
+                .max_states(4_000_000)
+                .run()
+                .expect("state space within bounds");
+            assert!(
+                matches!(report.verdict, Verdict::FairLivelock { .. }),
+                "invalid (ℓ={ell}, m={m}) must livelock under every adversary, \
+                 got {:?}",
+                report.verdict
+            );
+            livelocks += 1;
+        }
+        println!(
+            "  ℓ = {ell}, m = {m}: fair livelock reachable under all {livelocks} adversary \
+             orbit(s) — deadlock-freedom impossible"
+        );
+    }
 }
 
 /// Divisor witnesses beyond the deduplicated prime list — the theorem

@@ -10,9 +10,10 @@
 //! | Table II (tight characterization) | `cargo run -p amx-bench --bin table2` |
 //! | Theorem 5 construction | `cargo run -p amx-bench --bin theorem5` |
 //! | §I-C / §VII complexity contrast | `cargo run -p amx-bench --bin complexity` |
+//! | All-adversary orbit sweep (symmetry-reduced model checker) | `cargo run -p amx-bench --bin mc_sweep` |
 //!
 //! plus criterion benches `alg_throughput`, `baseline_comparison`,
-//! `snapshot_cost` and `entry_cost`.
+//! `snapshot_cost`, `entry_cost` and `mc_cost`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -30,13 +30,25 @@
 //! One [`crate::FreeSlotPolicy`] decision is left open by the paper (which
 //! free register to write); it is explicit configuration here.
 
+use std::cell::RefCell;
+
+use amx_ids::codec::PidMap;
 use amx_ids::{view, Pid, Slot};
 use amx_sim::automaton::{Automaton, Outcome};
+use amx_sim::encode::{self, EncodeState};
 use amx_sim::mem::MemoryOps;
 
 use crate::bits::{next_index, owned_mask};
 use crate::policy::FreeSlotPolicy;
 use crate::spec::{Model, MutexSpec};
+
+thread_local! {
+    /// Reusable snapshot buffer for the line-4 hot loop: one snapshot per
+    /// `Snap` step, zero allocations after warm-up.  Thread-local (rather
+    /// than per-automaton) so automata stay `Sync` for the parallel
+    /// model-checker frontier.
+    static SNAP_SCRATCH: RefCell<Vec<Slot>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Algorithm 1, instantiated for one process.
 ///
@@ -194,8 +206,9 @@ impl Automaton for Alg1Automaton {
 
     fn step<M: MemoryOps + ?Sized>(&self, state: &mut Alg1State, mem: &mut M) -> Outcome {
         match *state {
-            Alg1State::Snap => {
-                let snap = mem.snapshot(); // line 4
+            Alg1State::Snap => SNAP_SCRATCH.with(|buf| {
+                let mut snap = buf.borrow_mut();
+                mem.snapshot_into(&mut snap); // line 4
                 let owned = view::owned_count(&snap, self.id);
                 if owned == self.m {
                     // Until-condition of line 11 — the CS is entered at the
@@ -227,7 +240,7 @@ impl Automaton for Alg1Automaton {
                     // Otherwise stay on Snap: re-enter the outer loop.
                 }
                 Outcome::Progress
-            }
+            }),
             Alg1State::WriteFree { x } => {
                 mem.write(x, Slot::from(self.id)); // line 6
                 *state = Alg1State::Snap;
@@ -260,6 +273,89 @@ impl Automaton for Alg1Automaton {
             }
             Alg1State::Idle => panic!("step without pending invocation"),
         }
+    }
+
+    fn pid(&self) -> Option<Pid> {
+        Some(self.id)
+    }
+
+    fn symmetry_class(&self) -> Option<u64> {
+        // Interchangeable iff the configuration (m, policy) matches — the
+        // identity itself is erased, which is the whole point.
+        let policy_token = match self.policy {
+            FreeSlotPolicy::FirstFree => 0u64,
+            FreeSlotPolicy::LastFree => 1,
+            FreeSlotPolicy::RotatingFrom(k) => 2 + k as u64,
+        };
+        Some((self.m as u64) << 32 | policy_token)
+    }
+}
+
+impl EncodeState for Alg1State {
+    fn encode_with(&self, _map: &PidMap, out: &mut Vec<u8>) {
+        // No identities are embedded (ownership lives in the registers,
+        // tracked by local-index bitmasks), so the relabeling is a no-op.
+        match *self {
+            Alg1State::Idle => encode::put_u8(0, out),
+            Alg1State::Snap => encode::put_u8(1, out),
+            Alg1State::WriteFree { x } => {
+                encode::put_u8(2, out);
+                encode::put_u8(x as u8, out);
+            }
+            Alg1State::ShrinkRead {
+                targets,
+                pos,
+                unlocking,
+            } => {
+                encode::put_u8(3, out);
+                encode::put_u64(targets, out);
+                encode::put_u8(pos as u8, out);
+                encode::put_u8(u8::from(unlocking), out);
+            }
+            Alg1State::ShrinkWrite {
+                targets,
+                pos,
+                unlocking,
+            } => {
+                encode::put_u8(4, out);
+                encode::put_u64(targets, out);
+                encode::put_u8(pos as u8, out);
+                encode::put_u8(u8::from(unlocking), out);
+            }
+        }
+    }
+
+    fn decode(bytes: &mut &[u8]) -> Option<Self> {
+        Some(match encode::take_u8(bytes)? {
+            0 => Alg1State::Idle,
+            1 => Alg1State::Snap,
+            2 => Alg1State::WriteFree {
+                x: encode::take_u8(bytes)? as usize,
+            },
+            tag @ (3 | 4) => {
+                let targets = encode::take_u64(bytes)?;
+                let pos = encode::take_u8(bytes)? as usize;
+                let unlocking = match encode::take_u8(bytes)? {
+                    0 => false,
+                    1 => true,
+                    _ => return None,
+                };
+                if tag == 3 {
+                    Alg1State::ShrinkRead {
+                        targets,
+                        pos,
+                        unlocking,
+                    }
+                } else {
+                    Alg1State::ShrinkWrite {
+                        targets,
+                        pos,
+                        unlocking,
+                    }
+                }
+            }
+            _ => return None,
+        })
     }
 }
 

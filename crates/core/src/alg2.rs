@@ -23,8 +23,10 @@
 //! the complexity contrast the paper draws with Algorithm 1 (majority
 //! ownership suffices instead of all-`m` ownership).
 
+use amx_ids::codec::PidMap;
 use amx_ids::{view, Pid, Slot};
 use amx_sim::automaton::{Automaton, Outcome};
+use amx_sim::encode::{self, EncodeState};
 use amx_sim::mem::MemoryOps;
 
 use crate::bits::{next_index, owned_mask};
@@ -222,6 +224,87 @@ impl Automaton for Alg2Automaton {
             }
             Alg2State::Idle => panic!("step without pending invocation"),
         }
+    }
+
+    fn pid(&self) -> Option<Pid> {
+        Some(self.id)
+    }
+
+    fn symmetry_class(&self) -> Option<u64> {
+        // Algorithm 2 has no policy knobs: any two processes over the
+        // same memory size are identical up to their identity.
+        Some(self.m as u64)
+    }
+}
+
+impl EncodeState for Alg2State {
+    fn encode_with(&self, map: &PidMap, out: &mut Vec<u8>) {
+        match self {
+            Alg2State::Idle => encode::put_u8(0, out),
+            Alg2State::CasSweep { x } => {
+                encode::put_u8(1, out);
+                encode::put_u8(*x as u8, out);
+            }
+            Alg2State::ReadLoop { x, collected } => {
+                // The only alg state embedding identities: the partial
+                // line-3 collect must be relabeled along with the
+                // registers for symmetry reduction to stay consistent.
+                encode::put_u8(2, out);
+                encode::put_u8(*x as u8, out);
+                encode::put_u8(collected.len() as u8, out);
+                for &slot in collected {
+                    encode::put_slot(slot, map, out);
+                }
+            }
+            Alg2State::Resign { targets, pos } => {
+                encode::put_u8(3, out);
+                encode::put_u64(*targets, out);
+                encode::put_u8(*pos as u8, out);
+            }
+            Alg2State::WaitEmpty { x, clean } => {
+                encode::put_u8(4, out);
+                encode::put_u8(*x as u8, out);
+                encode::put_u8(u8::from(*clean), out);
+            }
+            Alg2State::UnlockSweep { x } => {
+                encode::put_u8(5, out);
+                encode::put_u8(*x as u8, out);
+            }
+        }
+    }
+
+    fn decode(bytes: &mut &[u8]) -> Option<Self> {
+        Some(match encode::take_u8(bytes)? {
+            0 => Alg2State::Idle,
+            1 => Alg2State::CasSweep {
+                x: encode::take_u8(bytes)? as usize,
+            },
+            2 => {
+                let x = encode::take_u8(bytes)? as usize;
+                let len = encode::take_u8(bytes)? as usize;
+                let mut collected = Vec::with_capacity(len);
+                for _ in 0..len {
+                    collected.push(encode::take_slot(bytes)?);
+                }
+                Alg2State::ReadLoop { x, collected }
+            }
+            3 => Alg2State::Resign {
+                targets: encode::take_u64(bytes)?,
+                pos: encode::take_u8(bytes)? as usize,
+            },
+            4 => Alg2State::WaitEmpty {
+                x: encode::take_u8(bytes)? as usize,
+                clean: match encode::take_u8(bytes)? {
+                    0 => false,
+                    1 => true,
+                    _ => return None,
+                },
+            },
+            5 => Alg2State::UnlockSweep {
+                x: encode::take_u8(bytes)? as usize,
+            },
+            _ => return None,
+        })
     }
 }
 

@@ -11,7 +11,7 @@
 
 use amx_core::{Alg1Automaton, Alg2Automaton, FreeSlotPolicy, MutexSpec};
 use amx_registers::Adversary;
-use amx_sim::mc::{ModelChecker, Verdict};
+use amx_sim::mc::{ModelChecker, Symmetry, Verdict};
 use amx_sim::MemoryModel;
 
 fn check_alg1(n: usize, m: usize, adversary: &Adversary, policy: FreeSlotPolicy) -> Verdict {
@@ -222,10 +222,40 @@ fn alg1_n2_m7_is_correct_exhaustively() {
     );
 }
 
-// The 3-process Alg 2 state space exceeds exhaustive reach for m ≥ 3;
-// cover those configurations with deep randomized executions (valid m)
-// and deterministic lock-step executions (invalid m, the Theorem 5
-// schedule) instead.
+// Larger 3-process Alg 2 configurations are covered three ways: the
+// symmetry-reduced engine explores (3, 3) exhaustively below and
+// (3, 5) — ~18.2M concrete states — in `mc_sweep`'s deep point; deep
+// randomized executions cover valid m beyond that; and deterministic
+// lock-step executions (the Theorem 5 schedule) drive invalid m.
+
+#[test]
+fn alg2_n3_m3_invalid_livelocks_symmetry_reduced() {
+    // A configuration the seed suite declared out of exhaustive reach:
+    // with process-symmetry reduction it completes (storing one state
+    // per S₃ orbit) and confirms the Theorem 5 prediction.
+    let spec = MutexSpec::rmw_unchecked(3, 3);
+    let mut pool = amx_ids::PidPool::sequential();
+    let automata: Vec<Alg2Automaton> = (0..3)
+        .map(|_| Alg2Automaton::new(spec, pool.mint()))
+        .collect();
+    let report = ModelChecker::with_automata(automata, MemoryModel::Rmw, 3, &Adversary::Identity)
+        .unwrap()
+        .symmetry(Symmetry::Process)
+        .max_states(4_000_000)
+        .run()
+        .unwrap();
+    assert!(
+        matches!(report.verdict, Verdict::FairLivelock { .. }),
+        "got {:?}",
+        report.verdict
+    );
+    assert!(
+        report.canonical_states * 5 < report.full_states_estimate,
+        "three interchangeable processes should reduce by nearly 6×: {} vs {}",
+        report.canonical_states,
+        report.full_states_estimate
+    );
+}
 
 #[test]
 fn alg2_n3_m5_randomized_runs_are_clean() {

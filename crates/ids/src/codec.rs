@@ -19,6 +19,72 @@
 
 use crate::{Pid, Slot};
 
+/// A finite identity-relabeling map, the codec hook used by symmetry
+/// reduction in the model checker.
+///
+/// Process-symmetry reduction permutes process roles; since identities
+/// are equality-only values, the permutation must be accompanied by the
+/// consistent renaming of every identity stored in a register slot.
+/// `PidMap` is that renaming: identities with an entry are rewritten,
+/// identities without one (and ⊥) pass through unchanged, so the empty
+/// map is the identity relabeling.
+///
+/// # Example
+///
+/// ```
+/// use amx_ids::codec::PidMap;
+/// use amx_ids::{PidPool, Slot};
+///
+/// let mut pool = PidPool::sequential();
+/// let (a, b) = (pool.mint(), pool.mint());
+/// let swap = PidMap::from_pairs(vec![(a, b), (b, a)]);
+/// assert_eq!(swap.map_slot(Slot::from(a)), Slot::from(b));
+/// assert_eq!(swap.map_slot(Slot::BOTTOM), Slot::BOTTOM);
+/// assert_eq!(PidMap::identity().map_slot(Slot::from(a)), Slot::from(a));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PidMap {
+    pairs: Vec<(Pid, Pid)>,
+}
+
+impl PidMap {
+    /// The identity relabeling (no entries).
+    #[must_use]
+    pub fn identity() -> Self {
+        PidMap { pairs: Vec::new() }
+    }
+
+    /// A relabeling from explicit `(from, to)` pairs.
+    #[must_use]
+    pub fn from_pairs(pairs: Vec<(Pid, Pid)>) -> Self {
+        PidMap { pairs }
+    }
+
+    /// `true` when this map has no entries (maps everything to itself).
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        self.pairs.iter().all(|&(from, to)| from == to)
+    }
+
+    /// Relabels one identity (identities without an entry are fixed).
+    #[must_use]
+    pub fn map_pid(&self, id: Pid) -> Pid {
+        self.pairs
+            .iter()
+            .find(|&&(from, _)| from == id)
+            .map_or(id, |&(_, to)| to)
+    }
+
+    /// Relabels the identity inside a slot; ⊥ is always fixed.
+    #[must_use]
+    pub fn map_slot(&self, slot: Slot) -> Slot {
+        match slot.pid() {
+            None => slot,
+            Some(id) => Slot::from(self.map_pid(id)),
+        }
+    }
+}
+
 /// Encodes a bare slot into a `u64` word (0 encodes ⊥).
 ///
 /// # Example
@@ -97,6 +163,22 @@ mod tests {
         assert_eq!(encode_slot(Slot::BOTTOM), 0);
         assert_eq!(encode_stamped(0, Slot::BOTTOM), 0);
         assert!(decode_slot(0).is_bottom());
+    }
+
+    #[test]
+    fn pid_map_relabels_and_fixes() {
+        let mut pool = PidPool::sequential();
+        let (a, b, c) = (pool.mint(), pool.mint(), pool.mint());
+        let map = PidMap::from_pairs(vec![(a, b), (b, c), (c, a)]);
+        assert_eq!(map.map_pid(a), b);
+        assert_eq!(map.map_pid(b), c);
+        assert_eq!(map.map_pid(c), a);
+        let d = pool.mint();
+        assert_eq!(map.map_pid(d), d, "unlisted identities are fixed");
+        assert_eq!(map.map_slot(Slot::BOTTOM), Slot::BOTTOM);
+        assert!(!map.is_identity());
+        assert!(PidMap::identity().is_identity());
+        assert!(PidMap::from_pairs(vec![(a, a)]).is_identity());
     }
 
     #[test]

@@ -17,8 +17,10 @@
 //! executable lower bound demonstrates the dichotomy exhaustively rather
 //! than only its livelock half.
 
+use amx_ids::codec::PidMap;
 use amx_ids::{Pid, Slot};
 use amx_sim::automaton::{Automaton, Outcome};
+use amx_sim::encode::{self, EncodeState};
 use amx_sim::mem::MemoryOps;
 
 /// Claim ⊥ registers with `compare&swap`; enter once `target` registers
@@ -109,6 +111,45 @@ impl Automaton for GreedyClaimer {
             }
             GreedyState::Idle => panic!("step without pending invocation"),
         }
+    }
+
+    fn pid(&self) -> Option<Pid> {
+        Some(self.id)
+    }
+
+    fn symmetry_class(&self) -> Option<u64> {
+        Some((self.m as u64) << 32 | self.target as u64)
+    }
+}
+
+impl EncodeState for GreedyState {
+    fn encode_with(&self, _map: &PidMap, out: &mut Vec<u8>) {
+        match *self {
+            GreedyState::Idle => encode::put_u8(0, out),
+            GreedyState::Sweep { x, owned } => {
+                encode::put_u8(1, out);
+                encode::put_u8(x as u8, out);
+                encode::put_u8(owned as u8, out);
+            }
+            GreedyState::Unlock { x } => {
+                encode::put_u8(2, out);
+                encode::put_u8(x as u8, out);
+            }
+        }
+    }
+
+    fn decode(bytes: &mut &[u8]) -> Option<Self> {
+        Some(match encode::take_u8(bytes)? {
+            0 => GreedyState::Idle,
+            1 => GreedyState::Sweep {
+                x: encode::take_u8(bytes)? as usize,
+                owned: encode::take_u8(bytes)? as usize,
+            },
+            2 => GreedyState::Unlock {
+                x: encode::take_u8(bytes)? as usize,
+            },
+            _ => return None,
+        })
     }
 }
 

@@ -43,13 +43,15 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod orbit;
 pub mod permutation;
 pub mod rmw;
 pub mod rw;
 pub mod stats;
 
 pub use adversary::Adversary;
-pub use permutation::{Permutation, PermutationError};
+pub use orbit::{adversary_orbits, canonical_form};
+pub use permutation::{all_permutations, Permutation, PermutationError};
 pub use rmw::{AnonymousRmwMemory, RmwHandle};
 pub use rw::{AnonymousRwMemory, RwHandle, SnapshotError};
 pub use stats::OpCounters;

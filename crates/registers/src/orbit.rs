@@ -1,0 +1,274 @@
+//! Adversary-orbit enumeration: one representative per equivalence
+//! class of permutation assignments.
+//!
+//! The paper's theorems quantify over *every* adversary — every way of
+//! handing each of `n` processes a private permutation of the `m`
+//! register names, i.e. `(m!)ⁿ` assignments.  Most of them are
+//! redundant for verification:
+//!
+//! * **Global register relabeling.**  Replacing every `f_i` by `g ∘ f_i`
+//!   (one `g ∈ S_m` applied on the *physical* side) renames the physical
+//!   registers wholesale.  No process can observe it, so the induced
+//!   state graphs are isomorphic.
+//! * **Process reordering.**  The algorithms under test are symmetric:
+//!   processes differ only in their equality-only identity, so permuting
+//!   which process holds which permutation relabels an isomorphic run.
+//!
+//! Two assignments in the same orbit of those two actions have the same
+//! model-checking verdict, so exhaustive adversary sweeps only need one
+//! representative per orbit: `m!ⁿ⁻¹`-ish classes instead of `m!ⁿ`
+//! assignments — for `n = 2` exactly `(m! + i(m))/2` classes, where
+//! `i(m)` counts the self-inverse permutations.  (Left-normalizing by
+//! `g = f_1⁻¹` turns a 2-process assignment into `(id, h)`, and the
+//! process swap then identifies `h` with `h⁻¹`.)
+//!
+//! Local-name relabelings (`f_i ∘ k`) are deliberately **not**
+//! quotiented: the algorithms scan local names in a fixed order (sweeps,
+//! free-slot policies), so a common local relabeling changes behaviour
+//! and is a genuinely different adversary.
+//!
+//! # Example
+//!
+//! ```
+//! use amx_registers::orbit::adversary_orbits;
+//! // Two processes over three registers: (3!)² = 36 assignments, but
+//! // only 5 genuinely different adversaries.
+//! assert_eq!(adversary_orbits(2, 3).len(), 5);
+//! ```
+
+use crate::adversary::Adversary;
+use crate::permutation::{all_permutations, Permutation};
+
+/// The canonical representative of `perms`'s orbit under global register
+/// relabeling and process reordering, as raw forward maps.
+///
+/// The representative is the lexicographically least image; equal
+/// canonical forms ⇔ same orbit ⇔ isomorphic state graphs for any
+/// symmetric algorithm.
+///
+/// # Panics
+///
+/// Panics if `perms` is empty or its permutations have mismatched sizes.
+#[must_use]
+pub fn canonical_form(perms: &[Permutation]) -> Vec<Vec<usize>> {
+    assert!(!perms.is_empty(), "need at least one process");
+    let m = perms[0].len();
+    assert!(
+        perms.iter().all(|p| p.len() == m),
+        "mismatched permutation sizes"
+    );
+    let n = perms.len();
+    let relabelings = all_permutations(m);
+    let orderings = all_permutations(n);
+    let mut best: Option<Vec<Vec<usize>>> = None;
+    for g in &relabelings {
+        for pi in &orderings {
+            let candidate: Vec<Vec<usize>> = (0..n)
+                .map(|slot| g.compose(&perms[pi.apply(slot)]).as_slice().to_vec())
+                .collect();
+            if best.as_ref().is_none_or(|b| candidate < *b) {
+                best = Some(candidate);
+            }
+        }
+    }
+    best.expect("nonempty search space")
+}
+
+/// Enumerates one [`Adversary`] per orbit for `n` symmetric processes
+/// over `m` registers, in deterministic (lexicographic) order.
+///
+/// Every possible assignment is equivalent (same state graph up to
+/// isomorphism) to exactly one returned adversary, so sweeping these
+/// representatives *is* sweeping all `(m!)ⁿ` adversaries — at a tiny
+/// fraction of the cost.
+///
+/// # Panics
+///
+/// Panics for `n == 0`, `m == 0`, and for parameter combinations whose
+/// enumeration would be infeasibly large: the total work is
+/// `(m!)ⁿ⁻¹ · m! · n!` canonicalization steps, and combinations past
+/// ~5·10⁷ of them (e.g. `n = 3, m = 6` or `n = 4, m = 5`) are rejected
+/// up front instead of running for hours.
+#[must_use]
+pub fn adversary_orbits(n: usize, m: usize) -> Vec<Adversary> {
+    assert!(n >= 1 && m >= 1, "need at least one process and register");
+    let fact = |k: usize| -> u128 { (1..=k as u128).product::<u128>().max(1) };
+    let work = fact(m)
+        .saturating_pow(n as u32 - 1)
+        .saturating_mul(fact(m).saturating_mul(fact(n)));
+    assert!(
+        work <= 50_000_000,
+        "orbit enumeration would take (m!)^(n-1)·m!·n! = {work} canonicalization \
+         steps for n = {n}, m = {m}; feasible region is roughly m ≤ 6 for n = 2, \
+         m ≤ 5 for n = 3, m ≤ 4 for n = 4"
+    );
+    let perms = all_permutations(m);
+    // Left-normalizing by f_1⁻¹ maps every assignment into one with the
+    // identity first, so enumerating (id, f_2, …, f_n) covers all orbits.
+    let mut reps = std::collections::BTreeSet::new();
+    let mut tuple: Vec<Permutation> = vec![Permutation::identity(m); n];
+    enumerate_tails(&mut tuple, 1, &perms, &mut reps);
+    reps.into_iter()
+        .map(|canon| {
+            Adversary::Explicit(
+                canon
+                    .into_iter()
+                    .map(|fwd| Permutation::from_forward(fwd).expect("canonical image is valid"))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn enumerate_tails(
+    tuple: &mut Vec<Permutation>,
+    pos: usize,
+    perms: &[Permutation],
+    reps: &mut std::collections::BTreeSet<Vec<Vec<usize>>>,
+) {
+    if pos == tuple.len() {
+        reps.insert(canonical_form(tuple));
+        return;
+    }
+    for p in perms {
+        tuple[pos] = p.clone();
+        enumerate_tails(tuple, pos + 1, perms, reps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Number of self-inverse permutations of `m` elements (brute force).
+    fn involutions(m: usize) -> usize {
+        all_permutations(m)
+            .iter()
+            .filter(|p| **p == p.inverse())
+            .count()
+    }
+
+    #[test]
+    fn two_process_class_counts_match_the_involution_formula() {
+        // Orbits for n = 2 are pairs {h, h⁻¹}: (m! + i(m))/2 classes.
+        for m in 1..=5usize {
+            let fact: usize = (1..=m).product();
+            let expected = (fact + involutions(m)) / 2;
+            assert_eq!(
+                adversary_orbits(2, m).len(),
+                expected,
+                "class count for n = 2, m = {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_assignment_maps_to_exactly_one_representative_m_up_to_5() {
+        // Soundness + completeness of the enumeration, for n = 2 and all
+        // m ≤ 5: every (f₁, f₂) canonicalizes to a listed representative
+        // (coverage), every representative is hit (no dead entries), and
+        // representatives are fixed points of canonical_form (so no two
+        // listed adversaries share an orbit).
+        for m in 1..=5usize {
+            let reps = adversary_orbits(2, m);
+            let rep_forms: Vec<Vec<Vec<usize>>> = reps
+                .iter()
+                .map(|adv| {
+                    let Adversary::Explicit(ps) = adv else {
+                        panic!("orbit reps are explicit");
+                    };
+                    ps.iter().map(|p| p.as_slice().to_vec()).collect()
+                })
+                .collect();
+            for form in &rep_forms {
+                let back: Vec<Permutation> = form
+                    .iter()
+                    .map(|f| Permutation::from_forward(f.clone()).unwrap())
+                    .collect();
+                assert_eq!(
+                    &canonical_form(&back),
+                    form,
+                    "representatives must be canonical fixed points (m = {m})"
+                );
+            }
+            let mut hit = vec![false; rep_forms.len()];
+            // Covering tuples (id, h) suffices: every orbit contains one.
+            for h in all_permutations(m) {
+                let tuple = vec![Permutation::identity(m), h];
+                let canon = canonical_form(&tuple);
+                let idx = rep_forms
+                    .iter()
+                    .position(|f| *f == canon)
+                    .unwrap_or_else(|| panic!("orbit of {tuple:?} not represented (m = {m})"));
+                hit[idx] = true;
+            }
+            assert!(
+                hit.iter().all(|&h| h),
+                "every representative must be reachable (m = {m})"
+            );
+        }
+    }
+
+    #[test]
+    fn equivalent_assignments_share_a_canonical_form() {
+        // Same orbit three ways: raw, globally relabeled, process-swapped.
+        let f1 = Permutation::rotation(4, 1);
+        let f2 = Permutation::from_forward(vec![2, 0, 3, 1]).unwrap();
+        let g = Permutation::from_forward(vec![3, 1, 0, 2]).unwrap();
+        let base = vec![f1.clone(), f2.clone()];
+        let relabeled = vec![g.compose(&f1), g.compose(&f2)];
+        let swapped = vec![f2, f1];
+        let canon = canonical_form(&base);
+        assert_eq!(canonical_form(&relabeled), canon);
+        assert_eq!(canonical_form(&swapped), canon);
+    }
+
+    #[test]
+    fn inequivalent_assignments_differ() {
+        // Identity-for-both vs a 3-cycle offset: different orbits.
+        let same = vec![Permutation::identity(3), Permutation::identity(3)];
+        let offset = vec![Permutation::identity(3), Permutation::rotation(3, 1)];
+        assert_ne!(canonical_form(&same), canonical_form(&offset));
+    }
+
+    #[test]
+    fn representatives_materialize_for_model_checking() {
+        for adv in adversary_orbits(2, 3) {
+            let perms = adv.permutations(2, 3).expect("explicit reps are valid");
+            assert_eq!(perms.len(), 2);
+            assert!(perms.iter().all(|p| p.len() == 3));
+        }
+    }
+
+    #[test]
+    fn three_process_enumeration_is_consistent() {
+        // n = 3, m = 3: small enough to enumerate; representatives must
+        // be canonical fixed points and pairwise distinct.
+        let reps = adversary_orbits(3, 3);
+        assert!(!reps.is_empty());
+        let forms: std::collections::BTreeSet<Vec<Vec<usize>>> = reps
+            .iter()
+            .map(|adv| {
+                let Adversary::Explicit(ps) = adv else {
+                    panic!("explicit")
+                };
+                canonical_form(ps)
+            })
+            .collect();
+        assert_eq!(forms.len(), reps.len(), "reps must be pairwise distinct");
+    }
+
+    #[test]
+    #[should_panic(expected = "orbit enumeration would take")]
+    fn oversized_enumeration_is_rejected() {
+        let _ = adversary_orbits(2, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "orbit enumeration would take")]
+    fn infeasible_combination_is_rejected_not_hung() {
+        // (n = 4, m = 6) passes naive per-parameter caps but would run
+        // ~10¹⁷ operations; the work-product guard must reject it.
+        let _ = adversary_orbits(4, 6);
+    }
+}

@@ -177,6 +177,50 @@ impl Permutation {
     }
 }
 
+/// Every permutation of `{0, …, m-1}`, in a deterministic order with the
+/// identity first (Heap's algorithm).
+///
+/// Feeds the adversary-orbit enumeration in [`crate::orbit`]; `m!` grows
+/// fast, so callers cap `m` (the enumerator bounds its total work).
+///
+/// # Example
+///
+/// ```
+/// use amx_registers::permutation::all_permutations;
+/// let perms = all_permutations(3);
+/// assert_eq!(perms.len(), 6);
+/// assert!(perms[0].is_identity());
+/// ```
+///
+/// # Panics
+///
+/// Panics if `m > 12` (13! overflows practical memory long before that).
+#[must_use]
+pub fn all_permutations(m: usize) -> Vec<Permutation> {
+    assert!(m <= 12, "m! permutations do not fit in memory for m > 12");
+    let mut out = Vec::new();
+    let mut work: Vec<usize> = (0..m).collect();
+    heap_permute(&mut work, m, &mut out);
+    out
+}
+
+fn heap_permute(work: &mut [usize], k: usize, out: &mut Vec<Permutation>) {
+    if k <= 1 {
+        out.push(Permutation {
+            forward: work.to_vec(),
+        });
+        return;
+    }
+    for i in 0..k {
+        heap_permute(work, k - 1, out);
+        if k.is_multiple_of(2) {
+            work.swap(i, k - 1);
+        } else {
+            work.swap(0, k - 1);
+        }
+    }
+}
+
 impl fmt::Debug for Permutation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Permutation{:?}", self.forward)
@@ -275,6 +319,22 @@ mod tests {
             let mut image: Vec<usize> = (0..12).map(|x| p.apply(x)).collect();
             image.sort_unstable();
             assert_eq!(image, (0..12).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn all_permutations_is_complete_and_distinct() {
+        for m in 0..=5usize {
+            let perms = all_permutations(m);
+            let expected: usize = (1..=m).product::<usize>().max(1);
+            assert_eq!(perms.len(), expected, "m = {m}");
+            let mut seen: Vec<&[usize]> = perms.iter().map(Permutation::as_slice).collect();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), expected, "duplicates for m = {m}");
+            if m > 0 {
+                assert!(perms[0].is_identity(), "identity must come first");
+            }
         }
     }
 

@@ -73,6 +73,35 @@ pub trait Automaton {
     /// (i.e. without a preceding `start_lock`/`start_unlock`) — drivers
     /// never do this.
     fn step<M: MemoryOps + ?Sized>(&self, state: &mut Self::State, mem: &mut M) -> Outcome;
+
+    /// The process identity this automaton writes into shared registers,
+    /// if any.
+    ///
+    /// Used by the model checker's process-symmetry reduction to relabel
+    /// identities consistently when permuting process roles.  The default
+    /// `None` declares "this automaton never stores an identity" (e.g.
+    /// [`crate::toys::SpinForever`]); automata that do write their id
+    /// must override it for the reduction to be sound.
+    fn pid(&self) -> Option<amx_ids::Pid> {
+        None
+    }
+
+    /// Symmetry handshake: a token identifying this automaton's
+    /// configuration *with the process identity erased*.
+    ///
+    /// Two processes are interchangeable under the model checker's
+    /// [`crate::mc::Symmetry::Process`] reduction exactly when they
+    /// return equal `Some` tokens (and their adversary permutations are
+    /// equal).  Returning `Some(t)` is a promise: another automaton with
+    /// the same token behaves identically after swapping the two
+    /// identities everywhere.  The default `None` opts out — a process
+    /// that never declares a class is never permuted, so the reduction
+    /// degrades gracefully to the full exploration instead of becoming
+    /// unsound.  Asymmetric automata (e.g. Peterson's, where each side
+    /// is hard-wired) must return distinct tokens per role or `None`.
+    fn symmetry_class(&self) -> Option<u64> {
+        None
+    }
 }
 
 #[cfg(test)]

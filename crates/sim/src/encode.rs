@@ -1,0 +1,126 @@
+//! Compact byte encodings of model-checker states.
+//!
+//! The exploration engine in [`crate::mc`] does not store cloned
+//! `Vec<Slot>`/state structs per reachable node; it stores one flat,
+//! self-delimiting byte string per node inside an interned arena
+//! ([`crate::intern::StateArena`]).  [`EncodeState`] is the capability a
+//! protocol state must provide to participate:
+//!
+//! * [`EncodeState::encode_with`] appends the state's bytes to a caller
+//!   scratch buffer, passing every embedded [`Slot`] through a
+//!   [`PidMap`] — the codec hook symmetry reduction uses to relabel
+//!   equality-only identities while permuting process roles.
+//! * [`EncodeState::decode`] reads the state back from the front of a
+//!   byte slice (the engine regenerates successors from stored bytes
+//!   instead of keeping cloned nodes or a materialized edge list).
+//!
+//! Encodings only ever need to be compared *within one run* (fixed
+//! automata, fixed `m`), so they need not be portable or versioned —
+//! only injective per configuration and cheap.
+//!
+//! The free functions are little-endian primitives shared by the
+//! implementations in this workspace; a [`Slot`] costs 4 bytes (its raw
+//! token, 0 = ⊥).
+
+use amx_ids::codec::PidMap;
+use amx_ids::{Pid, Slot};
+
+/// A protocol state that can serialize itself into a flat byte buffer.
+///
+/// Contract: `a == b` ⇔ `encode(a) == encode(b)` (for states of the same
+/// automaton configuration), and `decode(encode(a)) == Some(a)` leaving
+/// the input advanced past exactly the written bytes.  Every [`Slot`]
+/// embedded in the state must be routed through the map given to
+/// [`encode_with`](Self::encode_with); states without embedded slots can
+/// ignore it.
+pub trait EncodeState: Clone + Eq + std::hash::Hash + std::fmt::Debug {
+    /// Appends a self-delimiting encoding of this state to `out`,
+    /// rewriting every embedded [`Slot`] through `map`.
+    fn encode_with(&self, map: &PidMap, out: &mut Vec<u8>);
+
+    /// Appends a self-delimiting encoding of this state to `out`.
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.encode_with(&PidMap::identity(), out);
+    }
+
+    /// Decodes one state from the front of `bytes`, advancing the slice.
+    ///
+    /// Returns `None` on truncated or malformed input.
+    fn decode(bytes: &mut &[u8]) -> Option<Self>;
+}
+
+/// Appends one byte.
+pub fn put_u8(v: u8, out: &mut Vec<u8>) {
+    out.push(v);
+}
+
+/// Appends a `u64` in little-endian order.
+pub fn put_u64(v: u64, out: &mut Vec<u8>) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a slot as its 4-byte raw token (0 = ⊥), relabeled by `map`.
+pub fn put_slot(slot: Slot, map: &PidMap, out: &mut Vec<u8>) {
+    let raw = match map.map_slot(slot).pid() {
+        None => 0u32,
+        Some(p) => p.to_raw(),
+    };
+    out.extend_from_slice(&raw.to_le_bytes());
+}
+
+/// Reads one byte from the front of `bytes`.
+pub fn take_u8(bytes: &mut &[u8]) -> Option<u8> {
+    let (&first, rest) = bytes.split_first()?;
+    *bytes = rest;
+    Some(first)
+}
+
+/// Reads a little-endian `u64` from the front of `bytes`.
+pub fn take_u64(bytes: &mut &[u8]) -> Option<u64> {
+    let (head, rest) = bytes.split_first_chunk::<8>()?;
+    *bytes = rest;
+    Some(u64::from_le_bytes(*head))
+}
+
+/// Reads a 4-byte slot token from the front of `bytes`.
+pub fn take_slot(bytes: &mut &[u8]) -> Option<Slot> {
+    let (head, rest) = bytes.split_first_chunk::<4>()?;
+    *bytes = rest;
+    Some(Slot::from(Pid::from_raw(u32::from_le_bytes(*head))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amx_ids::PidPool;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut buf = Vec::new();
+        put_u8(7, &mut buf);
+        put_u64(0xDEAD_BEEF_0BAD_F00D, &mut buf);
+        let mut pool = PidPool::sequential();
+        let id = pool.mint();
+        put_slot(Slot::from(id), &PidMap::identity(), &mut buf);
+        put_slot(Slot::BOTTOM, &PidMap::identity(), &mut buf);
+
+        let mut cur = buf.as_slice();
+        assert_eq!(take_u8(&mut cur), Some(7));
+        assert_eq!(take_u64(&mut cur), Some(0xDEAD_BEEF_0BAD_F00D));
+        assert_eq!(take_slot(&mut cur), Some(Slot::from(id)));
+        assert_eq!(take_slot(&mut cur), Some(Slot::BOTTOM));
+        assert!(cur.is_empty());
+        assert_eq!(take_u8(&mut cur), None, "exhausted input");
+    }
+
+    #[test]
+    fn put_slot_applies_the_relabeling() {
+        let mut pool = PidPool::sequential();
+        let (a, b) = (pool.mint(), pool.mint());
+        let swap = PidMap::from_pairs(vec![(a, b), (b, a)]);
+        let mut buf = Vec::new();
+        put_slot(Slot::from(a), &swap, &mut buf);
+        let mut cur = buf.as_slice();
+        assert_eq!(take_slot(&mut cur), Some(Slot::from(b)));
+    }
+}

@@ -1,0 +1,227 @@
+//! An interned arena of encoded states — the model checker's seen-set.
+//!
+//! The old seen-set was a `HashMap<Node, u32>` whose keys were fully
+//! cloned `Node { Vec<Slot>, Vec<(Phase, S)> }` values: two heap
+//! allocations plus a clone per stored state, and a second clone per
+//! *insertion* (the map key and the node list each held one).
+//! [`StateArena`] replaces it with the `indexmap` layout:
+//!
+//! * one flat `Vec<u8>` holding every encoded state back to back,
+//! * a `Vec<u32>` of end offsets (state `i` is `data[ends[i-1]..ends[i]]`),
+//! * an open-addressing hash table mapping a state's bytes to its index.
+//!
+//! Interning a fresh state appends its bytes once; interning a seen
+//! state allocates nothing.  Indices are dense `u32`s, assigned in
+//! insertion order, which is exactly what the breadth-first parent
+//! chains and the SCC pass need.
+
+/// Multiplier of the 64-bit FNV-1a hash used for the byte strings.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+/// Offset basis of the 64-bit FNV-1a hash.
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// Hashes a byte string (FNV-1a; the table stores indices, not hashes,
+/// so collisions only cost an extra byte comparison).
+#[must_use]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Sentinel marking an empty hash-table bucket.
+const EMPTY: u32 = u32::MAX;
+
+/// An append-only set of byte strings with dense `u32` indices.
+///
+/// # Example
+///
+/// ```
+/// use amx_sim::intern::StateArena;
+/// let mut arena = StateArena::new();
+/// let (a, fresh_a) = arena.intern(b"state-a");
+/// let (b, fresh_b) = arena.intern(b"state-b");
+/// let (a2, fresh_a2) = arena.intern(b"state-a");
+/// assert!(fresh_a && fresh_b && !fresh_a2);
+/// assert_eq!(a, a2);
+/// assert_ne!(a, b);
+/// assert_eq!(arena.get(a), b"state-a");
+/// assert_eq!(arena.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StateArena {
+    data: Vec<u8>,
+    ends: Vec<u32>,
+    table: Vec<u32>,
+}
+
+impl StateArena {
+    /// An empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        StateArena {
+            data: Vec::new(),
+            ends: Vec::new(),
+            table: vec![EMPTY; 16],
+        }
+    }
+
+    /// Number of interned states.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// `true` when no state has been interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// Bytes held by the flat data buffer (a peak-memory proxy; the
+    /// offset vector and hash table add ~8–12 bytes per state on top).
+    #[must_use]
+    pub fn data_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The encoded bytes of state `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn get(&self, idx: u32) -> &[u8] {
+        let i = idx as usize;
+        let start = if i == 0 { 0 } else { self.ends[i - 1] as usize };
+        &self.data[start..self.ends[i] as usize]
+    }
+
+    /// Looks up a state without inserting it.
+    #[must_use]
+    pub fn lookup(&self, bytes: &[u8]) -> Option<u32> {
+        let mask = self.table.len() - 1;
+        let mut slot = (hash_bytes(bytes) as usize) & mask;
+        loop {
+            match self.table[slot] {
+                EMPTY => return None,
+                idx => {
+                    if self.get(idx) == bytes {
+                        return Some(idx);
+                    }
+                }
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Interns `bytes`, returning `(index, freshly_inserted)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena outgrows `u32` indexing (> 4 GiB of encoded
+    /// state data or ≥ `u32::MAX` states) — far beyond any state space
+    /// the checker's bounds admit.
+    pub fn intern(&mut self, bytes: &[u8]) -> (u32, bool) {
+        if self.ends.len() * 8 >= self.table.len() * 7 {
+            self.grow();
+        }
+        let mask = self.table.len() - 1;
+        let mut slot = (hash_bytes(bytes) as usize) & mask;
+        loop {
+            match self.table[slot] {
+                EMPTY => break,
+                idx => {
+                    if self.get(idx) == bytes {
+                        return (idx, false);
+                    }
+                }
+            }
+            slot = (slot + 1) & mask;
+        }
+        let idx = u32::try_from(self.ends.len()).expect("arena index overflow");
+        self.data.extend_from_slice(bytes);
+        let end = u32::try_from(self.data.len()).expect("arena data overflow");
+        self.ends.push(end);
+        self.table[slot] = idx;
+        debug_assert_eq!(
+            self.lookup(bytes),
+            Some(idx),
+            "arena index and id-table out of sync after insert"
+        );
+        (idx, true)
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.table.len() * 2;
+        let mask = new_cap - 1;
+        let mut table = vec![EMPTY; new_cap];
+        for idx in 0..self.ends.len() as u32 {
+            let mut slot = (hash_bytes(self.get(idx)) as usize) & mask;
+            while table[slot] != EMPTY {
+                slot = (slot + 1) & mask;
+            }
+            table[slot] = idx;
+        }
+        self.table = table;
+    }
+}
+
+impl Default for StateArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut arena = StateArena::new();
+        for round in 0..3 {
+            for i in 0..100u32 {
+                let bytes = i.to_le_bytes();
+                let (idx, fresh) = arena.intern(&bytes);
+                assert_eq!(idx, i, "dense insertion-order indices");
+                assert_eq!(fresh, round == 0);
+            }
+        }
+        assert_eq!(arena.len(), 100);
+        for i in 0..100u32 {
+            assert_eq!(arena.get(i), i.to_le_bytes());
+            assert_eq!(arena.lookup(&i.to_le_bytes()), Some(i));
+        }
+        assert_eq!(arena.lookup(&1000u32.to_le_bytes()), None);
+    }
+
+    #[test]
+    fn variable_length_states_do_not_collide() {
+        let mut arena = StateArena::new();
+        let (a, _) = arena.intern(b"");
+        let (b, _) = arena.intern(b"x");
+        let (c, _) = arena.intern(b"xx");
+        assert_eq!(arena.get(a), b"");
+        assert_eq!(arena.get(b), b"x");
+        assert_eq!(arena.get(c), b"xx");
+        assert_eq!(arena.intern(b"x"), (b, false));
+    }
+
+    #[test]
+    fn survives_table_growth() {
+        let mut arena = StateArena::new();
+        let n = 10_000u32;
+        for i in 0..n {
+            arena.intern(&i.to_le_bytes());
+        }
+        assert_eq!(arena.len(), n as usize);
+        assert_eq!(arena.data_bytes(), n as usize * 4);
+        for i in (0..n).rev() {
+            assert_eq!(arena.lookup(&i.to_le_bytes()), Some(i));
+        }
+    }
+}

@@ -18,9 +18,34 @@
 //! * [`runner::Runner`] — closed-loop executions with invariant monitors
 //!   (mutual exclusion, progress counters, traces).
 //! * [`mc::ModelChecker`] — exhaustive exploration of the reachable state
-//!   space for small configurations, checking mutual exclusion on every
-//!   state and detecting *fair livelock* (the formal negation of
-//!   deadlock-freedom) by SCC analysis.
+//!   space, checking mutual exclusion on every state and detecting *fair
+//!   livelock* (the formal negation of deadlock-freedom) by SCC analysis.
+//!
+//! The model checker is built for scale, not just small configurations:
+//!
+//! * **Compact interned states** — every reachable node is one flat byte
+//!   string ([`encode::EncodeState`]) interned in an arena
+//!   ([`intern::StateArena`]); successors are generated into reused
+//!   scratch buffers, so the hot loop performs no per-step clones or
+//!   per-node allocations beyond the single arena append.
+//! * **Process-symmetry reduction** ([`mc::Symmetry::Process`]) — the
+//!   paper's algorithms are symmetric (identities support equality
+//!   only), so states that differ by permuting interchangeable processes
+//!   and consistently relabeling their identities are isomorphic.  The
+//!   checker canonicalizes each state under that group, storing one
+//!   representative per orbit (up to `n!` fewer states) while still
+//!   producing *concrete* witness schedules, and reports the exact
+//!   concrete state count alongside the canonical one.
+//! * **Parallel frontier** ([`mc::ModelChecker::threads`], or the
+//!   `AMX_MC_THREADS` environment variable) — breadth-first levels are
+//!   sharded across worker threads over a striped seen-set.
+//!   Single-threaded remains the default so CI output and witness
+//!   schedules are deterministic; the verdict kind and all counts are
+//!   identical at any thread count (witness schedules stay valid and
+//!   shortest, but may differ among equally short candidates).
+//! * **O(states) memory** — the deadlock-freedom pass regenerates
+//!   successors from the interned bytes instead of buffering the full
+//!   transition list for Tarjan.
 //!
 //! The simulator linearizes each operation (including `snapshot`) at a
 //! single step, which is exactly the atomicity the paper's proofs assume.
@@ -44,6 +69,8 @@
 #![warn(missing_docs)]
 
 pub mod automaton;
+pub mod encode;
+pub mod intern;
 pub mod mc;
 pub mod mem;
 pub mod runner;
@@ -52,7 +79,8 @@ pub mod toys;
 pub mod trace;
 
 pub use automaton::{Automaton, Outcome, Phase};
-pub use mc::{McReport, ModelChecker, Verdict};
+pub use encode::EncodeState;
+pub use mc::{McReport, ModelChecker, Symmetry, Verdict};
 pub use mem::{MemoryModel, MemoryOps, SimMemory};
 pub use runner::{RunReport, Runner, Stop, TraceEvent, Workload};
 pub use schedule::Scheduler;

@@ -20,14 +20,66 @@
 //!
 //! Processes run the closed loop `remainder → lock → CS → unlock → …`
 //! forever (the workload under which deadlock-freedom is stated).
+//!
+//! # Engine architecture
+//!
+//! The explorer stores each reachable node as one flat byte string (the
+//! [`crate::encode::EncodeState`] encoding of the memory slots plus all
+//! process phase/state pairs) inside interned [`crate::intern::StateArena`]
+//! stripes — no cloned `Vec<Slot>` per node and no cloned node per
+//! successor step (successors are generated into reused scratch
+//! buffers).  Three engine knobs exist beyond the state bound:
+//!
+//! * [`ModelChecker::symmetry`] — with [`Symmetry::Process`], each node
+//!   is canonicalized under the *process-symmetry group* before
+//!   interning: interchangeable processes (equal
+//!   [`Automaton::symmetry_class`] token and equal adversary
+//!   permutation) may be permuted, with their equality-only identities
+//!   relabeled consistently in every register slot via
+//!   [`amx_ids::codec::PidMap`].  The paper's algorithms are symmetric
+//!   by construction, so orbits collapse by up to `n!` and the stored
+//!   state count drops accordingly.  Witness schedules remain concrete:
+//!   the group element used on each tree edge is recorded, and parent
+//!   chains are mapped back through the accumulated permutation.
+//! * [`ModelChecker::threads`] — the breadth-first frontier is split
+//!   level-by-level across `std::thread` workers over a striped
+//!   seen-set (one `parking_lot` lock per stripe).  Single-threaded is
+//!   the default so that state numbering, counters, and witness
+//!   schedules stay byte-for-byte deterministic in CI; the
+//!   `AMX_MC_THREADS` environment variable overrides the default when
+//!   no explicit thread count is set.  The verdict kind and all counts
+//!   are thread-count independent on completing runs; witness
+//!   schedules are always valid and shortest, but may differ between
+//!   runs with more than one thread when several equally short
+//!   witnesses tie.
+//! * [`ModelChecker::cross_check`] — debug mode: after a reduced run,
+//!   re-explores with [`Symmetry::Off`] and panics if the verdicts (or
+//!   the orbit accounting) diverge.
+//!
+//! The deadlock-freedom pass no longer buffers a transition list for
+//! Tarjan: successors are *regenerated* from the interned bytes on
+//! demand (each node has exactly `n` successors, one per actor), so
+//! peak memory is O(states) rather than O(stored transitions).
+//!
+//! With `Symmetry::Process`, the fair-livelock check runs on the orbit
+//! quotient with fairness at the granularity of symmetry classes
+//! (interchangeable processes are indistinguishable in the quotient).
+//! The differential test suite cross-validates reduced against full
+//! verdicts on every algorithm in this workspace; [`Symmetry::Off`]
+//! remains the default and is exact.
 
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use amx_ids::codec::PidMap;
+use amx_ids::Slot;
 
 use crate::automaton::{Automaton, Outcome, Phase};
+use crate::encode::{self, EncodeState};
+use crate::intern::{hash_bytes, StateArena};
 use crate::mem::SimMemory;
-
-use amx_ids::Slot;
 
 /// Final verdict of a model-checking run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,7 +100,8 @@ pub enum Verdict {
     FairLivelock {
         /// Processes with pending invocations that all keep stepping.
         pending: Vec<usize>,
-        /// Number of states in the livelock component.
+        /// Number of states in the livelock component (canonical states
+        /// under the active symmetry mode).
         scc_states: usize,
         /// A schedule (sequence of process indices) leading from the
         /// initial state into the livelock component.
@@ -56,17 +109,51 @@ pub enum Verdict {
     },
 }
 
+/// Which state-graph symmetry the explorer quotients by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Symmetry {
+    /// No reduction: every concrete state is stored.  Exact.
+    #[default]
+    Off,
+    /// Process-symmetry reduction: states are canonicalized under the
+    /// group generated by permuting interchangeable processes (equal
+    /// [`Automaton::symmetry_class`] and equal adversary permutation)
+    /// together with the matching identity relabeling.  Sound for
+    /// automata honouring the `symmetry_class` contract; processes that
+    /// opt out (`None`) are never permuted.
+    Process,
+}
+
 /// Statistics and verdict of a model-checking run.
 #[derive(Debug, Clone)]
 pub struct McReport {
     /// The verdict.
     pub verdict: Verdict,
-    /// Reachable states explored.
+    /// States stored during exploration (canonical states when symmetry
+    /// reduction is active; equals `canonical_states`).
     pub states: usize,
     /// Transitions explored.
     pub transitions: usize,
     /// How many transitions were critical-section acquisitions.
     pub acquisitions: usize,
+    /// Canonical states stored (same as `states`; named for clarity in
+    /// reduced runs).
+    pub canonical_states: usize,
+    /// Exact size of the union of the stored states' orbits — i.e. the
+    /// number of *concrete* states a [`Symmetry::Off`] run of the same
+    /// configuration would store (assuming it completes).  Equals
+    /// `states` when symmetry is off.
+    pub full_states_estimate: usize,
+    /// Largest breadth-first level encountered.
+    pub peak_frontier: usize,
+    /// Wall-clock duration of the exploration.
+    pub wall_time: Duration,
+    /// Bytes held by the interned state arenas (peak-memory proxy).
+    pub arena_bytes: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Symmetry mode the run used.
+    pub symmetry: Symmetry,
 }
 
 /// Error: the state space exceeded the configured bound.
@@ -84,19 +171,13 @@ impl std::fmt::Display for StateSpaceExceeded {
 
 impl std::error::Error for StateSpaceExceeded {}
 
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct Node<S> {
-    slots: Vec<Slot>,
-    procs: Vec<(Phase, S)>,
-}
-
 /// Exhaustive explorer; see the module docs.
 ///
 /// # Example
 ///
 /// ```
 /// use amx_ids::PidPool;
-/// use amx_sim::mc::{ModelChecker, Verdict};
+/// use amx_sim::mc::{ModelChecker, Symmetry, Verdict};
 /// use amx_sim::toys::CasLock;
 ///
 /// let ids = PidPool::sequential().mint_many(2);
@@ -108,15 +189,20 @@ struct Node<S> {
 ///     &amx_registers::Adversary::Identity,
 /// )
 /// .unwrap()
+/// .symmetry(Symmetry::Process)
 /// .run()
 /// .unwrap();
 /// assert_eq!(report.verdict, Verdict::Ok);
+/// assert!(report.canonical_states <= report.full_states_estimate);
 /// ```
 #[derive(Debug)]
 pub struct ModelChecker<A: Automaton> {
     automata: Vec<A>,
     mem0: SimMemory,
     max_states: usize,
+    symmetry: Symmetry,
+    threads: Option<usize>,
+    cross_check: bool,
 }
 
 impl<A: Automaton> ModelChecker<A> {
@@ -139,12 +225,19 @@ impl<A: Automaton> ModelChecker<A> {
         Self::with_automata(automata, model, m, &amx_registers::Adversary::Identity)
             .expect("identity adversary is always valid")
     }
+
     /// Checker for the given per-process automata, memory model, size and
     /// adversary.
     ///
     /// # Errors
     ///
     /// Propagates adversary materialization failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `automata` is empty or holds more than 64 processes
+    /// (actor indices are stored in one byte, and the algorithm states'
+    /// bitmasks cap `m` at 64 anyway).
     pub fn with_automata(
         automata: Vec<A>,
         model: crate::mem::MemoryModel,
@@ -152,159 +245,294 @@ impl<A: Automaton> ModelChecker<A> {
         adversary: &amx_registers::Adversary,
     ) -> Result<Self, amx_registers::adversary::AdversaryError> {
         assert!(!automata.is_empty(), "need at least one process");
+        assert!(automata.len() <= 64, "at most 64 processes");
         let n = automata.len();
         Ok(ModelChecker {
             automata,
             mem0: SimMemory::new(model, m, adversary, n)?,
             max_states: 2_000_000,
+            symmetry: Symmetry::Off,
+            threads: None,
+            cross_check: false,
         })
     }
 
-    /// Sets the state-space bound (default 2,000,000).
+    /// Sets the state-space bound (default 2,000,000).  With symmetry
+    /// reduction active the bound applies to *canonical* states.
     #[must_use]
     pub fn max_states(mut self, max_states: usize) -> Self {
         self.max_states = max_states;
         self
     }
 
-    /// Explores the full reachable state space.
+    /// Sets the symmetry mode (default [`Symmetry::Off`]).
+    #[must_use]
+    pub fn symmetry(mut self, symmetry: Symmetry) -> Self {
+        self.symmetry = symmetry;
+        self
+    }
+
+    /// Sets the worker thread count explicitly.  Without this call the
+    /// count comes from the `AMX_MC_THREADS` environment variable, and
+    /// defaults to 1 (deterministic state numbering and witnesses).
+    /// The verdict kind and all counts are identical at any thread
+    /// count; with several threads, witness schedules may differ among
+    /// equally short candidates because seen-set insertion races pick
+    /// the breadth-first spanning tree.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Debug mode: after a [`Symmetry::Process`] run, re-explore with
+    /// [`Symmetry::Off`] and panic if the verdicts (or the orbit
+    /// accounting) diverge.  Doubles the work; intended for tests.
+    #[must_use]
+    pub fn cross_check(mut self, on: bool) -> Self {
+        self.cross_check = on;
+        self
+    }
+
+    fn effective_threads(&self) -> usize {
+        if let Some(t) = self.threads {
+            return t;
+        }
+        std::env::var("AMX_MC_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or(1)
+    }
+}
+
+impl<A: Automaton + Sync> ModelChecker<A>
+where
+    A::State: EncodeState + Send,
+{
+    /// Explores the full reachable state space (quotiented by the
+    /// configured symmetry).
     ///
     /// # Errors
     ///
     /// Returns [`StateSpaceExceeded`] if more than the configured number
     /// of states are reachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`cross_check`](Self::cross_check) is enabled and the
+    /// reduced and full explorations disagree.
     pub fn run(&self) -> Result<McReport, StateSpaceExceeded> {
-        let n = self.automata.len();
-        let init = Node {
-            slots: vec![Slot::BOTTOM; self.mem0.m()],
-            procs: self
-                .automata
-                .iter()
-                .map(|a| (Phase::Remainder, a.init_state()))
+        let report = self.explore(self.symmetry)?;
+        if self.cross_check && self.symmetry == Symmetry::Process {
+            let full = self.explore(Symmetry::Off)?;
+            assert_eq!(
+                verdict_kind(&report.verdict),
+                verdict_kind(&full.verdict),
+                "symmetry cross-check: reduced verdict {:?} vs full verdict {:?}",
+                report.verdict,
+                full.verdict
+            );
+            if !matches!(report.verdict, Verdict::MutualExclusionViolation { .. }) {
+                assert_eq!(
+                    report.full_states_estimate, full.states,
+                    "symmetry cross-check: orbit accounting diverged"
+                );
+            }
+        }
+        Ok(report)
+    }
+
+    fn explore(&self, symmetry: Symmetry) -> Result<McReport, StateSpaceExceeded> {
+        let start = Instant::now();
+        let m = self.mem0.m();
+        let threads = self.effective_threads();
+        let shard_bits: u32 = if threads == 1 { 0 } else { 6 };
+        assert!(
+            self.max_states < (u32::MAX >> shard_bits) as usize,
+            "max_states too large for the id encoding"
+        );
+        let (group, class_of) = build_group(&self.automata, &self.mem0, symmetry);
+        let shared = EngineShared {
+            automata: &self.automata,
+            mem0: &self.mem0,
+            group: &group,
+            shards: (0..1usize << shard_bits)
+                .map(|_| Mutex::new(Shard::default()))
                 .collect(),
+            shard_bits,
+            max_states: self.max_states,
+            stored: AtomicUsize::new(0),
+            orbit_sum: AtomicUsize::new(0),
+            overflow: AtomicBool::new(false),
         };
 
-        let mut ids: HashMap<Node<A::State>, u32> = HashMap::new();
-        let mut nodes: Vec<Node<A::State>> = Vec::new();
-        let mut parent: Vec<(u32, u8)> = Vec::new(); // (parent id, actor)
-                                                     // Flat edge list: (from, to, actor, completion).
-        let mut edges: Vec<(u32, u32, u8, bool)> = Vec::new();
+        // Seed the frontier with the (group-invariant) initial state.
+        let mut scratch: Scratch<A::State> = Scratch::new(self.mem0.clone());
+        scratch.slots = vec![Slot::BOTTOM; m];
+        scratch.procs = self
+            .automata
+            .iter()
+            .map(|a| (Phase::Remainder, a.init_state()))
+            .collect();
+        let (sigma0, orbit0) = canonicalize(
+            &group,
+            &scratch.slots,
+            &scratch.procs,
+            &mut scratch.enc,
+            &mut scratch.best,
+            &mut scratch.first,
+        );
+        debug_assert_eq!(
+            (sigma0, orbit0),
+            (0, 1),
+            "the initial state must be fixed by the symmetry group \
+             (is a symmetry_class contract violated?)"
+        );
+        let meta0 = NodeMeta {
+            parent: u32::MAX,
+            actor: 0,
+            sigma: sigma0,
+        };
+        let (root, _) = shared.intern(&scratch.best, meta0, orbit0);
+        let mut frontier: Vec<(u32, Box<[u8]>)> = vec![(root, scratch.best.as_slice().into())];
+
+        let mut peak_frontier = 0usize;
         let mut acquisitions = 0usize;
+        let mut transitions = 0usize;
+        let mut violation: Option<Violation> = None;
 
-        ids.insert(init.clone(), 0);
-        nodes.push(init);
-        parent.push((u32::MAX, 0));
-
-        let mut frontier = 0usize;
-        while frontier < nodes.len() {
-            let from = frontier as u32;
-            for i in 0..n {
-                let mut node = nodes[frontier].clone();
-                let outcome = self.advance(&mut node, i);
-                if outcome == Outcome::Acquired {
-                    acquisitions += 1;
-                    if let Some(j) = (0..n).find(|&j| j != i && node.procs[j].0 == Phase::Cs) {
-                        // Reconstruct the schedule via parent pointers.
-                        let mut schedule = vec![i];
-                        let mut cur = from;
-                        while cur != 0 {
-                            let (p, actor) = parent[cur as usize];
-                            schedule.push(actor as usize);
-                            cur = p;
-                        }
-                        schedule.reverse();
-                        return Ok(McReport {
-                            verdict: Verdict::MutualExclusionViolation {
-                                schedule,
-                                procs: (j, i),
-                            },
-                            states: nodes.len(),
-                            transitions: edges.len() + 1,
-                            acquisitions,
-                        });
+        while !frontier.is_empty()
+            && violation.is_none()
+            && !shared.overflow.load(Ordering::Relaxed)
+        {
+            peak_frontier = peak_frontier.max(frontier.len());
+            let outs: Vec<WorkerOut> = if threads == 1 {
+                vec![process_chunk(&shared, &frontier, 0, &mut scratch)]
+            } else {
+                let chunk_size = frontier.len().div_ceil(threads);
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = frontier
+                        .chunks(chunk_size)
+                        .enumerate()
+                        .map(|(ci, chunk)| {
+                            let shared = &shared;
+                            s.spawn(move || {
+                                let mut sc: Scratch<A::State> = Scratch::new(shared.mem0.clone());
+                                process_chunk(shared, chunk, ci * chunk_size, &mut sc)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("model-checker worker panicked"))
+                        .collect()
+                })
+            };
+            let mut next = Vec::new();
+            for out in outs {
+                acquisitions += out.acquisitions;
+                transitions += out.transitions;
+                if let Some(v) = out.violation {
+                    if violation.as_ref().is_none_or(|best| v.order < best.order) {
+                        violation = Some(v);
                     }
                 }
-                let completion = outcome != Outcome::Progress;
-                let next_id = match ids.entry(node) {
-                    Entry::Occupied(e) => *e.get(),
-                    Entry::Vacant(e) => {
-                        let id = nodes.len() as u32;
-                        if nodes.len() >= self.max_states {
-                            return Err(StateSpaceExceeded {
-                                limit: self.max_states,
-                            });
-                        }
-                        nodes.push(e.key().clone());
-                        parent.push((from, i as u8));
-                        e.insert(id);
-                        id
-                    }
-                };
-                edges.push((from, next_id, i as u8, completion));
+                next.extend(out.next);
             }
-            frontier += 1;
+            frontier = next;
         }
 
-        // Fair-livelock search on the completion-free subgraph.
-        if let Some(v) = self.find_fair_livelock(&nodes, &edges, &parent) {
-            return Ok(McReport {
-                verdict: v,
-                states: nodes.len(),
-                transitions: edges.len(),
-                acquisitions,
+        let states = shared.stored.load(Ordering::Relaxed);
+        let full_states_estimate = shared.orbit_sum.load(Ordering::Relaxed);
+        let overflowed = shared.overflow.load(Ordering::Relaxed);
+        let store = Store::new(
+            shared.shards.into_iter().map(Mutex::into_inner).collect(),
+            shard_bits,
+        );
+        let mut report = McReport {
+            verdict: Verdict::Ok,
+            states,
+            transitions,
+            acquisitions,
+            canonical_states: states,
+            full_states_estimate,
+            peak_frontier,
+            wall_time: start.elapsed(),
+            arena_bytes: store.data_bytes(),
+            threads,
+            symmetry,
+        };
+
+        if let Some(v) = violation {
+            let chain = chain_from_root(&store, v.from);
+            let (mut schedule, _, tau_inv) = concretize(&group, &chain);
+            schedule.push(tau_inv[v.actor]);
+            report.verdict = Verdict::MutualExclusionViolation {
+                schedule,
+                procs: (tau_inv[v.other], tau_inv[v.actor]),
+            };
+            report.wall_time = start.elapsed();
+            return Ok(report);
+        }
+        if overflowed {
+            return Err(StateSpaceExceeded {
+                limit: self.max_states,
             });
         }
 
-        Ok(McReport {
-            verdict: Verdict::Ok,
-            states: nodes.len(),
-            transitions: edges.len(),
-            acquisitions,
-        })
+        if let Some(verdict) = self.find_fair_livelock(&store, &group, &class_of, &mut scratch) {
+            report.verdict = verdict;
+        }
+        report.wall_time = start.elapsed();
+        Ok(report)
     }
 
-    /// Applies one scheduled step of process `i` to `node`, mutating its
-    /// memory slots and process entry, and returns the step outcome.
-    fn advance(&self, node: &mut Node<A::State>, i: usize) -> Outcome {
-        let mut mem = self.mem0.clone();
-        mem.restore(&node.slots);
-        let (phase, state) = &mut node.procs[i];
-        match *phase {
-            Phase::Remainder => {
-                self.automata[i].start_lock(state);
-                *phase = Phase::Trying;
-            }
-            Phase::Cs => {
-                self.automata[i].start_unlock(state);
-                *phase = Phase::Exiting;
-            }
-            Phase::Trying | Phase::Exiting => {}
-        }
-        let outcome = self.automata[i].step(state, &mut mem.view(i));
-        match outcome {
-            Outcome::Acquired => *phase = Phase::Cs,
-            Outcome::Released => *phase = Phase::Remainder,
-            Outcome::Progress => {}
-        }
-        node.slots = mem.slots().to_vec();
-        outcome
-    }
-
+    /// Fair-livelock search on the completion-free subgraph, with
+    /// successors regenerated from the interned bytes (no edge list).
     fn find_fair_livelock(
         &self,
-        nodes: &[Node<A::State>],
-        edges: &[(u32, u32, u8, bool)],
-        parent: &[(u32, u8)],
+        store: &Store,
+        group: &[SymElem],
+        class_of: &[usize],
+        scratch: &mut Scratch<A::State>,
     ) -> Option<Verdict> {
-        let n_states = nodes.len();
-        // Adjacency over non-completion edges only.
-        let mut adj: Vec<Vec<(u32, u8)>> = vec![Vec::new(); n_states];
-        for &(from, to, actor, completion) in edges {
-            if !completion {
-                adj[from as usize].push((to, actor));
-            }
-        }
-        let sccs = tarjan_sccs(n_states, &adj);
+        let n_states = store.node_count();
+        let n = self.automata.len();
+        let m = self.mem0.m();
+
+        // One regenerated successor per edge probe: decode the source
+        // node, step one actor, canonicalize, look the child up.  Also
+        // reports the completion flag and the actor's phase at the source.
+        let succ = |dense: u32, k: usize, sc: &mut Scratch<A::State>| -> (u32, bool, Phase) {
+            let gid = store.gid_of_dense(dense as usize);
+            decode_node(store.bytes(gid), m, n, &mut sc.slots, &mut sc.procs);
+            let phase_k = sc.procs[k].0;
+            sc.mem.restore(&sc.slots);
+            let outcome = advance_in_place(&self.automata[k], k, &mut sc.mem, &mut sc.procs[k]);
+            let (_, _) = canonicalize(
+                group,
+                sc.mem.slots(),
+                &sc.procs,
+                &mut sc.enc,
+                &mut sc.best,
+                &mut sc.first,
+            );
+            let child = store
+                .lookup(&sc.best)
+                .expect("successor of a stored state must itself be stored");
+            (
+                store.dense(child) as u32,
+                outcome != Outcome::Progress,
+                phase_k,
+            )
+        };
+
+        let sccs = tarjan_sccs(n_states, n, |v, k| {
+            let (w, completion, _) = succ(v, k, scratch);
+            (!completion).then_some(w)
+        });
+
         // Component id per node for internal-edge testing.
         let mut comp = vec![u32::MAX; n_states];
         for (cid, scc) in sccs.iter().enumerate() {
@@ -312,14 +540,172 @@ impl<A: Automaton> ModelChecker<A> {
                 comp[v as usize] = cid as u32;
             }
         }
-        let n_procs = self.automata.len();
+        let n_classes = class_of.iter().copied().max().unwrap_or(0) + 1;
         for scc in &sccs {
-            // Which processes step inside this component?
-            let mut actors = vec![false; n_procs];
+            // Phase filters first — one decode per component instead of
+            // regenerating every successor of components that cannot
+            // livelock.  Within a completion-free SCC each process's
+            // phase is constant up to within-class permutation (phase
+            // changes other than via completions cannot be undone
+            // without a completion); read phases off any member.
+            decode_node(
+                store.bytes(store.gid_of_dense(scc[0] as usize)),
+                m,
+                n,
+                &mut scratch.slots,
+                &mut scratch.procs,
+            );
+            let phases: Vec<Phase> = scratch.procs.iter().map(|(p, _)| *p).collect();
+            if phases.contains(&Phase::Cs) {
+                // Someone is parked in the CS: the antecedent of
+                // deadlock-freedom fails; this is just "the lock is held".
+                continue;
+            }
+            let pending: Vec<usize> = (0..n)
+                .filter(|&i| matches!(phases[i], Phase::Trying | Phase::Exiting))
+                .collect();
+            if pending.is_empty() {
+                continue;
+            }
+            // Which symmetry classes step (while pending) inside this
+            // component?  With symmetry off every class is a singleton,
+            // so this is exactly per-process fairness; with symmetry on
+            // it is a cheap *necessary* condition (every concrete fair
+            // component projects onto a quotient SCC passing it), and
+            // candidates are then confirmed exactly on their concrete
+            // orbit expansion below.
+            let mut pending_steppers = vec![false; n_classes];
             let mut has_edge = false;
             for &v in scc {
-                for &(to, actor) in &adj[v as usize] {
-                    if comp[to as usize] == comp[v as usize] {
+                for k in 0..n {
+                    let (w, completion, phase_k) = succ(v, k, scratch);
+                    if !completion && comp[w as usize] == comp[v as usize] {
+                        has_edge = true;
+                        if matches!(phase_k, Phase::Trying | Phase::Exiting) {
+                            pending_steppers[class_of[k]] = true;
+                        }
+                    }
+                }
+            }
+            if !has_edge {
+                continue;
+            }
+            // Fairness: every pending process must itself keep stepping
+            // in the component; a component where some pending process
+            // is starved is an unfair execution and proves nothing.
+            if !pending.iter().all(|&i| pending_steppers[class_of[i]]) {
+                continue;
+            }
+            if group.len() == 1 {
+                // No reduction: the quotient IS the concrete graph and
+                // the class-level check was per-process; done.
+                let entry = *scc.iter().min().expect("nonempty SCC");
+                let chain = chain_from_root(store, store.gid_of_dense(entry as usize));
+                let (witness_schedule, _, _) = concretize(group, &chain);
+                return Some(Verdict::FairLivelock {
+                    pending,
+                    scc_states: scc.len(),
+                    witness_schedule,
+                });
+            }
+            // Reduced mode: the quotient folds interchangeable processes
+            // together, so "some process of the class steps" does not yet
+            // prove "every pending process steps" in one concrete
+            // execution.  Confirm exactly on the concrete orbit of this
+            // component (≤ |SCC|·|G| states).
+            if let Some(v) = self.confirm_livelock_on_orbit(store, group, scc, scratch) {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Expands a candidate quotient SCC into its concrete orbit, finds
+    /// the concrete completion-free SCCs inside, and applies the exact
+    /// per-process fairness check there.  Returns a concrete witness on
+    /// success.
+    ///
+    /// Every concrete fair-livelock component is contained in the orbit
+    /// expansion of exactly one quotient SCC (projection of a strongly
+    /// connected set is strongly connected), so confirming candidates
+    /// this way keeps the reduced livelock verdict exact — not just
+    /// differential-tested.
+    fn confirm_livelock_on_orbit(
+        &self,
+        store: &Store,
+        group: &[SymElem],
+        scc: &[u32],
+        scratch: &mut Scratch<A::State>,
+    ) -> Option<Verdict> {
+        let n = self.automata.len();
+        let m = self.mem0.m();
+
+        // Intern every orbit member of every SCC state, remembering
+        // which (canonical member, group element) produced it.
+        let mut arena = StateArena::new();
+        let mut origin: Vec<(u32, u16)> = Vec::new();
+        for &v in scc {
+            decode_node(
+                store.bytes(store.gid_of_dense(v as usize)),
+                m,
+                n,
+                &mut scratch.slots,
+                &mut scratch.procs,
+            );
+            for (gi, elem) in group.iter().enumerate() {
+                encode_node_with(elem, &scratch.slots, &scratch.procs, &mut scratch.enc);
+                let (_, fresh) = arena.intern(&scratch.enc);
+                if fresh {
+                    origin.push((v, gi as u16));
+                }
+            }
+        }
+
+        // Concrete non-completion adjacency restricted to the expansion
+        // (edges leaving it cannot belong to a component inside it).
+        let k = arena.len();
+        let mut adj: Vec<Vec<(u32, u8)>> = vec![Vec::new(); k];
+        let mut phases: Vec<Vec<Phase>> = Vec::with_capacity(k);
+        for idx in 0..k as u32 {
+            decode_node(arena.get(idx), m, n, &mut scratch.slots, &mut scratch.procs);
+            phases.push(scratch.procs.iter().map(|(p, _)| *p).collect());
+            for actor in 0..n {
+                scratch.mem.restore(&scratch.slots);
+                let saved = scratch.procs[actor].clone();
+                let outcome = advance_in_place(
+                    &self.automata[actor],
+                    actor,
+                    &mut scratch.mem,
+                    &mut scratch.procs[actor],
+                );
+                if outcome == Outcome::Progress {
+                    encode_node_with(
+                        &group[0],
+                        scratch.mem.slots(),
+                        &scratch.procs,
+                        &mut scratch.enc,
+                    );
+                    if let Some(w) = arena.lookup(&scratch.enc) {
+                        adj[idx as usize].push((w, actor as u8));
+                    }
+                }
+                scratch.procs[actor] = saved;
+            }
+        }
+
+        let sub_sccs = tarjan_sccs(k, n, |v, e| adj[v as usize].get(e).map(|&(w, _)| w));
+        let mut sub_comp = vec![u32::MAX; k];
+        for (cid, s) in sub_sccs.iter().enumerate() {
+            for &v in s {
+                sub_comp[v as usize] = cid as u32;
+            }
+        }
+        for sub in &sub_sccs {
+            let mut actors = vec![false; n];
+            let mut has_edge = false;
+            for &v in sub {
+                for &(w, actor) in &adj[v as usize] {
+                    if sub_comp[w as usize] == sub_comp[v as usize] {
                         actors[actor as usize] = true;
                         has_edge = true;
                     }
@@ -328,55 +714,576 @@ impl<A: Automaton> ModelChecker<A> {
             if !has_edge {
                 continue;
             }
-            // Within a completion-free SCC each process's phase is constant
-            // (phase changes other than via completions cannot be undone
-            // without a completion); read phases off any member.
-            let phases: Vec<Phase> = nodes[scc[0] as usize]
-                .procs
-                .iter()
-                .map(|(p, _)| *p)
-                .collect();
-            if phases.contains(&Phase::Cs) {
-                // Someone is parked in the CS: the antecedent of
-                // deadlock-freedom fails; this is just "the lock is held".
+            let ph = &phases[sub[0] as usize];
+            if ph.contains(&Phase::Cs) {
                 continue;
             }
-            let pending: Vec<usize> = (0..n_procs)
-                .filter(|&i| matches!(phases[i], Phase::Trying | Phase::Exiting))
+            let pending: Vec<usize> = (0..n)
+                .filter(|&i| matches!(ph[i], Phase::Trying | Phase::Exiting))
                 .collect();
-            if pending.is_empty() {
+            if pending.is_empty() || !pending.iter().all(|&i| actors[i]) {
                 continue;
             }
-            // Fairness: every pending process must itself keep stepping in
-            // the component; a component where some pending process is
-            // starved is an unfair execution and proves nothing.
-            if pending.iter().all(|&i| actors[i]) {
-                // Witness: BFS parent chain from the initial state to the
-                // SCC member with the smallest id (the first one reached).
-                let entry = *scc.iter().min().expect("nonempty SCC");
-                let mut witness_schedule = Vec::new();
-                let mut cur = entry;
-                while cur != 0 {
-                    let (p, actor) = parent[cur as usize];
-                    witness_schedule.push(actor as usize);
-                    cur = p;
-                }
-                witness_schedule.reverse();
-                return Some(Verdict::FairLivelock {
-                    pending,
-                    scc_states: scc.len(),
-                    witness_schedule,
-                });
-            }
+            // Concrete fair livelock confirmed.  Build a witness: the
+            // quotient chain reaches u with τ·u = c (c the canonical
+            // origin of this component's entry state s = g·c); the
+            // relabeling h = g ∘ τ is a graph automorphism fixing the
+            // initial state, so mapping every scheduled actor through h
+            // turns the chain into a concrete schedule reaching s.
+            let entry = *sub.iter().min().expect("nonempty sub-SCC");
+            let (v_c, gi) = origin[entry as usize];
+            let chain = chain_from_root(store, store.gid_of_dense(v_c as usize));
+            let (schedule_u, tau, _) = concretize(group, &chain);
+            let g_pi = &group[gi as usize].pi;
+            let witness_schedule: Vec<usize> =
+                schedule_u.into_iter().map(|a| g_pi[tau[a]]).collect();
+            // `pending` (from sub[0]) equals the pending set at `entry`:
+            // phases are constant across a concrete completion-free SCC.
+            return Some(Verdict::FairLivelock {
+                pending,
+                scc_states: sub.len(),
+                witness_schedule,
+            });
         }
         None
     }
 }
 
-/// Iterative Tarjan strongly-connected components.
+// ------------------------------------------------------------------ //
+//  Engine internals
+// ------------------------------------------------------------------ //
+
+fn phase_to_u8(p: Phase) -> u8 {
+    match p {
+        Phase::Remainder => 0,
+        Phase::Trying => 1,
+        Phase::Cs => 2,
+        Phase::Exiting => 3,
+    }
+}
+
+fn phase_from_u8(b: u8) -> Option<Phase> {
+    Some(match b {
+        0 => Phase::Remainder,
+        1 => Phase::Trying,
+        2 => Phase::Cs,
+        3 => Phase::Exiting,
+        _ => return None,
+    })
+}
+
+fn verdict_kind(v: &Verdict) -> &'static str {
+    match v {
+        Verdict::Ok => "ok",
+        Verdict::MutualExclusionViolation { .. } => "mutual-exclusion violation",
+        Verdict::FairLivelock { .. } => "fair livelock",
+    }
+}
+
+/// One element of the process-symmetry group: a role permutation plus
+/// the matching identity relabeling.
+#[derive(Debug, Clone)]
+struct SymElem {
+    /// Role map: process `i`'s component moves to position `pi[i]`.
+    pi: Vec<usize>,
+    /// Inverse role map.
+    pi_inv: Vec<usize>,
+    /// Identity relabeling: `pid_i ↦ pid_{pi[i]}`.
+    map: PidMap,
+}
+
+/// Computes the symmetry group and the class id of every process.
+///
+/// Two processes share a class iff both declare the same `Some`
+/// [`Automaton::symmetry_class`] token *and* hold the same adversary
+/// permutation; processes declaring `None` are singletons.  With
+/// [`Symmetry::Off`] every process is a singleton and the group is
+/// trivial.
+fn build_group<A: Automaton>(
+    automata: &[A],
+    mem0: &SimMemory,
+    symmetry: Symmetry,
+) -> (Vec<SymElem>, Vec<usize>) {
+    let n = automata.len();
+    let mut class_of = vec![usize::MAX; n];
+    let mut class_keys: Vec<Option<(u64, Vec<usize>)>> = Vec::new();
+    let mut classes: Vec<Vec<usize>> = Vec::new();
+    for i in 0..n {
+        let key = match symmetry {
+            Symmetry::Off => None,
+            Symmetry::Process => automata[i]
+                .symmetry_class()
+                .map(|t| (t, mem0.permutation(i).as_slice().to_vec())),
+        };
+        let cid = key
+            .as_ref()
+            .and_then(|k| class_keys.iter().position(|ck| ck.as_ref() == Some(k)))
+            .unwrap_or_else(|| {
+                class_keys.push(key.clone());
+                classes.push(Vec::new());
+                // `None` keys must never merge: blank the stored key so
+                // the next opted-out process opens a fresh singleton.
+                if key.is_none() {
+                    *class_keys.last_mut().expect("just pushed") = None;
+                }
+                classes.len() - 1
+            });
+        class_of[i] = cid;
+        classes[cid].push(i);
+    }
+
+    // The group is the direct product of the symmetric groups on each
+    // class: enumerate it as a cartesian product of per-class
+    // reorderings.  The identity stays at index 0 because every
+    // per-class list starts with the unpermuted order.
+    let mut pis: Vec<Vec<usize>> = vec![(0..n).collect()];
+    for class in classes.iter().filter(|c| c.len() >= 2) {
+        // Reuse the registers crate's Heap's-algorithm enumeration
+        // (identity first), mapped onto the class members.
+        let reorderings: Vec<Vec<usize>> = amx_registers::all_permutations(class.len())
+            .iter()
+            .map(|p| p.as_slice().iter().map(|&i| class[i]).collect())
+            .collect();
+        let mut next = Vec::with_capacity(pis.len() * reorderings.len());
+        for pi in &pis {
+            for re in &reorderings {
+                let mut p = pi.clone();
+                for (pos, &member) in class.iter().enumerate() {
+                    p[member] = re[pos];
+                }
+                next.push(p);
+            }
+        }
+        pis = next;
+    }
+    assert!(
+        pis.len() <= usize::from(u16::MAX),
+        "process-symmetry group too large ({} elements)",
+        pis.len()
+    );
+
+    let elems = pis
+        .into_iter()
+        .map(|pi| {
+            let mut pi_inv = vec![0usize; n];
+            for (i, &j) in pi.iter().enumerate() {
+                pi_inv[j] = i;
+            }
+            let pairs: Vec<_> = (0..n)
+                .filter(|&i| pi[i] != i)
+                .filter_map(|i| Some((automata[i].pid()?, automata[pi[i]].pid()?)))
+                .collect();
+            SymElem {
+                pi,
+                pi_inv,
+                map: PidMap::from_pairs(pairs),
+            }
+        })
+        .collect();
+    (elems, class_of)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct NodeMeta {
+    /// Global id of the BFS-tree parent (`u32::MAX` for the root).
+    parent: u32,
+    /// Actor of the tree edge (a *quotient* process index).
+    actor: u8,
+    /// Group element that canonicalized the concrete successor.
+    sigma: u16,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    arena: StateArena,
+    meta: Vec<NodeMeta>,
+}
+
+/// Everything the BFS workers share.
+struct EngineShared<'a, A: Automaton> {
+    automata: &'a [A],
+    mem0: &'a SimMemory,
+    group: &'a [SymElem],
+    shards: Vec<Mutex<Shard>>,
+    shard_bits: u32,
+    max_states: usize,
+    stored: AtomicUsize,
+    orbit_sum: AtomicUsize,
+    overflow: AtomicBool,
+}
+
+impl<A: Automaton> EngineShared<'_, A> {
+    fn shard_of(&self, hash: u64) -> usize {
+        ((hash >> 48) as usize) & ((1usize << self.shard_bits) - 1)
+    }
+
+    /// Interns canonical bytes; on a fresh insert the parent metadata is
+    /// recorded and the global state/orbit counters advance.
+    fn intern(&self, bytes: &[u8], meta: NodeMeta, orbit: u32) -> (u32, bool) {
+        let si = self.shard_of(hash_bytes(bytes));
+        let mut shard = self.shards[si].lock();
+        let (local, fresh) = shard.arena.intern(bytes);
+        if fresh {
+            shard.meta.push(meta);
+            debug_assert_eq!(
+                shard.arena.len(),
+                shard.meta.len(),
+                "arena and meta table out of sync"
+            );
+            let now = self.stored.fetch_add(1, Ordering::Relaxed) + 1;
+            self.orbit_sum.fetch_add(orbit as usize, Ordering::Relaxed);
+            if now > self.max_states {
+                self.overflow.store(true, Ordering::Relaxed);
+            }
+        }
+        ((local << self.shard_bits) | si as u32, fresh)
+    }
+}
+
+/// Worker-local reusable buffers: one memory clone, decoded node
+/// scratch, and encoding buffers — nothing is allocated per step.
+struct Scratch<S> {
+    mem: SimMemory,
+    slots: Vec<Slot>,
+    procs: Vec<(Phase, S)>,
+    enc: Vec<u8>,
+    best: Vec<u8>,
+    first: Vec<u8>,
+}
+
+impl<S> Scratch<S> {
+    fn new(mem: SimMemory) -> Self {
+        Scratch {
+            mem,
+            slots: Vec::new(),
+            procs: Vec::new(),
+            enc: Vec::new(),
+            best: Vec::new(),
+            first: Vec::new(),
+        }
+    }
+}
+
+struct WorkerOut {
+    next: Vec<(u32, Box<[u8]>)>,
+    acquisitions: usize,
+    transitions: usize,
+    violation: Option<Violation>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Violation {
+    /// `(frontier position, actor)` — the per-level tiebreak.  With one
+    /// thread this makes the reported violation fully deterministic;
+    /// with several, the frontier order itself depends on intern races,
+    /// so ties may resolve differently (the level, and hence the
+    /// witness length, never changes).
+    order: (usize, usize),
+    from: u32,
+    actor: usize,
+    other: usize,
+}
+
+/// Applies one scheduled step of process `i`, driving the phase machine
+/// exactly as the closed-loop workload prescribes.
+fn advance_in_place<A: Automaton>(
+    aut: &A,
+    i: usize,
+    mem: &mut SimMemory,
+    proc_entry: &mut (Phase, A::State),
+) -> Outcome {
+    let (phase, state) = proc_entry;
+    match *phase {
+        Phase::Remainder => {
+            aut.start_lock(state);
+            *phase = Phase::Trying;
+        }
+        Phase::Cs => {
+            aut.start_unlock(state);
+            *phase = Phase::Exiting;
+        }
+        Phase::Trying | Phase::Exiting => {}
+    }
+    let outcome = aut.step(state, &mut mem.view(i));
+    match outcome {
+        Outcome::Acquired => *phase = Phase::Cs,
+        Outcome::Released => *phase = Phase::Remainder,
+        Outcome::Progress => {}
+    }
+    outcome
+}
+
+/// Decodes a node's bytes into the slots/procs scratch buffers.
+fn decode_node<S: EncodeState>(
+    mut bytes: &[u8],
+    m: usize,
+    n: usize,
+    slots: &mut Vec<Slot>,
+    procs: &mut Vec<(Phase, S)>,
+) {
+    slots.clear();
+    procs.clear();
+    for _ in 0..m {
+        slots.push(encode::take_slot(&mut bytes).expect("truncated node: slots"));
+    }
+    for _ in 0..n {
+        let tag = encode::take_u8(&mut bytes).expect("truncated node: phase");
+        let phase = phase_from_u8(tag).expect("invalid phase tag");
+        let state = S::decode(&mut bytes).expect("truncated node: state");
+        procs.push((phase, state));
+    }
+    debug_assert!(bytes.is_empty(), "trailing bytes after node decode");
+}
+
+/// Encodes the node image under one group element into `out`.
+fn encode_node_with<S: EncodeState>(
+    elem: &SymElem,
+    slots: &[Slot],
+    procs: &[(Phase, S)],
+    out: &mut Vec<u8>,
+) {
+    out.clear();
+    for &slot in slots {
+        encode::put_slot(slot, &elem.map, out);
+    }
+    for j in 0..procs.len() {
+        let (phase, state) = &procs[elem.pi_inv[j]];
+        encode::put_u8(phase_to_u8(*phase), out);
+        state.encode_with(&elem.map, out);
+    }
+}
+
+/// Canonicalizes a node under the group: `best` receives the
+/// lexicographically least image; returns the index of the group
+/// element achieving it plus the exact orbit size.
+///
+/// The orbit size comes from the orbit–stabilizer theorem: counting the
+/// group elements whose image equals the identity image counts
+/// `|Stab(s)|` exactly (encodings are injective per configuration), and
+/// the orbit size is `|G| / |Stab(s)|` — byte-exact, no hashing.
+fn canonicalize<S: EncodeState>(
+    group: &[SymElem],
+    slots: &[Slot],
+    procs: &[(Phase, S)],
+    enc: &mut Vec<u8>,
+    best: &mut Vec<u8>,
+    first: &mut Vec<u8>,
+) -> (u16, u32) {
+    encode_node_with(&group[0], slots, procs, best);
+    if group.len() == 1 {
+        return (0, 1);
+    }
+    first.clear();
+    first.extend_from_slice(best);
+    let mut sigma = 0u16;
+    let mut stabilizer = 1u32; // the identity always fixes the state
+    for (gi, elem) in group.iter().enumerate().skip(1) {
+        encode_node_with(elem, slots, procs, enc);
+        if enc == first {
+            stabilizer += 1;
+        }
+        if enc.as_slice() < best.as_slice() {
+            std::mem::swap(enc, best);
+            sigma = gi as u16;
+        }
+    }
+    debug_assert_eq!(
+        group.len() % stabilizer as usize,
+        0,
+        "Lagrange: the stabilizer order must divide the group order"
+    );
+    (sigma, group.len() as u32 / stabilizer)
+}
+
+/// Expands every node of one frontier chunk, interning fresh successors.
+fn process_chunk<A: Automaton>(
+    shared: &EngineShared<'_, A>,
+    chunk: &[(u32, Box<[u8]>)],
+    base: usize,
+    scratch: &mut Scratch<A::State>,
+) -> WorkerOut
+where
+    A::State: EncodeState,
+{
+    let n = shared.automata.len();
+    let m = shared.mem0.m();
+    let mut out = WorkerOut {
+        next: Vec::new(),
+        acquisitions: 0,
+        transitions: 0,
+        violation: None,
+    };
+    for (pos, (gid, bytes)) in chunk.iter().enumerate() {
+        if shared.overflow.load(Ordering::Relaxed) {
+            break;
+        }
+        decode_node(bytes, m, n, &mut scratch.slots, &mut scratch.procs);
+        for i in 0..n {
+            out.transitions += 1;
+            scratch.mem.restore(&scratch.slots);
+            let saved = scratch.procs[i].clone();
+            let outcome = advance_in_place(
+                &shared.automata[i],
+                i,
+                &mut scratch.mem,
+                &mut scratch.procs[i],
+            );
+            if outcome == Outcome::Acquired {
+                out.acquisitions += 1;
+                if let Some(j) = (0..n).find(|&j| j != i && scratch.procs[j].0 == Phase::Cs) {
+                    // Later positions in this chunk cannot beat this
+                    // candidate, so the worker stops here; the level
+                    // merge picks the globally least (position, actor).
+                    out.violation = Some(Violation {
+                        order: (base + pos, i),
+                        from: *gid,
+                        actor: i,
+                        other: j,
+                    });
+                    return out;
+                }
+            }
+            let (sigma, orbit) = canonicalize(
+                shared.group,
+                scratch.mem.slots(),
+                &scratch.procs,
+                &mut scratch.enc,
+                &mut scratch.best,
+                &mut scratch.first,
+            );
+            let meta = NodeMeta {
+                parent: *gid,
+                actor: i as u8,
+                sigma,
+            };
+            let (child, fresh) = shared.intern(&scratch.best, meta, orbit);
+            if fresh {
+                out.next.push((child, scratch.best.as_slice().into()));
+            }
+            scratch.procs[i] = saved;
+        }
+    }
+    out
+}
+
+/// Read-only view of the interned shards after exploration.
+struct Store {
+    shards: Vec<Shard>,
+    shard_bits: u32,
+    prefix: Vec<u32>,
+}
+
+impl Store {
+    fn new(shards: Vec<Shard>, shard_bits: u32) -> Self {
+        let mut prefix = Vec::with_capacity(shards.len() + 1);
+        let mut acc = 0u32;
+        prefix.push(0);
+        for s in &shards {
+            acc += s.arena.len() as u32;
+            prefix.push(acc);
+        }
+        Store {
+            shards,
+            shard_bits,
+            prefix,
+        }
+    }
+
+    fn node_count(&self) -> usize {
+        *self.prefix.last().expect("nonempty prefix") as usize
+    }
+
+    fn data_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.arena.data_bytes()).sum()
+    }
+
+    fn split(&self, gid: u32) -> (usize, u32) {
+        let si = (gid & ((1u32 << self.shard_bits) - 1)) as usize;
+        (si, gid >> self.shard_bits)
+    }
+
+    fn bytes(&self, gid: u32) -> &[u8] {
+        let (si, local) = self.split(gid);
+        self.shards[si].arena.get(local)
+    }
+
+    fn meta(&self, gid: u32) -> NodeMeta {
+        let (si, local) = self.split(gid);
+        self.shards[si].meta[local as usize]
+    }
+
+    fn lookup(&self, bytes: &[u8]) -> Option<u32> {
+        let si = ((hash_bytes(bytes) >> 48) as usize) & ((1usize << self.shard_bits) - 1);
+        let local = self.shards[si].arena.lookup(bytes)?;
+        Some((local << self.shard_bits) | si as u32)
+    }
+
+    /// Dense index (shard-major) of a global id.
+    fn dense(&self, gid: u32) -> usize {
+        let (si, local) = self.split(gid);
+        (self.prefix[si] + local) as usize
+    }
+
+    /// Inverse of [`Store::dense`].
+    fn gid_of_dense(&self, d: usize) -> u32 {
+        let si = self.prefix.partition_point(|&p| p as usize <= d) - 1;
+        let local = d as u32 - self.prefix[si];
+        (local << self.shard_bits) | si as u32
+    }
+}
+
+/// The BFS-tree edges from the root to `target`, in root-first order.
+fn chain_from_root(store: &Store, mut cur: u32) -> Vec<(usize, u16)> {
+    let mut rev = Vec::new();
+    loop {
+        let meta = store.meta(cur);
+        if meta.parent == u32::MAX {
+            break;
+        }
+        rev.push((meta.actor as usize, meta.sigma));
+        cur = meta.parent;
+    }
+    rev.reverse();
+    rev
+}
+
+/// Maps a quotient tree path to a concrete schedule.
+///
+/// Walking the quotient, each tree edge `(i_k, σ_k)` means "step
+/// quotient actor `i_k`, then canonicalize by `σ_k`".  Maintaining the
+/// accumulated permutation `τ_k = σ_k ∘ τ_{k-1}` (with `τ` mapping the
+/// concrete replay state onto the canonical representative), the
+/// concrete actor to schedule is `τ_{k-1}⁻¹(i_k)`.  Returns the
+/// concrete schedule plus the final `τ` and `τ⁻¹` (to map process
+/// indices between the canonical target and the concrete replay).
+fn concretize(group: &[SymElem], chain: &[(usize, u16)]) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    let n = group[0].pi.len();
+    let mut tau: Vec<usize> = (0..n).collect();
+    let mut tau_inv: Vec<usize> = (0..n).collect();
+    let mut schedule = Vec::with_capacity(chain.len());
+    for &(actor, sigma) in chain {
+        schedule.push(tau_inv[actor]);
+        let pi = &group[sigma as usize].pi;
+        for t in &mut tau {
+            *t = pi[*t];
+        }
+        for (j, &t) in tau.iter().enumerate() {
+            tau_inv[t] = j;
+        }
+    }
+    (schedule, tau, tau_inv)
+}
+
+/// Iterative Tarjan strongly-connected components over an implicit
+/// graph: node `v`'s candidate successors are `succ(v, k)` for
+/// `k < out_degree`, with `None` meaning "edge filtered out".
 ///
 /// Returns the list of components, each a list of node ids.
-fn tarjan_sccs(n: usize, adj: &[Vec<(u32, u8)>]) -> Vec<Vec<u32>> {
+fn tarjan_sccs(
+    n: usize,
+    out_degree: usize,
+    mut succ: impl FnMut(u32, usize) -> Option<u32>,
+) -> Vec<Vec<u32>> {
     #[derive(Clone, Copy)]
     struct Frame {
         v: u32,
@@ -404,9 +1311,10 @@ fn tarjan_sccs(n: usize, adj: &[Vec<(u32, u8)>]) -> Vec<Vec<u32>> {
 
         while let Some(frame) = call_stack.last_mut() {
             let v = frame.v;
-            if frame.edge < adj[v as usize].len() {
-                let (w, _) = adj[v as usize][frame.edge];
+            if frame.edge < out_degree {
+                let k = frame.edge;
                 frame.edge += 1;
+                let Some(w) = succ(v, k) else { continue };
                 if index[w as usize] == u32::MAX {
                     index[w as usize] = next_index;
                     lowlink[w as usize] = next_index;
@@ -449,7 +1357,10 @@ mod tests {
     use amx_ids::PidPool;
     use amx_registers::Adversary;
 
-    fn check<A: Automaton>(automata: Vec<A>, model: MemoryModel, m: usize) -> McReport {
+    fn check<A: Automaton + Sync>(automata: Vec<A>, model: MemoryModel, m: usize) -> McReport
+    where
+        A::State: EncodeState + Send,
+    {
         ModelChecker::with_automata(automata, model, m, &Adversary::Identity)
             .unwrap()
             .run()
@@ -467,6 +1378,12 @@ mod tests {
         assert_eq!(report.verdict, Verdict::Ok);
         assert!(report.states > 1);
         assert!(report.acquisitions > 0);
+        assert_eq!(report.states, report.canonical_states);
+        assert_eq!(report.states, report.full_states_estimate);
+        assert!(report.peak_frontier >= 1);
+        assert!(report.arena_bytes > 0);
+        assert_eq!(report.threads, 1);
+        assert_eq!(report.symmetry, Symmetry::Off);
     }
 
     #[test]
@@ -519,6 +1436,34 @@ mod tests {
     }
 
     #[test]
+    fn reduced_violation_schedule_also_replays() {
+        use crate::runner::{Runner, Stop, Workload};
+        use crate::schedule::Scheduler;
+        let ids = PidPool::sequential().mint_many(2);
+        let automata: Vec<NaiveFlagLock> = ids.iter().copied().map(NaiveFlagLock::new).collect();
+        let report =
+            ModelChecker::with_automata(automata.clone(), MemoryModel::Rw, 1, &Adversary::Identity)
+                .unwrap()
+                .symmetry(Symmetry::Process)
+                .run()
+                .unwrap();
+        let Verdict::MutualExclusionViolation { schedule, .. } = report.verdict else {
+            panic!("expected violation");
+        };
+        let runner = Runner::with_adversary(automata, MemoryModel::Rw, 1, &Adversary::Identity)
+            .unwrap()
+            .workload(Workload::unbounded())
+            .scheduler(Scheduler::script(schedule))
+            .max_steps(100);
+        let rr = runner.run();
+        assert!(
+            matches!(rr.stop, Stop::MutualExclusionViolation { .. }),
+            "reduced-engine schedule must replay concretely, got {:?}",
+            rr.stop
+        );
+    }
+
+    #[test]
     fn spin_forever_is_a_fair_livelock() {
         let report = check(vec![SpinForever, SpinForever], MemoryModel::Rw, 1);
         match report.verdict {
@@ -555,10 +1500,155 @@ mod tests {
     }
 
     #[test]
+    fn symmetry_reduction_shrinks_cas_lock_space_and_agrees() {
+        let make = || {
+            let ids = PidPool::sequential().mint_many(3);
+            let automata: Vec<CasLock> = ids.into_iter().map(CasLock::new).collect();
+            ModelChecker::with_automata(automata, MemoryModel::Rmw, 1, &Adversary::Identity)
+                .unwrap()
+        };
+        let full = make().run().unwrap();
+        let reduced = make()
+            .symmetry(Symmetry::Process)
+            .cross_check(true)
+            .run()
+            .unwrap();
+        assert_eq!(reduced.verdict, Verdict::Ok);
+        assert_eq!(full.verdict, Verdict::Ok);
+        assert!(
+            reduced.canonical_states < full.states,
+            "3 interchangeable processes must collapse orbits: {} vs {}",
+            reduced.canonical_states,
+            full.states
+        );
+        assert_eq!(
+            reduced.full_states_estimate, full.states,
+            "orbit accounting must reproduce the concrete count"
+        );
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_verdict_and_counts() {
+        let make = || {
+            let ids = PidPool::sequential().mint_many(3);
+            let automata: Vec<CasLock> = ids.into_iter().map(CasLock::new).collect();
+            ModelChecker::with_automata(automata, MemoryModel::Rmw, 1, &Adversary::Identity)
+                .unwrap()
+        };
+        let seq = make().threads(1).run().unwrap();
+        let par = make().threads(4).run().unwrap();
+        assert_eq!(seq.verdict, par.verdict);
+        assert_eq!(seq.states, par.states);
+        assert_eq!(seq.transitions, par.transitions);
+        assert_eq!(seq.acquisitions, par.acquisitions);
+        assert_eq!(par.threads, 4);
+    }
+
+    #[test]
+    fn parallel_violation_is_shortest_and_replays() {
+        use crate::runner::{Runner, Stop, Workload};
+        use crate::schedule::Scheduler;
+        // With several threads, seen-set insertion races may pick a
+        // different (equally short) witness; the witness LENGTH and the
+        // verdict kind are thread-count invariants, and any reported
+        // schedule must replay to a real violation.
+        let ids = PidPool::sequential().mint_many(2);
+        let automata: Vec<NaiveFlagLock> = ids.iter().copied().map(NaiveFlagLock::new).collect();
+        let seq =
+            ModelChecker::with_automata(automata.clone(), MemoryModel::Rw, 1, &Adversary::Identity)
+                .unwrap()
+                .run()
+                .unwrap();
+        let par =
+            ModelChecker::with_automata(automata.clone(), MemoryModel::Rw, 1, &Adversary::Identity)
+                .unwrap()
+                .threads(3)
+                .run()
+                .unwrap();
+        let Verdict::MutualExclusionViolation {
+            schedule: s_seq, ..
+        } = seq.verdict
+        else {
+            panic!("expected violation, got {:?}", seq.verdict);
+        };
+        let Verdict::MutualExclusionViolation {
+            schedule: s_par, ..
+        } = par.verdict
+        else {
+            panic!("expected violation, got {:?}", par.verdict);
+        };
+        assert_eq!(s_seq.len(), s_par.len(), "shortest-witness length");
+        let rr = Runner::with_adversary(automata, MemoryModel::Rw, 1, &Adversary::Identity)
+            .unwrap()
+            .workload(Workload::unbounded())
+            .scheduler(Scheduler::script(s_par))
+            .max_steps(100)
+            .run();
+        assert!(matches!(rr.stop, Stop::MutualExclusionViolation { .. }));
+    }
+
+    #[test]
+    fn reduced_livelock_witness_replays_to_the_pending_state() {
+        // The quotient witness is mapped back through the accumulated
+        // canonicalization permutation (and, for the orbit-expansion
+        // confirmation, through h = g ∘ τ); replaying it concretely must
+        // land in a state whose pending set matches the report exactly.
+        let automata = vec![SpinForever, SpinForever, SpinForever];
+        let report =
+            ModelChecker::with_automata(automata.clone(), MemoryModel::Rw, 1, &Adversary::Identity)
+                .unwrap()
+                .symmetry(Symmetry::Process)
+                .run()
+                .unwrap();
+        let Verdict::FairLivelock {
+            pending,
+            witness_schedule,
+            ..
+        } = report.verdict
+        else {
+            panic!("expected livelock, got {:?}", report.verdict);
+        };
+        let mut mem = SimMemory::new(MemoryModel::Rw, 1, &Adversary::Identity, 3).unwrap();
+        let mut procs: Vec<(Phase, crate::toys::SpinState)> = automata
+            .iter()
+            .map(|a| (Phase::Remainder, a.init_state()))
+            .collect();
+        for &a in &witness_schedule {
+            let _ = advance_in_place(&automata[a], a, &mut mem, &mut procs[a]);
+        }
+        let reached: Vec<usize> = (0..3)
+            .filter(|&i| matches!(procs[i].0, Phase::Trying | Phase::Exiting))
+            .collect();
+        assert_eq!(
+            reached, pending,
+            "witness must reach a state with the reported pending set"
+        );
+    }
+
+    #[test]
+    fn spinners_livelock_under_symmetry_too() {
+        let report = ModelChecker::with_automata(
+            vec![SpinForever, SpinForever],
+            MemoryModel::Rw,
+            1,
+            &Adversary::Identity,
+        )
+        .unwrap()
+        .symmetry(Symmetry::Process)
+        .cross_check(true)
+        .run()
+        .unwrap();
+        match report.verdict {
+            Verdict::FairLivelock { pending, .. } => assert_eq!(pending, vec![0, 1]),
+            other => panic!("expected livelock, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn tarjan_handles_simple_graphs() {
         // 0 → 1 → 2 → 0 (one SCC), 3 isolated.
-        let adj = vec![vec![(1u32, 0u8)], vec![(2, 0)], vec![(0, 0)], vec![]];
-        let mut sccs = tarjan_sccs(4, &adj);
+        let adj: Vec<Vec<u32>> = vec![vec![1], vec![2], vec![0], vec![]];
+        let mut sccs = tarjan_sccs(4, 1, |v, k| adj[v as usize].get(k).copied());
         for s in &mut sccs {
             s.sort_unstable();
         }
@@ -569,9 +1659,59 @@ mod tests {
 
     #[test]
     fn tarjan_chain_has_singleton_components() {
-        let adj = vec![vec![(1u32, 0u8)], vec![(2, 0)], vec![]];
-        let sccs = tarjan_sccs(3, &adj);
+        let adj: Vec<Vec<u32>> = vec![vec![1], vec![2], vec![]];
+        let sccs = tarjan_sccs(3, 1, |v, k| adj[v as usize].get(k).copied());
         assert_eq!(sccs.len(), 3);
         assert!(sccs.iter().all(|s| s.len() == 1));
+    }
+
+    #[test]
+    fn group_is_trivial_for_asymmetric_adversaries() {
+        // Distinct permutations per process → nothing is interchangeable,
+        // so Process mode must degrade to the exact exploration.
+        let ids = PidPool::sequential().mint_many(2);
+        let automata: Vec<CasLock> = ids.into_iter().map(CasLock::new).collect();
+        let mem =
+            SimMemory::new(MemoryModel::Rmw, 2, &Adversary::Rotations { stride: 1 }, 2).unwrap();
+        let (group, class_of) = build_group(&automata, &mem, Symmetry::Process);
+        assert_eq!(group.len(), 1);
+        assert_eq!(class_of, vec![0, 1]);
+    }
+
+    #[test]
+    fn group_covers_the_symmetric_case() {
+        let ids = PidPool::sequential().mint_many(3);
+        let automata: Vec<CasLock> = ids.into_iter().map(CasLock::new).collect();
+        let mem = SimMemory::new(MemoryModel::Rmw, 1, &Adversary::Identity, 3).unwrap();
+        let (group, class_of) = build_group(&automata, &mem, Symmetry::Process);
+        assert_eq!(group.len(), 6, "S_3 on three interchangeable processes");
+        assert_eq!(class_of, vec![0, 0, 0]);
+        // Element 0 is the identity.
+        assert!(group[0].pi.iter().enumerate().all(|(i, &v)| i == v));
+        assert!(group[0].map.is_identity());
+    }
+
+    #[test]
+    fn concretize_maps_actors_through_the_permutation() {
+        // Group: identity and the swap of two processes.
+        let group = vec![
+            SymElem {
+                pi: vec![0, 1],
+                pi_inv: vec![0, 1],
+                map: PidMap::identity(),
+            },
+            SymElem {
+                pi: vec![1, 0],
+                pi_inv: vec![1, 0],
+                map: PidMap::identity(),
+            },
+        ];
+        // Step quotient actor 0 canonicalized by the swap, then actor 0
+        // again: the second concrete actor must be process 1.
+        let chain = vec![(0usize, 1u16), (0usize, 0u16)];
+        let (schedule, tau, tau_inv) = concretize(&group, &chain);
+        assert_eq!(schedule, vec![0, 1]);
+        assert_eq!(tau, vec![1, 0]);
+        assert_eq!(tau_inv, vec![1, 0]);
     }
 }

@@ -41,6 +41,24 @@ pub trait MemoryOps {
     /// a linearizable snapshot (not the case for either paper model, as
     /// snapshots are implementable from RW registers).
     fn snapshot(&mut self) -> Vec<Slot>;
+
+    /// Linearizable snapshot written into a caller-owned buffer.
+    ///
+    /// Semantically identical to [`snapshot`](Self::snapshot); `out` is
+    /// cleared and refilled so hot paths (the simulator's and model
+    /// checker's snapshot-per-step loops) can reuse one allocation
+    /// instead of allocating a fresh `Vec` per step.  The default
+    /// delegates to `snapshot()` for API compatibility; in-memory
+    /// implementations override it allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`snapshot`](Self::snapshot).
+    fn snapshot_into(&mut self, out: &mut Vec<Slot>) {
+        let snap = self.snapshot();
+        out.clear();
+        out.extend_from_slice(&snap);
+    }
 }
 
 /// Which register family a [`SimMemory`] models.
@@ -147,6 +165,27 @@ impl SimMemory {
         self.slots.copy_from_slice(slots);
     }
 
+    /// Serializes the physical slots into `out` as flat little-endian
+    /// words (4 bytes per slot, 0 = ⊥) — the compact encoding the model
+    /// checker's interned seen-set stores instead of cloned `Vec<Slot>`s.
+    pub fn encode_slots_into(&self, out: &mut Vec<u8>) {
+        for &slot in &self.slots {
+            crate::encode::put_slot(slot, &amx_ids::codec::PidMap::identity(), out);
+        }
+    }
+
+    /// Restores the physical slots from the front of an encoded buffer
+    /// produced by [`SimMemory::encode_slots_into`], advancing `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` holds fewer than `m` encoded slots.
+    pub fn restore_from_encoded(&mut self, bytes: &mut &[u8]) {
+        for slot in &mut self.slots {
+            *slot = crate::encode::take_slot(bytes).expect("truncated slot encoding");
+        }
+    }
+
     /// Returns process `i`'s operational view of this memory.
     ///
     /// # Panics
@@ -209,6 +248,11 @@ impl MemoryOps for SimView<'_> {
         (0..self.m())
             .map(|x| self.mem.slots[self.phys(x)])
             .collect()
+    }
+
+    fn snapshot_into(&mut self, out: &mut Vec<Slot>) {
+        out.clear();
+        out.extend((0..self.m()).map(|x| self.mem.slots[self.phys(x)]));
     }
 }
 
@@ -291,6 +335,33 @@ mod tests {
         a.hash(&mut h1);
         b.hash(&mut h2);
         assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn snapshot_into_matches_snapshot_and_reuses_buffer() {
+        let mut mm =
+            SimMemory::new(MemoryModel::Rw, 3, &Adversary::Rotations { stride: 1 }, 2).unwrap();
+        let id = PidPool::sequential().mint();
+        mm.view(0).write(1, Slot::from(id));
+        let mut buf = vec![Slot::BOTTOM; 64]; // stale, oversized: must be cleared
+        mm.view(1).snapshot_into(&mut buf);
+        assert_eq!(buf, mm.view(1).snapshot());
+        assert_eq!(buf.len(), 3);
+    }
+
+    #[test]
+    fn slot_codec_round_trips_through_bytes() {
+        let mut mm = mem(MemoryModel::Rw, 3, 2);
+        let id = PidPool::sequential().mint();
+        mm.view(0).write(2, Slot::from(id));
+        let mut bytes = Vec::new();
+        mm.encode_slots_into(&mut bytes);
+        assert_eq!(bytes.len(), 3 * 4);
+        let mut other = mem(MemoryModel::Rw, 3, 2);
+        let mut cur = bytes.as_slice();
+        other.restore_from_encoded(&mut cur);
+        assert!(cur.is_empty());
+        assert_eq!(other.slots(), mm.slots());
     }
 
     #[test]

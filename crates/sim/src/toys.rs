@@ -15,9 +15,11 @@
 //! These toys are `pub` so downstream crates (and doctests) can exercise
 //! the drivers without depending on `amx-core`.
 
+use amx_ids::codec::PidMap;
 use amx_ids::{Pid, Slot};
 
 use crate::automaton::{Automaton, Outcome};
+use crate::encode::{self, EncodeState};
 use crate::mem::MemoryOps;
 
 /// Correct one-register test-and-set lock built on `compare&swap`.
@@ -80,6 +82,37 @@ impl Automaton for CasLock {
             }
             CasLockState::Idle => panic!("step without pending invocation"),
         }
+    }
+
+    fn pid(&self) -> Option<Pid> {
+        Some(self.id)
+    }
+
+    fn symmetry_class(&self) -> Option<u64> {
+        // All CasLock processes are identical up to their identity.
+        Some(0)
+    }
+}
+
+impl EncodeState for CasLockState {
+    fn encode_with(&self, _map: &PidMap, out: &mut Vec<u8>) {
+        encode::put_u8(
+            match self {
+                CasLockState::Idle => 0,
+                CasLockState::TryCas => 1,
+                CasLockState::Unlock => 2,
+            },
+            out,
+        );
+    }
+
+    fn decode(bytes: &mut &[u8]) -> Option<Self> {
+        Some(match encode::take_u8(bytes)? {
+            0 => CasLockState::Idle,
+            1 => CasLockState::TryCas,
+            2 => CasLockState::Unlock,
+            _ => return None,
+        })
     }
 }
 
@@ -147,6 +180,38 @@ impl Automaton for NaiveFlagLock {
             }
             NaiveFlagState::Idle => panic!("step without pending invocation"),
         }
+    }
+
+    fn pid(&self) -> Option<Pid> {
+        Some(self.id)
+    }
+
+    fn symmetry_class(&self) -> Option<u64> {
+        Some(0)
+    }
+}
+
+impl EncodeState for NaiveFlagState {
+    fn encode_with(&self, _map: &PidMap, out: &mut Vec<u8>) {
+        encode::put_u8(
+            match self {
+                NaiveFlagState::Idle => 0,
+                NaiveFlagState::Check => 1,
+                NaiveFlagState::Claim => 2,
+                NaiveFlagState::Unlock => 3,
+            },
+            out,
+        );
+    }
+
+    fn decode(bytes: &mut &[u8]) -> Option<Self> {
+        Some(match encode::take_u8(bytes)? {
+            0 => NaiveFlagState::Idle,
+            1 => NaiveFlagState::Check,
+            2 => NaiveFlagState::Claim,
+            3 => NaiveFlagState::Unlock,
+            _ => return None,
+        })
     }
 }
 
@@ -252,6 +317,45 @@ impl Automaton for PetersonTwo {
             PetersonState::Idle => panic!("step without pending invocation"),
         }
     }
+
+    fn pid(&self) -> Option<Pid> {
+        Some(self.id)
+    }
+
+    fn symmetry_class(&self) -> Option<u64> {
+        // Sides are hard-wired: the two processes are NOT interchangeable,
+        // so each side is its own class and the reduction never permutes
+        // them (degrading to the exact exploration, which is correct).
+        Some(self.side as u64)
+    }
+}
+
+impl EncodeState for PetersonState {
+    fn encode_with(&self, _map: &PidMap, out: &mut Vec<u8>) {
+        encode::put_u8(
+            match self {
+                PetersonState::Idle => 0,
+                PetersonState::RaiseFlag => 1,
+                PetersonState::SetVictim => 2,
+                PetersonState::CheckFlag => 3,
+                PetersonState::CheckVictim => 4,
+                PetersonState::Unlock => 5,
+            },
+            out,
+        );
+    }
+
+    fn decode(bytes: &mut &[u8]) -> Option<Self> {
+        Some(match encode::take_u8(bytes)? {
+            0 => PetersonState::Idle,
+            1 => PetersonState::RaiseFlag,
+            2 => PetersonState::SetVictim,
+            3 => PetersonState::CheckFlag,
+            4 => PetersonState::CheckVictim,
+            5 => PetersonState::Unlock,
+            _ => return None,
+        })
+    }
 }
 
 /// A protocol that spins reading register 0 and never acquires: the
@@ -292,6 +396,33 @@ impl Automaton for SpinForever {
             }
             SpinState::Idle => panic!("step without pending invocation"),
         }
+    }
+
+    // `pid` stays `None`: SpinForever never writes an identity, so there
+    // is nothing to relabel when permuting spinners.
+
+    fn symmetry_class(&self) -> Option<u64> {
+        Some(0)
+    }
+}
+
+impl EncodeState for SpinState {
+    fn encode_with(&self, _map: &PidMap, out: &mut Vec<u8>) {
+        encode::put_u8(
+            match self {
+                SpinState::Idle => 0,
+                SpinState::Spin => 1,
+            },
+            out,
+        );
+    }
+
+    fn decode(bytes: &mut &[u8]) -> Option<Self> {
+        Some(match encode::take_u8(bytes)? {
+            0 => SpinState::Idle,
+            1 => SpinState::Spin,
+            _ => return None,
+        })
     }
 }
 
