@@ -5,9 +5,27 @@
 use amx_core::{Alg1Automaton, Alg2Automaton, MutexSpec};
 use amx_ids::PidPool;
 use amx_registers::Adversary;
+use amx_sim::intern::{hash_bytes, hash_bytes_bytewise};
 use amx_sim::mc::{ModelChecker, Symmetry, Verdict};
 use amx_sim::MemoryModel;
 use criterion::{criterion_group, criterion_main, Criterion};
+
+/// Seen-set hashing: the 8-bytes-at-a-time FNV variant vs the original
+/// byte-at-a-time FNV-1a, over a state-sized key (the engine hashes one
+/// canonical encoding per explored transition, so this delta multiplies
+/// across the whole run).
+fn bench_hash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_hash");
+    // A realistic Alg 2 deep-point encoding size (~53 bytes).
+    let key: Vec<u8> = (0..53u8).map(|i| i.wrapping_mul(37)).collect();
+    group.bench_function("fnv_8bytes_53b", |b| {
+        b.iter(|| hash_bytes(std::hint::black_box(&key)))
+    });
+    group.bench_function("fnv_bytewise_53b", |b| {
+        b.iter(|| hash_bytes_bytewise(std::hint::black_box(&key)))
+    });
+    group.finish();
+}
 
 fn bench_mc(c: &mut Criterion) {
     let mut group = c.benchmark_group("model_checker");
@@ -85,7 +103,9 @@ fn bench_mc(c: &mut Criterion) {
         })
     });
 
-    // Heavier symmetric configuration, sequential vs parallel frontier.
+    // Heavier symmetric configuration, sequential vs parallel frontier
+    // (the thread cap is clamped to the machine's parallelism, so on a
+    // single-core host both rows take the deterministic path).
     for threads in [1usize, 4] {
         group.bench_function(format!("alg1_n3_m5_symmetry_t{threads}"), |b| {
             b.iter(|| {
@@ -111,5 +131,5 @@ fn bench_mc(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_mc);
+criterion_group!(benches, bench_hash, bench_mc);
 criterion_main!(benches);

@@ -4,26 +4,83 @@
 //! cloned `Node { Vec<Slot>, Vec<(Phase, S)> }` values: two heap
 //! allocations plus a clone per stored state, and a second clone per
 //! *insertion* (the map key and the node list each held one).
-//! [`StateArena`] replaces it with the `indexmap` layout:
+//! [`StateArena`] replaces it with a compressed page layout:
 //!
-//! * one flat `Vec<u8>` holding every encoded state back to back,
-//! * a `Vec<u32>` of end offsets (state `i` is `data[ends[i-1]..ends[i]]`),
-//! * an open-addressing hash table mapping a state's bytes to its index.
+//! * one flat `Vec<u8>` holding every encoded state's *record* back to
+//!   back.  States are grouped into fixed-size pages of [`PAGE`]
+//!   states; within a page, the first state of each distinct byte
+//!   length is stored raw (a page *base*), and every other state as a
+//!   **byte-mask delta** against its page's base of the same length: a
+//!   one-byte back-distance to the base, a bitmask of changed byte
+//!   positions, then only the changed bytes.  BFS-adjacent canonical
+//!   states differ in a dozen scattered bytes out of dozens (measured
+//!   on the Algorithm 2 deep point: ~14 of ~53, and *scattered* — a
+//!   contiguous-diff encoding captures almost nothing), so records
+//!   shrink to roughly `len/8 + changed + 1` bytes.  A state that
+//!   drifted too far from its base (delta no smaller than raw) is
+//!   stored raw and becomes the page's new base for its length, so
+//!   compression adapts instead of degrading across a page.
+//! * a `Vec<u32>` of end offsets (state `i`'s record is
+//!   `data[ends[i-1]..ends[i]]`) — the compact offset index,
+//! * an open-addressing hash table whose buckets pack the state index
+//!   with a 32-bit hash fragment, so membership probes filter on the
+//!   fragment before touching state bytes, and table growth rehashes
+//!   from the stored fragments in a single pre-sized pass without
+//!   re-reading any state's bytes.
 //!
-//! Interning a fresh state appends its bytes once; interning a seen
-//! state allocates nothing.  Indices are dense `u32`s, assigned in
-//! insertion order, which is exactly what the breadth-first parent
-//! chains and the SCC pass need.
+//! Interning a fresh state appends its (delta-compressed) record once;
+//! interning a seen state allocates nothing.  Deltas never chain: a
+//! delta's base is always raw, so materialization and equality tests
+//! are one hop.  Indices are dense `u32`s, assigned in insertion
+//! order, which is exactly what the breadth-first parent chains and
+//! the SCC pass need — compression never disturbs the index contract.
+
+/// States per compression page.  A delta record's back-distance to its
+/// base must fit one byte, so pages hold 256 states; page boundaries
+/// also bound how far apart a delta and its base can land in `data`
+/// (locality for the one-hop reconstruction).
+pub const PAGE: usize = 256;
 
 /// Multiplier of the 64-bit FNV-1a hash used for the byte strings.
 const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
 /// Offset basis of the 64-bit FNV-1a hash.
 const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
 
-/// Hashes a byte string (FNV-1a; the table stores indices, not hashes,
-/// so collisions only cost an extra byte comparison).
+/// Hashes a byte string: an FNV-1a variant that folds 8 bytes per
+/// multiply (one XOR + one `wrapping_mul` per word instead of per
+/// byte), with the classic byte-at-a-time tail and a final
+/// high-into-low fold.  Collision handling is unchanged — the table
+/// stores indices plus a hash fragment, so a collision costs one
+/// filtered comparison.  Not bit-compatible with
+/// [`hash_bytes_bytewise`]; hashes never leave one process.
 #[must_use]
 pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        h ^= word;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    for &b in chunks.remainder() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    // The multiply only carries entropy toward the high bits, so input
+    // variation confined to the high half of a late word would never
+    // reach the low bits that pick table slots (canonicalization pushes
+    // state variation toward late bytes, making that the common case —
+    // measured as a 2–3× wall-time blowup from probe chains on the
+    // Alg 2 deep point without this).  Fold the halves together.
+    h ^= h >> 32;
+    h = h.wrapping_mul(FNV_PRIME);
+    h ^ (h >> 32)
+}
+
+/// The original byte-at-a-time FNV-1a, kept as the reference the
+/// `mc_cost` bench compares [`hash_bytes`] against.
+#[must_use]
+pub fn hash_bytes_bytewise(bytes: &[u8]) -> u64 {
     let mut h = FNV_OFFSET;
     for &b in bytes {
         h ^= u64::from(b);
@@ -32,10 +89,35 @@ pub fn hash_bytes(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Sentinel marking an empty hash-table bucket.
-const EMPTY: u32 = u32::MAX;
+/// Applies a byte-mask delta in place: for every set bit `i` in
+/// `mask`, overwrite `buf[i]` with the next byte of `changed`.
+/// Iterates set bits only (`trailing_zeros` + clear-lowest), so cost
+/// scales with the number of changed bytes, not the state length.
+fn patch_slice(buf: &mut [u8], mask: &[u8], changed: &[u8]) {
+    let mut next = 0usize;
+    for (wi, &mbyte) in mask.iter().enumerate() {
+        let mut mb = mbyte;
+        while mb != 0 {
+            let bit = mb.trailing_zeros() as usize;
+            buf[wi * 8 + bit] = changed[next];
+            next += 1;
+            mb &= mb - 1;
+        }
+    }
+    debug_assert_eq!(next, changed.len(), "mask popcount vs changed bytes");
+}
 
-/// An append-only set of byte strings with dense `u32` indices.
+/// Sentinel marking an empty hash-table bucket.
+const EMPTY: u64 = u64::MAX;
+
+/// Packs a bucket: the low 32 bits of the state's hash (the slot-index
+/// fragment) in the high half, the state index in the low half.
+fn bucket(frag: u32, idx: u32) -> u64 {
+    (u64::from(frag) << 32) | u64::from(idx)
+}
+
+/// An append-only set of byte strings with dense `u32` indices and
+/// page/delta compression of the stored payload.
 ///
 /// # Example
 ///
@@ -55,7 +137,12 @@ const EMPTY: u32 = u32::MAX;
 pub struct StateArena {
     data: Vec<u8>,
     ends: Vec<u32>,
-    table: Vec<u32>,
+    table: Vec<u64>,
+    /// Raw bases of the *current* page, one per distinct state length:
+    /// `(length, index)`.  Cleared at every page boundary; purely an
+    /// insertion-time aid, never consulted on reads (records carry
+    /// their own back-distance).
+    page_bases: Vec<(u16, u32)>,
 }
 
 impl StateArena {
@@ -66,6 +153,7 @@ impl StateArena {
             data: Vec::new(),
             ends: Vec::new(),
             table: vec![EMPTY; 16],
+            page_bases: Vec::new(),
         }
     }
 
@@ -81,37 +169,140 @@ impl StateArena {
         self.ends.is_empty()
     }
 
-    /// Bytes held by the flat data buffer (a peak-memory proxy; the
-    /// offset vector and hash table add ~8–12 bytes per state on top).
+    /// Bytes held by the flat record buffer — the *compressed* payload,
+    /// after page/delta encoding.
     #[must_use]
     pub fn data_bytes(&self) -> usize {
         self.data.len()
     }
 
-    /// The encoded bytes of state `idx`.
+    /// Resident bytes of the arena proper: record buffer capacity plus
+    /// the offset index (what PR 2's flat arena reported as its
+    /// "data"; the seen-set hash table is accounted separately by
+    /// [`table_bytes`](Self::table_bytes)).  Call
+    /// [`shrink_to_fit`](Self::shrink_to_fit) first to make capacity
+    /// equal length, so this reports what is actually held, not what
+    /// the growth doubling happened to reserve.
+    #[must_use]
+    pub fn arena_bytes(&self) -> usize {
+        self.data.capacity() + self.ends.capacity() * std::mem::size_of::<u32>()
+    }
+
+    /// Resident bytes of the open-addressing seen-set table (8 bytes
+    /// per bucket, ≤ 16/7 buckets per state after growth).
+    #[must_use]
+    pub fn table_bytes(&self) -> usize {
+        self.table.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Drops the growth slack of the record and offset buffers (the
+    /// hash table is always exactly sized).  Call once exploration is
+    /// done and the arena becomes read-mostly.
+    pub fn shrink_to_fit(&mut self) {
+        self.data.shrink_to_fit();
+        self.ends.shrink_to_fit();
+        self.page_bases.shrink_to_fit();
+    }
+
+    /// The record span of state `idx` in `data`.
+    fn span(&self, idx: u32) -> (usize, usize) {
+        let i = idx as usize;
+        let start = if i == 0 { 0 } else { self.ends[i - 1] as usize };
+        (start, self.ends[i] as usize)
+    }
+
+    /// Materializes the encoded bytes of state `idx` into `out`
+    /// (cleared first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn get_into(&self, idx: u32, out: &mut Vec<u8>) {
+        out.clear();
+        let (start, end) = self.span(idx);
+        let rec = &self.data[start..end];
+        let back = rec[0];
+        if back == 0 {
+            out.extend_from_slice(&rec[1..]);
+            return;
+        }
+        let (bstart, bend) = self.span(idx - u32::from(back));
+        let base = &self.data[bstart + 1..bend];
+        let mask_len = base.len().div_ceil(8);
+        let mask = &rec[1..1 + mask_len];
+        let changed = &rec[1 + mask_len..];
+        out.extend_from_slice(base);
+        patch_slice(out, mask, changed);
+    }
+
+    /// The encoded bytes of state `idx`, freshly allocated.  Hot paths
+    /// should prefer [`get_into`](Self::get_into) with a reused buffer.
     ///
     /// # Panics
     ///
     /// Panics if `idx` is out of range.
     #[must_use]
-    pub fn get(&self, idx: u32) -> &[u8] {
-        let i = idx as usize;
-        let start = if i == 0 { 0 } else { self.ends[i - 1] as usize };
-        &self.data[start..self.ends[i] as usize]
+    pub fn get(&self, idx: u32) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.get_into(idx, &mut out);
+        out
+    }
+
+    /// Compares state `idx` against `bytes` without heap traffic: raw
+    /// records memcmp directly; delta records are reconstructed into a
+    /// stack buffer (one memcpy + one patched byte per set mask bit)
+    /// and memcmp'd — far cheaper than a branch per byte position.
+    fn state_eq(&self, idx: u32, bytes: &[u8]) -> bool {
+        let (start, end) = self.span(idx);
+        let rec = &self.data[start..end];
+        let back = rec[0];
+        if back == 0 {
+            return &rec[1..] == bytes;
+        }
+        let (bstart, bend) = self.span(idx - u32::from(back));
+        let base = &self.data[bstart + 1..bend];
+        if base.len() != bytes.len() {
+            return false;
+        }
+        let mask_len = base.len().div_ceil(8);
+        let mask = &rec[1..1 + mask_len];
+        let changed = &rec[1 + mask_len..];
+        let mut stack = [0u8; 256];
+        if let Some(buf) = stack.get_mut(..base.len()) {
+            buf.copy_from_slice(base);
+            patch_slice(buf, mask, changed);
+            return buf == bytes;
+        }
+        // Oversized state (> 256 bytes): reconstruct on the heap.
+        let mut buf = base.to_vec();
+        patch_slice(&mut buf, mask, changed);
+        buf == bytes
     }
 
     /// Looks up a state without inserting it.
     #[must_use]
     pub fn lookup(&self, bytes: &[u8]) -> Option<u32> {
+        self.lookup_hashed(hash_bytes(bytes), bytes)
+    }
+
+    /// [`lookup`](Self::lookup) with a caller-computed [`hash_bytes`]
+    /// value — the engine hashes each canonical encoding exactly once
+    /// (shard selection and table probe share the hash).
+    #[must_use]
+    pub fn lookup_hashed(&self, hash: u64, bytes: &[u8]) -> Option<u32> {
+        debug_assert_eq!(hash, hash_bytes(bytes), "caller-supplied hash mismatch");
         let mask = self.table.len() - 1;
-        let mut slot = (hash_bytes(bytes) as usize) & mask;
+        let frag = hash as u32;
+        let mut slot = frag as usize & mask;
         loop {
-            match self.table[slot] {
-                EMPTY => return None,
-                idx => {
-                    if self.get(idx) == bytes {
-                        return Some(idx);
-                    }
+            let entry = self.table[slot];
+            if entry == EMPTY {
+                return None;
+            }
+            if (entry >> 32) as u32 == frag {
+                let idx = entry as u32;
+                if self.state_eq(idx, bytes) {
+                    return Some(idx);
                 }
             }
             slot = (slot + 1) & mask;
@@ -123,30 +314,49 @@ impl StateArena {
     /// # Panics
     ///
     /// Panics if the arena outgrows `u32` indexing (> 4 GiB of encoded
-    /// state data or ≥ `u32::MAX` states) — far beyond any state space
-    /// the checker's bounds admit.
+    /// state data or ≥ `u32::MAX` states) or a state exceeds 64 KiB —
+    /// far beyond any state space the checker's bounds admit.
     pub fn intern(&mut self, bytes: &[u8]) -> (u32, bool) {
+        self.intern_hashed(hash_bytes(bytes), bytes)
+    }
+
+    /// [`intern`](Self::intern) with a caller-computed [`hash_bytes`]
+    /// value.
+    ///
+    /// # Panics
+    ///
+    /// As for [`intern`](Self::intern).
+    pub fn intern_hashed(&mut self, hash: u64, bytes: &[u8]) -> (u32, bool) {
+        debug_assert_eq!(hash, hash_bytes(bytes), "caller-supplied hash mismatch");
+        assert!(
+            bytes.len() <= usize::from(u16::MAX),
+            "encoded states must fit the page-base directory (≤ 64 KiB)"
+        );
         if self.ends.len() * 8 >= self.table.len() * 7 {
             self.grow();
         }
         let mask = self.table.len() - 1;
-        let mut slot = (hash_bytes(bytes) as usize) & mask;
+        let frag = hash as u32;
+        let mut slot = frag as usize & mask;
         loop {
-            match self.table[slot] {
-                EMPTY => break,
-                idx => {
-                    if self.get(idx) == bytes {
-                        return (idx, false);
-                    }
+            let entry = self.table[slot];
+            if entry == EMPTY {
+                break;
+            }
+            if (entry >> 32) as u32 == frag {
+                let idx = entry as u32;
+                if self.state_eq(idx, bytes) {
+                    return (idx, false);
                 }
             }
             slot = (slot + 1) & mask;
         }
         let idx = u32::try_from(self.ends.len()).expect("arena index overflow");
-        self.data.extend_from_slice(bytes);
+        assert!(idx != u32::MAX, "arena index overflow");
+        self.push_record(idx, bytes);
         let end = u32::try_from(self.data.len()).expect("arena data overflow");
         self.ends.push(end);
-        self.table[slot] = idx;
+        self.table[slot] = bucket(frag, idx);
         debug_assert_eq!(
             self.lookup(bytes),
             Some(idx),
@@ -155,16 +365,78 @@ impl StateArena {
         (idx, true)
     }
 
+    /// Appends the record of the fresh state `idx`: a byte-mask delta
+    /// against the current page's base of the same length, or raw
+    /// (becoming that base) when no same-length base exists in the
+    /// page, or when the delta would not beat storing raw (drift
+    /// re-basing).
+    fn push_record(&mut self, idx: u32, bytes: &[u8]) {
+        if (idx as usize).is_multiple_of(PAGE) {
+            self.page_bases.clear();
+        }
+        let len16 = bytes.len() as u16;
+        let base_entry = self.page_bases.iter().position(|&(l, _)| l == len16);
+        if let Some(entry) = base_entry {
+            let base_idx = self.page_bases[entry].1;
+            debug_assert!(idx - base_idx <= u32::from(u8::MAX), "base beyond one page");
+            let (bstart, bend) = self.span(base_idx);
+            let base_at = bstart + 1;
+            debug_assert_eq!(bend - base_at, bytes.len());
+            let len = bytes.len();
+            let mask_len = len.div_ceil(8);
+            // One diff pass into stack buffers (Vecs only for the rare
+            // > 256-byte state), then two bulk appends.
+            let mut mask_stack = [0u8; 32];
+            let mut changed_stack = [0u8; 256];
+            let (mut mask_vec, mut changed_vec);
+            let (mask, changed): (&mut [u8], &mut [u8]) = if len <= 256 {
+                (&mut mask_stack[..mask_len], &mut changed_stack)
+            } else {
+                mask_vec = vec![0u8; mask_len];
+                changed_vec = vec![0u8; len];
+                (&mut mask_vec, &mut changed_vec)
+            };
+            let mut nc = 0usize;
+            for (i, (&b, &bb)) in bytes.iter().zip(&self.data[base_at..bend]).enumerate() {
+                if b != bb {
+                    mask[i / 8] |= 1 << (i % 8);
+                    changed[nc] = b;
+                    nc += 1;
+                }
+            }
+            if 1 + mask_len + nc < 1 + len {
+                self.data.push((idx - base_idx) as u8);
+                self.data.extend_from_slice(&mask[..mask_len]);
+                self.data.extend_from_slice(&changed[..nc]);
+                return;
+            }
+            // Drifted past the break-even point: store raw and make
+            // this state the page's new base for its length.
+            self.page_bases[entry].1 = idx;
+        } else {
+            self.page_bases.push((len16, idx));
+        }
+        self.data.push(0);
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Doubles the table: a single pre-sized pass over the old buckets,
+    /// re-slotting each from its *stored* hash fragment — no state
+    /// bytes are re-read and nothing is re-hashed.
     fn grow(&mut self) {
         let new_cap = self.table.len() * 2;
         let mask = new_cap - 1;
         let mut table = vec![EMPTY; new_cap];
-        for idx in 0..self.ends.len() as u32 {
-            let mut slot = (hash_bytes(self.get(idx)) as usize) & mask;
+        for &entry in &self.table {
+            if entry == EMPTY {
+                continue;
+            }
+            let frag = (entry >> 32) as u32;
+            let mut slot = frag as usize & mask;
             while table[slot] != EMPTY {
                 slot = (slot + 1) & mask;
             }
-            table[slot] = idx;
+            table[slot] = entry;
         }
         self.table = table;
     }
@@ -184,19 +456,19 @@ mod tests {
     fn interning_is_idempotent_and_dense() {
         let mut arena = StateArena::new();
         for round in 0..3 {
-            for i in 0..100u32 {
+            for i in 0..1000u32 {
                 let bytes = i.to_le_bytes();
                 let (idx, fresh) = arena.intern(&bytes);
                 assert_eq!(idx, i, "dense insertion-order indices");
                 assert_eq!(fresh, round == 0);
             }
         }
-        assert_eq!(arena.len(), 100);
-        for i in 0..100u32 {
+        assert_eq!(arena.len(), 1000);
+        for i in 0..1000u32 {
             assert_eq!(arena.get(i), i.to_le_bytes());
             assert_eq!(arena.lookup(&i.to_le_bytes()), Some(i));
         }
-        assert_eq!(arena.lookup(&1000u32.to_le_bytes()), None);
+        assert_eq!(arena.lookup(&2000u32.to_le_bytes()), None);
     }
 
     #[test]
@@ -219,9 +491,145 @@ mod tests {
             arena.intern(&i.to_le_bytes());
         }
         assert_eq!(arena.len(), n as usize);
-        assert_eq!(arena.data_bytes(), n as usize * 4);
         for i in (0..n).rev() {
             assert_eq!(arena.lookup(&i.to_le_bytes()), Some(i));
+            assert_eq!(arena.get(i), i.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn scattered_diffs_compress() {
+        // 10_000 60-byte states differing from each other in ≤ 4
+        // *scattered* bytes — the byte-mask delta must beat the raw
+        // footprint by far more than the tentpole's 30% target.
+        let mk = |i: u64| {
+            let mut state = [0u8; 60];
+            state[4] = i as u8;
+            state[20] = (i >> 8) as u8;
+            state[37] = (i >> 16) as u8;
+            state[59] = (i >> 24) as u8 ^ i as u8;
+            state
+        };
+        let mut arena = StateArena::new();
+        let mut raw = 0usize;
+        for i in 0..10_000u64 {
+            let state = mk(i);
+            raw += state.len();
+            let (idx, fresh) = arena.intern(&state);
+            assert!(fresh);
+            assert_eq!(idx as u64, i);
+        }
+        assert!(
+            arena.data_bytes() * 10 < raw * 3,
+            "delta encoding too weak: {} compressed vs {} raw",
+            arena.data_bytes(),
+            raw
+        );
+        let mut buf = Vec::new();
+        for i in 0..10_000u64 {
+            arena.get_into(i as u32, &mut buf);
+            assert_eq!(buf, mk(i));
+            assert_eq!(arena.lookup(&mk(i)), Some(i as u32));
+        }
+    }
+
+    #[test]
+    fn delta_handles_divergent_lengths_within_a_page() {
+        // Many lengths interleaved in one page: each length gets its
+        // own base, every record must round-trip.
+        let mut arena = StateArena::new();
+        let inputs: Vec<Vec<u8>> = (0..600u32)
+            .map(|i| {
+                let mut v = vec![0xAB; (i as usize * 7) % 90];
+                v.extend_from_slice(&i.to_le_bytes());
+                v
+            })
+            .collect();
+        let ids: Vec<u32> = inputs.iter().map(|b| arena.intern(b).0).collect();
+        for (id, input) in ids.iter().zip(&inputs) {
+            assert_eq!(&arena.get(*id), input);
+            assert_eq!(arena.lookup(input), Some(*id));
+        }
+    }
+
+    #[test]
+    fn drift_rebases_instead_of_degrading() {
+        // A run of states whose content shifts every 8 states: deltas
+        // against a stale base would approach raw size, so the arena
+        // must re-base and keep the payload small.
+        let mk = |i: u32| {
+            let fill = (i / 8) as u8; // shifts every 8 states
+            let mut state = [fill; 48];
+            state[0] = i as u8;
+            state[47] = (i >> 8) as u8;
+            state
+        };
+        let mut arena = StateArena::new();
+        let mut raw = 0usize;
+        for i in 0..2048u32 {
+            arena.intern(&mk(i));
+            raw += 48;
+        }
+        assert!(
+            arena.data_bytes() * 2 < raw,
+            "re-basing must keep the payload under half raw: {} vs {}",
+            arena.data_bytes(),
+            raw
+        );
+        let mut buf = Vec::new();
+        for i in 0..2048u32 {
+            arena.get_into(i, &mut buf);
+            assert_eq!(buf, mk(i), "state {i}");
+        }
+    }
+
+    #[test]
+    fn shrink_to_fit_tightens_arena_bytes() {
+        let mut arena = StateArena::new();
+        for i in 0..1000u32 {
+            arena.intern(&i.to_le_bytes());
+        }
+        let before = arena.arena_bytes();
+        arena.shrink_to_fit();
+        let after = arena.arena_bytes();
+        assert!(after <= before);
+        assert_eq!(
+            after,
+            arena.data_bytes() + arena.len() * 4,
+            "post-shrink accounting must be exact, not capacity slack"
+        );
+        assert_eq!(arena.table_bytes(), arena.table.len() * 8);
+        // Still fully functional after shrinking.
+        assert_eq!(arena.lookup(&123u32.to_le_bytes()), Some(123));
+        assert_eq!(arena.intern(&2000u32.to_le_bytes()), (1000, true));
+    }
+
+    #[test]
+    fn hash_variants_are_stable_and_low_bits_mix() {
+        // The 8-bytes-at-a-time variant is not bit-compatible with the
+        // byte-wise reference; both must be deterministic.
+        let data = b"the quick brown fox jumps over the lazy dog";
+        assert_eq!(hash_bytes(data), hash_bytes(data));
+        assert_eq!(hash_bytes_bytewise(data), hash_bytes_bytewise(data));
+        // Variation confined to the high half of one word must still
+        // move the low 32 bits (the table-slot fragment) — this is
+        // exactly the input class the finalizer exists for.
+        let mut a = [0u8; 48];
+        let mut b = [0u8; 48];
+        a[44] = 1;
+        b[44] = 2;
+        assert_ne!(hash_bytes(&a) as u32, hash_bytes(&b) as u32);
+    }
+
+    #[test]
+    fn intern_hashed_matches_intern() {
+        let mut a = StateArena::new();
+        let mut b = StateArena::new();
+        for i in 0..500u32 {
+            let bytes = (i * 17).to_le_bytes();
+            let x = a.intern(&bytes);
+            let y = b.intern_hashed(hash_bytes(&bytes), &bytes);
+            assert_eq!(x, y);
         }
     }
 }

@@ -23,11 +23,13 @@
 //!
 //! The model checker is built for scale, not just small configurations:
 //!
-//! * **Compact interned states** — every reachable node is one flat byte
-//!   string ([`encode::EncodeState`]) interned in an arena
-//!   ([`intern::StateArena`]); successors are generated into reused
-//!   scratch buffers, so the hot loop performs no per-step clones or
-//!   per-node allocations beyond the single arena append.
+//! * **Compressed interned states** — every reachable node is one byte
+//!   string ([`encode::EncodeState`]) interned in a page-compressed
+//!   arena ([`intern::StateArena`]): states are byte-mask deltas
+//!   against per-page raw bases, roughly halving the bytes per stored
+//!   state.  Successors are generated into reused scratch buffers, so
+//!   the hot loop performs no per-step clones or per-node allocations
+//!   beyond the single arena append.
 //! * **Process-symmetry reduction** ([`mc::Symmetry::Process`]) — the
 //!   paper's algorithms are symmetric (identities support equality
 //!   only), so states that differ by permuting interchangeable processes
@@ -36,16 +38,21 @@
 //!   representative per orbit (up to `n!` fewer states) while still
 //!   producing *concrete* witness schedules, and reports the exact
 //!   concrete state count alongside the canonical one.
-//! * **Parallel frontier** ([`mc::ModelChecker::threads`], or the
-//!   `AMX_MC_THREADS` environment variable) — breadth-first levels are
-//!   sharded across worker threads over a striped seen-set.
-//!   Single-threaded remains the default so CI output and witness
-//!   schedules are deterministic; the verdict kind and all counts are
-//!   identical at any thread count (witness schedules stay valid and
-//!   shortest, but may differ among equally short candidates).
-//! * **O(states) memory** — the deadlock-freedom pass regenerates
-//!   successors from the interned bytes instead of buffering the full
-//!   transition list for Tarjan.
+//! * **Work-stealing parallel frontier** ([`mc::ModelChecker::threads`],
+//!   or the `AMX_MC_THREADS` environment variable) — breadth-first
+//!   levels run on per-worker deques with batch stealing over a striped
+//!   seen-set, and the pool is capped at the machine's available
+//!   parallelism.  Single-threaded remains the default so CI output and
+//!   witness schedules are deterministic; the verdict kind and all
+//!   counts are identical at any thread count (witness schedules stay
+//!   valid and shortest, but may differ among equally short
+//!   candidates).
+//! * **O(states) memory, parallel SCC** — the deadlock-freedom pass
+//!   regenerates each completion-free successor exactly once into a
+//!   dense edge table (in parallel) and runs Tarjan or, on large
+//!   multi-worker runs, the trimmed forward–backward decomposition of
+//!   [`scc::parallel_sccs`] over it; no transition list is ever
+//!   buffered during exploration.
 //!
 //! The simulator linearizes each operation (including `snapshot`) at a
 //! single step, which is exactly the atomicity the paper's proofs assume.
@@ -74,6 +81,7 @@ pub mod intern;
 pub mod mc;
 pub mod mem;
 pub mod runner;
+pub mod scc;
 pub mod schedule;
 pub mod toys;
 pub mod trace;

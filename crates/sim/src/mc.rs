@@ -41,25 +41,35 @@
 //!   state count drops accordingly.  Witness schedules remain concrete:
 //!   the group element used on each tree edge is recorded, and parent
 //!   chains are mapped back through the accumulated permutation.
-//! * [`ModelChecker::threads`] — the breadth-first frontier is split
-//!   level-by-level across `std::thread` workers over a striped
-//!   seen-set (one `parking_lot` lock per stripe).  Single-threaded is
-//!   the default so that state numbering, counters, and witness
-//!   schedules stay byte-for-byte deterministic in CI; the
-//!   `AMX_MC_THREADS` environment variable overrides the default when
-//!   no explicit thread count is set.  The verdict kind and all counts
-//!   are thread-count independent on completing runs; witness
-//!   schedules are always valid and shortest, but may differ between
-//!   runs with more than one thread when several equally short
-//!   witnesses tie.
+//! * [`ModelChecker::threads`] — each breadth-first level runs on
+//!   per-worker deques with batch work stealing over a striped
+//!   seen-set (one `parking_lot` lock per stripe); levels stay
+//!   synchronized, which is what keeps reported witnesses shortest,
+//!   but a worker that drains its deque steals the back half of a
+//!   peer's, so uneven canonicalization costs no longer stall the
+//!   end-of-level barrier.  The pool is capped at the machine's
+//!   available parallelism.  Single-threaded is the default so that
+//!   state numbering, counters, and witness schedules stay
+//!   byte-for-byte deterministic in CI; the `AMX_MC_THREADS`
+//!   environment variable overrides the default when no explicit
+//!   thread count is set.  The verdict kind and all counts are
+//!   thread-count independent on completing runs; witness schedules
+//!   are always valid and shortest, but may differ between runs with
+//!   more than one thread when several equally short witnesses tie.
 //! * [`ModelChecker::cross_check`] — debug mode: after a reduced run,
 //!   re-explores with [`Symmetry::Off`] and panics if the verdicts (or
 //!   the orbit accounting) diverge.
+//! * [`ModelChecker::progress`] — optional throttled live-progress
+//!   callback (states, exact concrete-orbit accounting, transitions).
 //!
-//! The deadlock-freedom pass no longer buffers a transition list for
-//! Tarjan: successors are *regenerated* from the interned bytes on
-//! demand (each node has exactly `n` successors, one per actor), so
-//! peak memory is O(states) rather than O(stored transitions).
+//! The deadlock-freedom pass no longer buffers a transition list
+//! during exploration: after BFS, every completion-free successor is
+//! *regenerated* from the interned bytes exactly once into a dense
+//! `states × n` edge table (split across the worker pool), and the SCC
+//! decomposition — sequential Tarjan, or [`crate::scc::parallel_sccs`]
+//! on large multi-worker runs past [`ModelChecker::scc_threshold`] —
+//! runs over that table, so peak memory is O(states · n) rather than
+//! O(stored transitions) and no successor is regenerated twice.
 //!
 //! With `Symmetry::Process`, the fair-livelock check runs on the orbit
 //! quotient with fairness at the granularity of symmetry classes
@@ -68,7 +78,9 @@
 //! verdicts on every algorithm in this workspace; [`Symmetry::Off`]
 //! remains the default and is exact.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
@@ -80,6 +92,7 @@ use crate::automaton::{Automaton, Outcome, Phase};
 use crate::encode::{self, EncodeState};
 use crate::intern::{hash_bytes, StateArena};
 use crate::mem::SimMemory;
+use crate::scc;
 
 /// Final verdict of a model-checking run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -148,13 +161,45 @@ pub struct McReport {
     pub peak_frontier: usize,
     /// Wall-clock duration of the exploration.
     pub wall_time: Duration,
-    /// Bytes held by the interned state arenas (peak-memory proxy).
+    /// Wall-clock duration of the fair-livelock pass alone (successor
+    /// CSR build + SCC decomposition + component scan); zero when the
+    /// pass did not run (mutual-exclusion violation or overflow).
+    pub scc_wall_time: Duration,
+    /// Resident bytes of the interned state arenas after exploration:
+    /// compressed records plus the offset index, shrunk to fit (the
+    /// like-for-like successor of PR 2's flat-data figure; a
+    /// peak-memory proxy).  The seen-set hash tables are reported
+    /// separately in [`McReport::seen_table_bytes`].
     pub arena_bytes: usize,
-    /// Worker threads used.
+    /// Resident bytes of the seen-set hash tables (8 bytes per bucket).
+    pub seen_table_bytes: usize,
+    /// How many times an idle frontier worker stole work from a peer
+    /// (always zero single-threaded).
+    pub steal_count: usize,
+    /// Requested worker-thread cap (the pool itself is additionally
+    /// clamped to the machine's available parallelism).
     pub threads: usize,
     /// Symmetry mode the run used.
     pub symmetry: Symmetry,
 }
+
+/// Live snapshot handed to a [`ModelChecker::progress`] callback while
+/// exploration runs.
+#[derive(Debug, Clone, Copy)]
+pub struct McProgress {
+    /// Canonical states stored so far.
+    pub states: usize,
+    /// Exact concrete-state figure for the stored states (orbit
+    /// accounting; equals `states` with symmetry off).
+    pub full_states_estimate: usize,
+    /// Transitions explored so far.
+    pub transitions: usize,
+    /// Time since the run started.
+    pub elapsed: Duration,
+}
+
+/// Callback type for [`ModelChecker::progress`].
+pub type ProgressFn = dyn Fn(&McProgress) + Send + Sync;
 
 /// Error: the state space exceeded the configured bound.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -195,7 +240,6 @@ impl std::error::Error for StateSpaceExceeded {}
 /// assert_eq!(report.verdict, Verdict::Ok);
 /// assert!(report.canonical_states <= report.full_states_estimate);
 /// ```
-#[derive(Debug)]
 pub struct ModelChecker<A: Automaton> {
     automata: Vec<A>,
     mem0: SimMemory,
@@ -203,6 +247,43 @@ pub struct ModelChecker<A: Automaton> {
     symmetry: Symmetry,
     threads: Option<usize>,
     cross_check: bool,
+    scc_threshold: usize,
+    oversubscribe: bool,
+    progress: Option<Arc<ProgressFn>>,
+}
+
+impl<A: Automaton + std::fmt::Debug> std::fmt::Debug for ModelChecker<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelChecker")
+            .field("automata", &self.automata)
+            .field("mem0", &self.mem0)
+            .field("max_states", &self.max_states)
+            .field("symmetry", &self.symmetry)
+            .field("threads", &self.threads)
+            .field("cross_check", &self.cross_check)
+            .field("scc_threshold", &self.scc_threshold)
+            .field("oversubscribe", &self.oversubscribe)
+            .field("progress", &self.progress.as_ref().map(|_| "<callback>"))
+            .finish()
+    }
+}
+
+/// Default node count below which the fair-livelock pass prefers
+/// sequential Tarjan over the parallel FW–BW decomposition even on
+/// multi-threaded runs (small graphs are not worth the worker pool).
+const DEFAULT_SCC_THRESHOLD: usize = 65_536;
+
+/// Caps a requested thread count at the machine's available
+/// parallelism: oversubscribing cores only adds context-switch and
+/// cache pressure, so the pool never exceeds the hardware (unless
+/// [`ModelChecker::oversubscribe`] disables the cap).
+fn effective_workers(threads: usize, oversubscribe: bool) -> usize {
+    let cap = if oversubscribe {
+        usize::MAX
+    } else {
+        std::thread::available_parallelism().map_or(usize::MAX, std::num::NonZeroUsize::get)
+    };
+    threads.min(cap).max(1)
 }
 
 impl<A: Automaton> ModelChecker<A> {
@@ -254,6 +335,9 @@ impl<A: Automaton> ModelChecker<A> {
             symmetry: Symmetry::Off,
             threads: None,
             cross_check: false,
+            scc_threshold: DEFAULT_SCC_THRESHOLD,
+            oversubscribe: false,
+            progress: None,
         })
     }
 
@@ -279,6 +363,13 @@ impl<A: Automaton> ModelChecker<A> {
     /// count; with several threads, witness schedules may differ among
     /// equally short candidates because seen-set insertion races pick
     /// the breadth-first spanning tree.
+    ///
+    /// The count is a *cap*: the engine never spawns more compute
+    /// workers than the machine's available parallelism, because
+    /// oversubscribing cores only adds context-switch and cache
+    /// pressure (measured ~2× wall-time on a single-core host).  A run
+    /// whose effective pool is one worker takes the byte-for-byte
+    /// deterministic sequential path.
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
@@ -294,6 +385,40 @@ impl<A: Automaton> ModelChecker<A> {
         self
     }
 
+    /// Disables the available-parallelism cap on the worker pool, so
+    /// `threads(t)` spawns exactly `t` workers even on a host with
+    /// fewer cores.  A correctness/test hook — the differential suite
+    /// uses it to drive the work-stealing frontier and the parallel
+    /// SCC pass regardless of the machine it runs on; production runs
+    /// should leave the cap alone (oversubscription measured ~2×
+    /// slower on a single-core host).
+    #[must_use]
+    pub fn oversubscribe(mut self, on: bool) -> Self {
+        self.oversubscribe = on;
+        self
+    }
+
+    /// Node count below which the fair-livelock pass uses sequential
+    /// Tarjan instead of the parallel FW–BW decomposition on
+    /// multi-threaded runs (single-threaded runs always use Tarjan for
+    /// byte-for-byte determinism).  Mainly a test hook: set 0 to force
+    /// the parallel path on tiny graphs.
+    #[must_use]
+    pub fn scc_threshold(mut self, threshold: usize) -> Self {
+        self.scc_threshold = threshold;
+        self
+    }
+
+    /// Installs a live-progress callback, invoked from the exploration
+    /// loop at most every ~200 ms with the running state counts.  The
+    /// callback must be cheap and must not re-enter the checker.
+    #[must_use]
+    pub fn progress(mut self, f: impl Fn(&McProgress) + Send + Sync + 'static) -> Self {
+        self.progress = Some(Arc::new(f));
+        self
+    }
+
+    /// The requested thread cap (explicit, `AMX_MC_THREADS`, or 1).
     fn effective_threads(&self) -> usize {
         if let Some(t) = self.threads {
             return t;
@@ -347,7 +472,8 @@ where
         let start = Instant::now();
         let m = self.mem0.m();
         let threads = self.effective_threads();
-        let shard_bits: u32 = if threads == 1 { 0 } else { 6 };
+        let workers = effective_workers(threads, self.oversubscribe);
+        let shard_bits: u32 = if workers == 1 { 0 } else { 6 };
         assert!(
             self.max_states < (u32::MAX >> shard_bits) as usize,
             "max_states too large for the id encoding"
@@ -365,6 +491,7 @@ where
             stored: AtomicUsize::new(0),
             orbit_sum: AtomicUsize::new(0),
             overflow: AtomicBool::new(false),
+            steals: AtomicUsize::new(0),
         };
 
         // Seed the frontier with the (group-invariant) initial state.
@@ -401,33 +528,17 @@ where
         let mut acquisitions = 0usize;
         let mut transitions = 0usize;
         let mut violation: Option<Violation> = None;
+        let mut last_progress = Instant::now();
 
         while !frontier.is_empty()
             && violation.is_none()
             && !shared.overflow.load(Ordering::Relaxed)
         {
             peak_frontier = peak_frontier.max(frontier.len());
-            let outs: Vec<WorkerOut> = if threads == 1 {
+            let outs: Vec<WorkerOut> = if workers == 1 {
                 vec![process_chunk(&shared, &frontier, 0, &mut scratch)]
             } else {
-                let chunk_size = frontier.len().div_ceil(threads);
-                std::thread::scope(|s| {
-                    let handles: Vec<_> = frontier
-                        .chunks(chunk_size)
-                        .enumerate()
-                        .map(|(ci, chunk)| {
-                            let shared = &shared;
-                            s.spawn(move || {
-                                let mut sc: Scratch<A::State> = Scratch::new(shared.mem0.clone());
-                                process_chunk(shared, chunk, ci * chunk_size, &mut sc)
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("model-checker worker panicked"))
-                        .collect()
-                })
+                run_level_stealing(&shared, std::mem::take(&mut frontier), workers)
             };
             let mut next = Vec::new();
             for out in outs {
@@ -441,11 +552,23 @@ where
                 next.extend(out.next);
             }
             frontier = next;
+            if let Some(cb) = &self.progress {
+                if last_progress.elapsed() >= Duration::from_millis(200) {
+                    last_progress = Instant::now();
+                    cb(&McProgress {
+                        states: shared.stored.load(Ordering::Relaxed),
+                        full_states_estimate: shared.orbit_sum.load(Ordering::Relaxed),
+                        transitions,
+                        elapsed: start.elapsed(),
+                    });
+                }
+            }
         }
 
         let states = shared.stored.load(Ordering::Relaxed);
         let full_states_estimate = shared.orbit_sum.load(Ordering::Relaxed);
         let overflowed = shared.overflow.load(Ordering::Relaxed);
+        let steal_count = shared.steals.load(Ordering::Relaxed);
         let store = Store::new(
             shared.shards.into_iter().map(Mutex::into_inner).collect(),
             shard_bits,
@@ -459,7 +582,10 @@ where
             full_states_estimate,
             peak_frontier,
             wall_time: start.elapsed(),
-            arena_bytes: store.data_bytes(),
+            scc_wall_time: Duration::ZERO,
+            arena_bytes: store.arena_bytes(),
+            seen_table_bytes: store.table_bytes(),
+            steal_count,
             threads,
             symmetry,
         };
@@ -481,80 +607,153 @@ where
             });
         }
 
-        if let Some(verdict) = self.find_fair_livelock(&store, &group, &class_of, &mut scratch) {
+        let scc_start = Instant::now();
+        if let Some(verdict) =
+            self.find_fair_livelock(&store, &group, &class_of, &mut scratch, workers)
+        {
             report.verdict = verdict;
         }
+        report.scc_wall_time = scc_start.elapsed();
         report.wall_time = start.elapsed();
         Ok(report)
     }
 
-    /// Fair-livelock search on the completion-free subgraph, with
-    /// successors regenerated from the interned bytes (no edge list).
+    /// Fair-livelock search on the completion-free subgraph.
+    ///
+    /// Successors are regenerated from the interned bytes exactly once,
+    /// into a dense out-edge table (`v*n + k` → child, [`scc::NO_EDGE`]
+    /// for deleted completion edges); the SCC decomposition and the
+    /// per-component fairness scan then run over that table instead of
+    /// paying decode + step + canonicalize + lookup per algorithmic
+    /// probe.  The regeneration pass is split across `threads` workers;
+    /// graphs of at least [`ModelChecker::scc_threshold`] nodes on
+    /// multi-worker runs additionally use the parallel FW–BW
+    /// decomposition (sorted to a deterministic traversal order),
+    /// everything else sequential Tarjan.
     fn find_fair_livelock(
         &self,
         store: &Store,
         group: &[SymElem],
         class_of: &[usize],
         scratch: &mut Scratch<A::State>,
+        workers: usize,
     ) -> Option<Verdict> {
         let n_states = store.node_count();
         let n = self.automata.len();
         let m = self.mem0.m();
+        if n_states == 0 {
+            return None;
+        }
 
-        // One regenerated successor per edge probe: decode the source
-        // node, step one actor, canonicalize, look the child up.  Also
-        // reports the completion flag and the actor's phase at the source.
-        let succ = |dense: u32, k: usize, sc: &mut Scratch<A::State>| -> (u32, bool, Phase) {
-            let gid = store.gid_of_dense(dense as usize);
-            decode_node(store.bytes(gid), m, n, &mut sc.slots, &mut sc.procs);
-            let phase_k = sc.procs[k].0;
-            sc.mem.restore(&sc.slots);
-            let outcome = advance_in_place(&self.automata[k], k, &mut sc.mem, &mut sc.procs[k]);
-            let (_, _) = canonicalize(
-                group,
-                sc.mem.slots(),
-                &sc.procs,
-                &mut sc.enc,
-                &mut sc.best,
-                &mut sc.first,
-            );
-            let child = store
-                .lookup(&sc.best)
-                .expect("successor of a stored state must itself be stored");
-            (
-                store.dense(child) as u32,
-                outcome != Outcome::Progress,
-                phase_k,
-            )
+        // Stage 1: regenerate the completion-free successor table — and,
+        // under symmetry, the canonicalizing group element of every
+        // edge, which lets the orbit confirmation below walk concrete
+        // orbit states entirely by table composition (no re-stepping).
+        let track_sigma = group.len() > 1;
+        let mut csr = vec![scc::NO_EDGE; n_states * n];
+        let mut sigmas: Vec<u16> = if track_sigma {
+            vec![0; n_states * n]
+        } else {
+            Vec::new()
         };
+        let fill_rows =
+            |rows: &mut [u32], sigs: &mut [u16], base: usize, sc: &mut Scratch<A::State>| {
+                for (row, entries) in rows.chunks_mut(n).enumerate() {
+                    store.bytes_into(store.gid_of_dense(base + row), &mut sc.node);
+                    decode_node(&sc.node, m, n, &mut sc.slots, &mut sc.procs);
+                    for (k, entry) in entries.iter_mut().enumerate() {
+                        sc.mem.restore(&sc.slots);
+                        let saved = sc.procs[k].clone();
+                        let outcome =
+                            advance_in_place(&self.automata[k], k, &mut sc.mem, &mut sc.procs[k]);
+                        if outcome == Outcome::Progress {
+                            let sigma = canonical_sigma(
+                                group,
+                                sc.mem.slots(),
+                                &sc.procs,
+                                &mut sc.enc,
+                                &mut sc.best,
+                            );
+                            let child = store
+                                .lookup(&sc.best)
+                                .expect("successor of a stored state must itself be stored");
+                            *entry = store.dense(child) as u32;
+                            if let Some(se) = sigs.get_mut(row * n + k) {
+                                *se = sigma;
+                            }
+                        }
+                        sc.procs[k] = saved;
+                    }
+                }
+            };
+        if workers == 1 {
+            fill_rows(&mut csr, &mut sigmas, 0, scratch);
+        } else {
+            let chunk = n_states.div_ceil(workers) * n;
+            std::thread::scope(|s| {
+                let mut csr_rest = csr.as_mut_slice();
+                let mut sig_rest = sigmas.as_mut_slice();
+                let mut base = 0usize;
+                while !csr_rest.is_empty() {
+                    let take = chunk.min(csr_rest.len());
+                    let (rows, r2) = csr_rest.split_at_mut(take);
+                    csr_rest = r2;
+                    let (sigs, s2) = sig_rest.split_at_mut(take.min(sig_rest.len()));
+                    sig_rest = s2;
+                    let fill_rows = &fill_rows;
+                    let row_base = base;
+                    s.spawn(move || {
+                        let mut sc: Scratch<A::State> = Scratch::new(self.mem0.clone());
+                        fill_rows(rows, sigs, row_base, &mut sc);
+                    });
+                    base += take / n;
+                }
+            });
+        }
 
-        let sccs = tarjan_sccs(n_states, n, |v, k| {
-            let (w, completion, _) = succ(v, k, scratch);
-            (!completion).then_some(w)
-        });
+        // Stage 2: SCC decomposition over the table.  Tarjan emits in
+        // reverse topological order; the parallel decomposition emits in
+        // scheduling order, so its output is normalized (components
+        // sorted by least member) to keep the candidate scan — and
+        // hence any reported witness — deterministic per thread count.
+        let sccs = if workers > 1 && n_states >= self.scc_threshold {
+            let mut sccs = scc::parallel_sccs(n_states, n, &csr, workers);
+            for c in &mut sccs {
+                c.sort_unstable();
+            }
+            sccs.sort_unstable_by_key(|c| c[0]);
+            sccs
+        } else {
+            scc::tarjan_sccs_csr(n_states, n, &csr)
+        };
 
         // Component id per node for internal-edge testing.
         let mut comp = vec![u32::MAX; n_states];
-        for (cid, scc) in sccs.iter().enumerate() {
-            for &v in scc {
+        for (cid, members) in sccs.iter().enumerate() {
+            for &v in members {
                 comp[v as usize] = cid as u32;
             }
         }
         let n_classes = class_of.iter().copied().max().unwrap_or(0) + 1;
-        for scc in &sccs {
-            // Phase filters first — one decode per component instead of
-            // regenerating every successor of components that cannot
-            // livelock.  Within a completion-free SCC each process's
-            // phase is constant up to within-class permutation (phase
-            // changes other than via completions cannot be undone
-            // without a completion); read phases off any member.
-            decode_node(
-                store.bytes(store.gid_of_dense(scc[0] as usize)),
-                m,
-                n,
-                &mut scratch.slots,
-                &mut scratch.procs,
-            );
+        let gtab = track_sigma.then(|| group_tables(group));
+        for members in &sccs {
+            // Singleton components without a self-loop — the vast
+            // majority on Ok verdicts — cannot carry an infinite
+            // execution; skip them before decoding anything.
+            if members.len() == 1 {
+                let v = members[0] as usize;
+                if csr[v * n..(v + 1) * n].iter().all(|&w| w != members[0]) {
+                    continue;
+                }
+            }
+            // Phase filters next — one decode per component instead of
+            // scanning every member of components that cannot livelock.
+            // Within a completion-free SCC each process's phase is
+            // constant up to within-class permutation (phase changes
+            // other than via completions cannot be undone without a
+            // completion); read phases off any member.
+            store.bytes_into(store.gid_of_dense(members[0] as usize), &mut scratch.node);
+            decode_node(&scratch.node, m, n, &mut scratch.slots, &mut scratch.procs);
             let phases: Vec<Phase> = scratch.procs.iter().map(|(p, _)| *p).collect();
             if phases.contains(&Phase::Cs) {
                 // Someone is parked in the CS: the antecedent of
@@ -576,12 +775,14 @@ where
             // orbit expansion below.
             let mut pending_steppers = vec![false; n_classes];
             let mut has_edge = false;
-            for &v in scc {
+            for &v in members {
+                store.bytes_into(store.gid_of_dense(v as usize), &mut scratch.node);
+                decode_node(&scratch.node, m, n, &mut scratch.slots, &mut scratch.procs);
                 for k in 0..n {
-                    let (w, completion, phase_k) = succ(v, k, scratch);
-                    if !completion && comp[w as usize] == comp[v as usize] {
+                    let w = csr[v as usize * n + k];
+                    if w != scc::NO_EDGE && comp[w as usize] == comp[v as usize] {
                         has_edge = true;
-                        if matches!(phase_k, Phase::Trying | Phase::Exiting) {
+                        if matches!(scratch.procs[k].0, Phase::Trying | Phase::Exiting) {
                             pending_steppers[class_of[k]] = true;
                         }
                     }
@@ -599,12 +800,12 @@ where
             if group.len() == 1 {
                 // No reduction: the quotient IS the concrete graph and
                 // the class-level check was per-process; done.
-                let entry = *scc.iter().min().expect("nonempty SCC");
+                let entry = *members.iter().min().expect("nonempty SCC");
                 let chain = chain_from_root(store, store.gid_of_dense(entry as usize));
                 let (witness_schedule, _, _) = concretize(group, &chain);
                 return Some(Verdict::FairLivelock {
                     pending,
-                    scc_states: scc.len(),
+                    scc_states: members.len(),
                     witness_schedule,
                 });
             }
@@ -613,7 +814,13 @@ where
             // prove "every pending process steps" in one concrete
             // execution.  Confirm exactly on the concrete orbit of this
             // component (≤ |SCC|·|G| states).
-            if let Some(v) = self.confirm_livelock_on_orbit(store, group, scc, scratch) {
+            let gtab = gtab
+                .as_ref()
+                .expect("tables exist whenever the group is nontrivial");
+            let cid = comp[members[0] as usize];
+            if let Some(v) = self.confirm_livelock_on_orbit(
+                store, group, gtab, members, &csr, &sigmas, &comp, cid, scratch,
+            ) {
                 return Some(v);
             }
         }
@@ -630,83 +837,89 @@ where
     /// connected set is strongly connected), so confirming candidates
     /// this way keeps the reduced livelock verdict exact — not just
     /// differential-tested.
+    ///
+    /// The expansion is walked as `(canonical member, group element)`
+    /// pairs using the edge table built by the caller: by equivariance,
+    /// concrete actor `a` in state `g·ŝ_v` is quotient actor
+    /// `g⁻¹(a)` in `ŝ_v`, and with `ŝ_v --k--> t`, `ŝ_w = σ·t` the
+    /// successor is `(w, g∘σ⁻¹)` — so no automaton is stepped and no
+    /// state is re-encoded here, only table composition.  When a state
+    /// has a nontrivial stabilizer, its orbit appears as `|Stab|`
+    /// disconnected isomorphic copies; every copy carries the same
+    /// fairness structure and the true component size, so the verdict
+    /// and `scc_states` are unaffected.
+    #[allow(clippy::too_many_arguments)]
     fn confirm_livelock_on_orbit(
         &self,
         store: &Store,
         group: &[SymElem],
-        scc: &[u32],
+        gtab: &GroupTables,
+        members: &[u32],
+        csr: &[u32],
+        sigmas: &[u16],
+        comp: &[u32],
+        cid: u32,
         scratch: &mut Scratch<A::State>,
     ) -> Option<Verdict> {
         let n = self.automata.len();
         let m = self.mem0.m();
+        let gl = group.len();
+        let k_nodes = members.len() * gl;
 
-        // Intern every orbit member of every SCC state, remembering
-        // which (canonical member, group element) produced it.
-        let mut arena = StateArena::new();
-        let mut origin: Vec<(u32, u16)> = Vec::new();
-        for &v in scc {
-            decode_node(
-                store.bytes(store.gid_of_dense(v as usize)),
-                m,
-                n,
-                &mut scratch.slots,
-                &mut scratch.procs,
-            );
-            for (gi, elem) in group.iter().enumerate() {
-                encode_node_with(elem, &scratch.slots, &scratch.procs, &mut scratch.enc);
-                let (_, fresh) = arena.intern(&scratch.enc);
-                if fresh {
-                    origin.push((v, gi as u16));
-                }
-            }
+        // Quotient phases per member, decoded once; the concrete copy
+        // `g·ŝ_v` reads its position-`j` phase from position `g⁻¹(j)`.
+        let local_of: std::collections::HashMap<u32, u32> = members
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+        let mut phases_q: Vec<Phase> = Vec::with_capacity(members.len() * n);
+        for &v in members {
+            store.bytes_into(store.gid_of_dense(v as usize), &mut scratch.node);
+            decode_node(&scratch.node, m, n, &mut scratch.slots, &mut scratch.procs);
+            phases_q.extend(scratch.procs.iter().map(|(p, _)| *p));
         }
 
         // Concrete non-completion adjacency restricted to the expansion
         // (edges leaving it cannot belong to a component inside it).
-        let k = arena.len();
-        let mut adj: Vec<Vec<(u32, u8)>> = vec![Vec::new(); k];
-        let mut phases: Vec<Vec<Phase>> = Vec::with_capacity(k);
-        for idx in 0..k as u32 {
-            decode_node(arena.get(idx), m, n, &mut scratch.slots, &mut scratch.procs);
-            phases.push(scratch.procs.iter().map(|(p, _)| *p).collect());
-            for actor in 0..n {
-                scratch.mem.restore(&scratch.slots);
-                let saved = scratch.procs[actor].clone();
-                let outcome = advance_in_place(
-                    &self.automata[actor],
-                    actor,
-                    &mut scratch.mem,
-                    &mut scratch.procs[actor],
-                );
-                if outcome == Outcome::Progress {
-                    encode_node_with(
-                        &group[0],
-                        scratch.mem.slots(),
-                        &scratch.procs,
-                        &mut scratch.enc,
-                    );
-                    if let Some(w) = arena.lookup(&scratch.enc) {
-                        adj[idx as usize].push((w, actor as u8));
+        let mut adj: Vec<u32> = vec![scc::NO_EDGE; k_nodes * n];
+        for (vi, &vm) in members.iter().enumerate() {
+            let v = vm as usize;
+            for (gi, elem) in group.iter().enumerate() {
+                let x = vi * gl + gi;
+                let pi_inv = &elem.pi_inv;
+                for a in 0..n {
+                    let k = pi_inv[a];
+                    let w = csr[v * n + k];
+                    if w == scc::NO_EDGE || comp[w as usize] != cid {
+                        continue;
                     }
+                    let wl = local_of[&w] as usize;
+                    let sigma = sigmas[v * n + k] as usize;
+                    let h = gtab.compose[gi * gl + gtab.inv[sigma] as usize] as usize;
+                    adj[x * n + a] = (wl * gl + h) as u32;
                 }
-                scratch.procs[actor] = saved;
             }
         }
 
-        let sub_sccs = tarjan_sccs(k, n, |v, e| adj[v as usize].get(e).map(|&(w, _)| w));
-        let mut sub_comp = vec![u32::MAX; k];
-        for (cid, s) in sub_sccs.iter().enumerate() {
+        let sub_sccs = scc::tarjan_sccs_csr(k_nodes, n, &adj);
+        let mut sub_comp = vec![u32::MAX; k_nodes];
+        for (sc_id, s) in sub_sccs.iter().enumerate() {
             for &v in s {
-                sub_comp[v as usize] = cid as u32;
+                sub_comp[v as usize] = sc_id as u32;
             }
         }
+        let phase_at = |x: usize, j: usize| {
+            let (vi, gi) = (x / gl, x % gl);
+            phases_q[vi * n + group[gi].pi_inv[j]]
+        };
         for sub in &sub_sccs {
             let mut actors = vec![false; n];
             let mut has_edge = false;
             for &v in sub {
-                for &(w, actor) in &adj[v as usize] {
-                    if sub_comp[w as usize] == sub_comp[v as usize] {
-                        actors[actor as usize] = true;
+                for (actor, &w) in adj[v as usize * n..(v as usize + 1) * n].iter().enumerate() {
+                    if w != scc::NO_EDGE && sub_comp[w as usize] == sub_comp[v as usize] {
+                        actors[actor] = true;
                         has_edge = true;
                     }
                 }
@@ -714,12 +927,12 @@ where
             if !has_edge {
                 continue;
             }
-            let ph = &phases[sub[0] as usize];
-            if ph.contains(&Phase::Cs) {
+            let x0 = sub[0] as usize;
+            if (0..n).any(|j| phase_at(x0, j) == Phase::Cs) {
                 continue;
             }
             let pending: Vec<usize> = (0..n)
-                .filter(|&i| matches!(ph[i], Phase::Trying | Phase::Exiting))
+                .filter(|&j| matches!(phase_at(x0, j), Phase::Trying | Phase::Exiting))
                 .collect();
             if pending.is_empty() || !pending.iter().all(|&i| actors[i]) {
                 continue;
@@ -731,17 +944,34 @@ where
             // initial state, so mapping every scheduled actor through h
             // turns the chain into a concrete schedule reaching s.
             let entry = *sub.iter().min().expect("nonempty sub-SCC");
-            let (v_c, gi) = origin[entry as usize];
-            let chain = chain_from_root(store, store.gid_of_dense(v_c as usize));
+            let (vi, gi) = (entry as usize / gl, entry as usize % gl);
+            let chain = chain_from_root(store, store.gid_of_dense(members[vi] as usize));
             let (schedule_u, tau, _) = concretize(group, &chain);
-            let g_pi = &group[gi as usize].pi;
+            let g_pi = &group[gi].pi;
             let witness_schedule: Vec<usize> =
                 schedule_u.into_iter().map(|a| g_pi[tau[a]]).collect();
+            // Exact distinct-state count: nontrivial stabilizers make
+            // the pair walk cover the concrete component several times
+            // over, so dedup by concrete encoding (success path only —
+            // at most one confirmation per run reaches this).
+            let mut distinct: std::collections::HashSet<Vec<u8>> = std::collections::HashSet::new();
+            for &x in sub {
+                let (xvi, xgi) = (x as usize / gl, x as usize % gl);
+                store.bytes_into(store.gid_of_dense(members[xvi] as usize), &mut scratch.node);
+                decode_node(&scratch.node, m, n, &mut scratch.slots, &mut scratch.procs);
+                encode_node_with(
+                    &group[xgi],
+                    &scratch.slots,
+                    &scratch.procs,
+                    &mut scratch.enc,
+                );
+                distinct.insert(scratch.enc.clone());
+            }
             // `pending` (from sub[0]) equals the pending set at `entry`:
             // phases are constant across a concrete completion-free SCC.
             return Some(Verdict::FairLivelock {
                 pending,
-                scc_states: sub.len(),
+                scc_states: distinct.len(),
                 witness_schedule,
             });
         }
@@ -910,6 +1140,7 @@ struct EngineShared<'a, A: Automaton> {
     stored: AtomicUsize,
     orbit_sum: AtomicUsize,
     overflow: AtomicBool,
+    steals: AtomicUsize,
 }
 
 impl<A: Automaton> EngineShared<'_, A> {
@@ -918,11 +1149,14 @@ impl<A: Automaton> EngineShared<'_, A> {
     }
 
     /// Interns canonical bytes; on a fresh insert the parent metadata is
-    /// recorded and the global state/orbit counters advance.
+    /// recorded and the global state/orbit counters advance.  The hash
+    /// is computed once and shared between shard selection and the
+    /// arena's table probe.
     fn intern(&self, bytes: &[u8], meta: NodeMeta, orbit: u32) -> (u32, bool) {
-        let si = self.shard_of(hash_bytes(bytes));
+        let hash = hash_bytes(bytes);
+        let si = self.shard_of(hash);
         let mut shard = self.shards[si].lock();
-        let (local, fresh) = shard.arena.intern(bytes);
+        let (local, fresh) = shard.arena.intern_hashed(hash, bytes);
         if fresh {
             shard.meta.push(meta);
             debug_assert_eq!(
@@ -949,6 +1183,7 @@ struct Scratch<S> {
     enc: Vec<u8>,
     best: Vec<u8>,
     first: Vec<u8>,
+    node: Vec<u8>,
 }
 
 impl<S> Scratch<S> {
@@ -960,6 +1195,7 @@ impl<S> Scratch<S> {
             enc: Vec::new(),
             best: Vec::new(),
             first: Vec::new(),
+            node: Vec::new(),
         }
     }
 }
@@ -1095,7 +1331,80 @@ fn canonicalize<S: EncodeState>(
     (sigma, group.len() as u32 / stabilizer)
 }
 
-/// Expands every node of one frontier chunk, interning fresh successors.
+/// [`canonicalize`] without the stabilizer/orbit accounting: `best`
+/// receives the lexicographically least image and the index of a group
+/// element achieving it is returned.  The fair-livelock pass
+/// regenerates millions of successors only to *look them up* (plus the
+/// winning element, which lets the orbit confirmation run on tables
+/// instead of re-stepping states), where the orbit size is dead
+/// weight.
+fn canonical_sigma<S: EncodeState>(
+    group: &[SymElem],
+    slots: &[Slot],
+    procs: &[(Phase, S)],
+    enc: &mut Vec<u8>,
+    best: &mut Vec<u8>,
+) -> u16 {
+    encode_node_with(&group[0], slots, procs, best);
+    let mut sigma = 0u16;
+    for (gi, elem) in group.iter().enumerate().skip(1) {
+        encode_node_with(elem, slots, procs, enc);
+        if enc.as_slice() < best.as_slice() {
+            std::mem::swap(enc, best);
+            sigma = gi as u16;
+        }
+    }
+    sigma
+}
+
+/// Composition and inverse tables of the symmetry group, used by the
+/// orbit confirmation to walk concrete orbit states as `(canonical
+/// member, group element)` pairs without re-stepping any automaton.
+struct GroupTables {
+    /// `inv[g]` = index of g⁻¹.
+    inv: Vec<u16>,
+    /// `compose[g * |G| + h]` = index of g∘h (`(g∘h)(i) = g(h(i))`).
+    compose: Vec<u16>,
+}
+
+fn group_tables(group: &[SymElem]) -> GroupTables {
+    let gl = group.len();
+    let n = group[0].pi.len();
+    let index: std::collections::HashMap<&[usize], u16> = group
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (e.pi.as_slice(), i as u16))
+        .collect();
+    let inv = group
+        .iter()
+        .map(|e| {
+            *index
+                .get(e.pi_inv.as_slice())
+                .expect("group closed under inverse")
+        })
+        .collect();
+    let mut compose = Vec::with_capacity(gl * gl);
+    let mut buf = vec![0usize; n];
+    for g in group {
+        for h in group {
+            for (b, &hp) in buf.iter_mut().zip(&h.pi) {
+                *b = g.pi[hp];
+            }
+            compose.push(
+                *index
+                    .get(buf.as_slice())
+                    .expect("group closed under composition"),
+            );
+        }
+    }
+    GroupTables { inv, compose }
+}
+
+/// Expands every node of one frontier chunk, interning fresh
+/// successors.  The single-threaded engine path: iterates in frontier
+/// order and stops at the first violating node (later positions cannot
+/// beat its `(position, actor)` order), which keeps the sequential run
+/// byte-for-byte deterministic.
 fn process_chunk<A: Automaton>(
     shared: &EngineShared<'_, A>,
     chunk: &[(u32, Box<[u8]>)],
@@ -1105,8 +1414,6 @@ fn process_chunk<A: Automaton>(
 where
     A::State: EncodeState,
 {
-    let n = shared.automata.len();
-    let m = shared.mem0.m();
     let mut out = WorkerOut {
         next: Vec::new(),
         acquisitions: 0,
@@ -1117,53 +1424,203 @@ where
         if shared.overflow.load(Ordering::Relaxed) {
             break;
         }
-        decode_node(bytes, m, n, &mut scratch.slots, &mut scratch.procs);
-        for i in 0..n {
-            out.transitions += 1;
-            scratch.mem.restore(&scratch.slots);
-            let saved = scratch.procs[i].clone();
-            let outcome = advance_in_place(
-                &shared.automata[i],
-                i,
-                &mut scratch.mem,
-                &mut scratch.procs[i],
-            );
-            if outcome == Outcome::Acquired {
-                out.acquisitions += 1;
-                if let Some(j) = (0..n).find(|&j| j != i && scratch.procs[j].0 == Phase::Cs) {
-                    // Later positions in this chunk cannot beat this
-                    // candidate, so the worker stops here; the level
-                    // merge picks the globally least (position, actor).
-                    out.violation = Some(Violation {
-                        order: (base + pos, i),
-                        from: *gid,
-                        actor: i,
-                        other: j,
-                    });
-                    return out;
-                }
-            }
-            let (sigma, orbit) = canonicalize(
-                shared.group,
-                scratch.mem.slots(),
-                &scratch.procs,
-                &mut scratch.enc,
-                &mut scratch.best,
-                &mut scratch.first,
-            );
-            let meta = NodeMeta {
-                parent: *gid,
-                actor: i as u8,
-                sigma,
-            };
-            let (child, fresh) = shared.intern(&scratch.best, meta, orbit);
-            if fresh {
-                out.next.push((child, scratch.best.as_slice().into()));
-            }
-            scratch.procs[i] = saved;
+        process_item(shared, (base + pos) as u32, *gid, bytes, scratch, &mut out);
+        if out.violation.is_some() {
+            break;
         }
     }
     out
+}
+
+/// One frontier node in a stealable level queue; `pos` is its index in
+/// the level (the violation tiebreak).
+struct LevelItem {
+    pos: u32,
+    gid: u32,
+    bytes: Box<[u8]>,
+}
+
+/// Items an owner claims from its own deque per lock acquisition.
+/// Batching keeps lock traffic negligible; the batch is small enough
+/// that a straggler's leftover work stays stealable.
+const STEAL_BATCH: usize = 32;
+
+/// Expands one breadth-first level across `threads` workers with
+/// per-worker deques plus work stealing.
+///
+/// The level is block-partitioned like the old `chunks(chunk_size)`
+/// split, but a worker that drains its deque steals the back half of a
+/// peer's — so when orbit canonicalization makes node costs uneven, the
+/// end-of-level barrier waits for the *work*, not for the unluckiest
+/// initial chunk.  Levels stay synchronized (that is what keeps witness
+/// schedules shortest); only the stall inside each level is removed.
+fn run_level_stealing<A: Automaton + Sync>(
+    shared: &EngineShared<'_, A>,
+    frontier: Vec<(u32, Box<[u8]>)>,
+    threads: usize,
+) -> Vec<WorkerOut>
+where
+    A::State: EncodeState + Send,
+{
+    let level_len = frontier.len();
+    let mut qs: Vec<VecDeque<LevelItem>> = (0..threads).map(|_| VecDeque::new()).collect();
+    for (pos, (gid, bytes)) in frontier.into_iter().enumerate() {
+        qs[pos * threads / level_len].push_back(LevelItem {
+            pos: pos as u32,
+            gid,
+            bytes,
+        });
+    }
+    let queues: Vec<Mutex<VecDeque<LevelItem>>> = qs.into_iter().map(Mutex::new).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let queues = &queues;
+                s.spawn(move || steal_worker(shared, queues, w))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("model-checker worker panicked"))
+            .collect()
+    })
+}
+
+/// One stealing worker: drain the own deque front in batches; when dry,
+/// steal the back half of the first non-empty victim deque.
+fn steal_worker<A: Automaton + Sync>(
+    shared: &EngineShared<'_, A>,
+    queues: &[Mutex<VecDeque<LevelItem>>],
+    w: usize,
+) -> WorkerOut
+where
+    A::State: EncodeState + Send,
+{
+    let threads = queues.len();
+    let mut sc: Scratch<A::State> = Scratch::new(shared.mem0.clone());
+    let mut out = WorkerOut {
+        next: Vec::new(),
+        acquisitions: 0,
+        transitions: 0,
+        violation: None,
+    };
+    let mut batch: Vec<LevelItem> = Vec::with_capacity(STEAL_BATCH);
+    'level: loop {
+        if shared.overflow.load(Ordering::Relaxed) {
+            break;
+        }
+        batch.clear();
+        {
+            let mut q = queues[w].lock();
+            while batch.len() < STEAL_BATCH {
+                match q.pop_front() {
+                    Some(item) => batch.push(item),
+                    None => break,
+                }
+            }
+        }
+        if batch.is_empty() {
+            let mut stolen = false;
+            for off in 1..threads {
+                let victim = (w + off) % threads;
+                let mut q = queues[victim].lock();
+                let take = q.len().div_ceil(2);
+                if take == 0 {
+                    continue;
+                }
+                let split_at = q.len() - take;
+                let tail = q.split_off(split_at);
+                drop(q);
+                // Deposit the loot into the own deque (never holding
+                // two locks) and claim it batch-wise from there, so a
+                // large steal stays stealable by other idle workers
+                // instead of becoming this worker's private straggler
+                // block.
+                queues[w].lock().extend(tail);
+                shared.steals.fetch_add(1, Ordering::Relaxed);
+                stolen = true;
+                break;
+            }
+            if !stolen {
+                // Every deque is dry: level items never respawn (fresh
+                // children go to the next level), so the level is done.
+                break 'level;
+            }
+            continue 'level;
+        }
+        for item in batch.drain(..) {
+            process_item(shared, item.pos, item.gid, &item.bytes, &mut sc, &mut out);
+        }
+    }
+    out
+}
+
+/// Expands one frontier node, interning fresh successors — the one
+/// expansion body both engine paths share.  A found violation never
+/// aborts mid-node: the candidate is merged by minimum `(pos, actor)`
+/// into `out` and the node's remaining actors still run (stolen items
+/// arrive out of position order on the stealing path, and the caller
+/// decides whether to continue with further nodes).
+fn process_item<A: Automaton>(
+    shared: &EngineShared<'_, A>,
+    pos: u32,
+    gid: u32,
+    bytes: &[u8],
+    scratch: &mut Scratch<A::State>,
+    out: &mut WorkerOut,
+) where
+    A::State: EncodeState,
+{
+    let n = shared.automata.len();
+    let m = shared.mem0.m();
+    decode_node(bytes, m, n, &mut scratch.slots, &mut scratch.procs);
+    for i in 0..n {
+        out.transitions += 1;
+        scratch.mem.restore(&scratch.slots);
+        let saved = scratch.procs[i].clone();
+        let outcome = advance_in_place(
+            &shared.automata[i],
+            i,
+            &mut scratch.mem,
+            &mut scratch.procs[i],
+        );
+        if outcome == Outcome::Acquired {
+            out.acquisitions += 1;
+            if let Some(j) = (0..n).find(|&j| j != i && scratch.procs[j].0 == Phase::Cs) {
+                let cand = Violation {
+                    order: (pos as usize, i),
+                    from: gid,
+                    actor: i,
+                    other: j,
+                };
+                if out.violation.is_none_or(|best| cand.order < best.order) {
+                    out.violation = Some(cand);
+                }
+                // The violating successor is not interned (it is the
+                // witness endpoint, not a node to expand further).
+                scratch.procs[i] = saved;
+                continue;
+            }
+        }
+        let (sigma, orbit) = canonicalize(
+            shared.group,
+            scratch.mem.slots(),
+            &scratch.procs,
+            &mut scratch.enc,
+            &mut scratch.best,
+            &mut scratch.first,
+        );
+        let meta = NodeMeta {
+            parent: gid,
+            actor: i as u8,
+            sigma,
+        };
+        let (child, fresh) = shared.intern(&scratch.best, meta, orbit);
+        if fresh {
+            out.next.push((child, scratch.best.as_slice().into()));
+        }
+        scratch.procs[i] = saved;
+    }
 }
 
 /// Read-only view of the interned shards after exploration.
@@ -1174,11 +1631,16 @@ struct Store {
 }
 
 impl Store {
-    fn new(shards: Vec<Shard>, shard_bits: u32) -> Self {
+    /// Seals the shards for read-mostly use: growth slack is dropped
+    /// (so [`Store::arena_bytes`] reports resident bytes, not
+    /// capacity) and the shard-prefix index is built.
+    fn new(mut shards: Vec<Shard>, shard_bits: u32) -> Self {
         let mut prefix = Vec::with_capacity(shards.len() + 1);
         let mut acc = 0u32;
         prefix.push(0);
-        for s in &shards {
+        for s in &mut shards {
+            s.arena.shrink_to_fit();
+            s.meta.shrink_to_fit();
             acc += s.arena.len() as u32;
             prefix.push(acc);
         }
@@ -1193,8 +1655,12 @@ impl Store {
         *self.prefix.last().expect("nonempty prefix") as usize
     }
 
-    fn data_bytes(&self) -> usize {
-        self.shards.iter().map(|s| s.arena.data_bytes()).sum()
+    fn arena_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.arena.arena_bytes()).sum()
+    }
+
+    fn table_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.arena.table_bytes()).sum()
     }
 
     fn split(&self, gid: u32) -> (usize, u32) {
@@ -1202,9 +1668,10 @@ impl Store {
         (si, gid >> self.shard_bits)
     }
 
-    fn bytes(&self, gid: u32) -> &[u8] {
+    /// Materializes the encoded bytes of `gid` into `out`.
+    fn bytes_into(&self, gid: u32, out: &mut Vec<u8>) {
         let (si, local) = self.split(gid);
-        self.shards[si].arena.get(local)
+        self.shards[si].arena.get_into(local, out);
     }
 
     fn meta(&self, gid: u32) -> NodeMeta {
@@ -1213,8 +1680,9 @@ impl Store {
     }
 
     fn lookup(&self, bytes: &[u8]) -> Option<u32> {
-        let si = ((hash_bytes(bytes) >> 48) as usize) & ((1usize << self.shard_bits) - 1);
-        let local = self.shards[si].arena.lookup(bytes)?;
+        let hash = hash_bytes(bytes);
+        let si = ((hash >> 48) as usize) & ((1usize << self.shard_bits) - 1);
+        let local = self.shards[si].arena.lookup_hashed(hash, bytes)?;
         Some((local << self.shard_bits) | si as u32)
     }
 
@@ -1272,81 +1740,6 @@ fn concretize(group: &[SymElem], chain: &[(usize, u16)]) -> (Vec<usize>, Vec<usi
         }
     }
     (schedule, tau, tau_inv)
-}
-
-/// Iterative Tarjan strongly-connected components over an implicit
-/// graph: node `v`'s candidate successors are `succ(v, k)` for
-/// `k < out_degree`, with `None` meaning "edge filtered out".
-///
-/// Returns the list of components, each a list of node ids.
-fn tarjan_sccs(
-    n: usize,
-    out_degree: usize,
-    mut succ: impl FnMut(u32, usize) -> Option<u32>,
-) -> Vec<Vec<u32>> {
-    #[derive(Clone, Copy)]
-    struct Frame {
-        v: u32,
-        edge: usize,
-    }
-
-    let mut index = vec![u32::MAX; n];
-    let mut lowlink = vec![0u32; n];
-    let mut on_stack = vec![false; n];
-    let mut stack: Vec<u32> = Vec::new();
-    let mut next_index = 0u32;
-    let mut sccs: Vec<Vec<u32>> = Vec::new();
-    let mut call_stack: Vec<Frame> = Vec::new();
-
-    for root in 0..n as u32 {
-        if index[root as usize] != u32::MAX {
-            continue;
-        }
-        call_stack.push(Frame { v: root, edge: 0 });
-        index[root as usize] = next_index;
-        lowlink[root as usize] = next_index;
-        next_index += 1;
-        stack.push(root);
-        on_stack[root as usize] = true;
-
-        while let Some(frame) = call_stack.last_mut() {
-            let v = frame.v;
-            if frame.edge < out_degree {
-                let k = frame.edge;
-                frame.edge += 1;
-                let Some(w) = succ(v, k) else { continue };
-                if index[w as usize] == u32::MAX {
-                    index[w as usize] = next_index;
-                    lowlink[w as usize] = next_index;
-                    next_index += 1;
-                    stack.push(w);
-                    on_stack[w as usize] = true;
-                    call_stack.push(Frame { v: w, edge: 0 });
-                } else if on_stack[w as usize] {
-                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
-                }
-            } else {
-                call_stack.pop();
-                if let Some(parent_frame) = call_stack.last() {
-                    let p = parent_frame.v;
-                    lowlink[p as usize] = lowlink[p as usize].min(lowlink[v as usize]);
-                }
-                if lowlink[v as usize] == index[v as usize] {
-                    let mut scc = Vec::new();
-                    loop {
-                        let w = stack.pop().expect("tarjan stack underflow");
-                        on_stack[w as usize] = false;
-                        scc.push(w);
-                        if w == v {
-                            break;
-                        }
-                    }
-                    sccs.push(scc);
-                }
-            }
-        }
-    }
-    sccs
 }
 
 #[cfg(test)]
@@ -1642,27 +2035,6 @@ mod tests {
             Verdict::FairLivelock { pending, .. } => assert_eq!(pending, vec![0, 1]),
             other => panic!("expected livelock, got {other:?}"),
         }
-    }
-
-    #[test]
-    fn tarjan_handles_simple_graphs() {
-        // 0 → 1 → 2 → 0 (one SCC), 3 isolated.
-        let adj: Vec<Vec<u32>> = vec![vec![1], vec![2], vec![0], vec![]];
-        let mut sccs = tarjan_sccs(4, 1, |v, k| adj[v as usize].get(k).copied());
-        for s in &mut sccs {
-            s.sort_unstable();
-        }
-        sccs.sort();
-        assert!(sccs.contains(&vec![0, 1, 2]));
-        assert!(sccs.contains(&vec![3]));
-    }
-
-    #[test]
-    fn tarjan_chain_has_singleton_components() {
-        let adj: Vec<Vec<u32>> = vec![vec![1], vec![2], vec![]];
-        let sccs = tarjan_sccs(3, 1, |v, k| adj[v as usize].get(k).copied());
-        assert_eq!(sccs.len(), 3);
-        assert!(sccs.iter().all(|s| s.len() == 1));
     }
 
     #[test]
