@@ -5,11 +5,17 @@
 //! model-checks the algorithm under **one adversary per orbit** — the
 //! `amx_registers::orbit` enumeration proves that covers *every*
 //! permutation assignment up to state-graph isomorphism — with the
-//! engine's process-symmetry reduction on.  Because the reduction stores
-//! one canonical state per orbit, the sweep reaches configurations the
-//! pre-symmetry engine (hard-capped at cloned-`HashMap` scale) could
-//! not touch: the `--deep` point explores a state space whose concrete
-//! size exceeds the old default 2,000,000-state bound.
+//! engine's wreath (register-aware) symmetry reduction on.  The wreath
+//! group is the adversary's full automorphism group (process
+//! permutation ∘ physical register relabeling), so the reduction bites
+//! on every orbit with automorphisms — including the rotation/ring
+//! orbits where no two processes share a permutation and the older
+//! process-only reduction stored every concrete state.  Because the
+//! reduction stores one canonical state per orbit, the sweep reaches
+//! configurations the pre-symmetry engine (hard-capped at
+//! cloned-`HashMap` scale) could not touch: the `--deep` point explores
+//! a state space whose concrete size exceeds the old default
+//! 2,000,000-state bound.
 //!
 //! Run: `cargo run --release -p amx-bench --bin mc_sweep -- [options]`
 //!
@@ -21,8 +27,12 @@
 //!   --max-states N   canonical-state bound per point
 //!   --out PATH       where to write the JSON report (default BENCH_mc.json)
 //!   --no-progress    disable the throttled live-progress lines on stderr
-//!   --baseline PATH  perf gate: fail if this sweep's wall time exceeds
-//!                    3× the `total_wall_ms` recorded in PATH
+//!   --baseline PATH  regression gates: fail if this sweep's wall time
+//!                    exceeds 3× the `total_wall_ms` recorded in PATH,
+//!                    or if `canonical_states` *rises* on any point of
+//!                    PATH this sweep also ran (a reduction-factor
+//!                    regression — canonical counts are deterministic,
+//!                    so any rise means the symmetry group shrank)
 //!
 //! The JSON report (`BENCH_mc.json`) carries the perf trajectory the CI
 //! bench-smoke job tracks: aggregate states/second, the
@@ -112,6 +122,10 @@ struct Point {
     n: usize,
     m: usize,
     orbit: usize,
+    /// Adversary family tag: `orbit` (enumerated representative),
+    /// `identity` (anchor/frontier points) or `ring` (explicit
+    /// rotation/ring assignments, the wreath-reduction showcases).
+    adv: &'static str,
     valid_m: bool,
     report: Result<McReport, StateSpaceExceeded>,
 }
@@ -141,7 +155,7 @@ fn checker_alg2(n: usize, m: usize, adv: &Adversary, opts: Options) -> ModelChec
 }
 
 fn configure<A: amx_sim::Automaton>(mut mc: ModelChecker<A>, opts: Options) -> ModelChecker<A> {
-    mc = mc.symmetry(Symmetry::Process).max_states(opts.max_states);
+    mc = mc.symmetry(Symmetry::Wreath).max_states(opts.max_states);
     if let Some(t) = opts.threads {
         mc = mc.threads(t);
     }
@@ -184,12 +198,13 @@ fn verdict_tag(r: &Result<McReport, StateSpaceExceeded>) -> &'static str {
 
 fn print_point(p: &Point) {
     let head = format!(
-        "  alg{}  n={} m={} ({})  orbit {:>3}",
+        "  alg{}  n={} m={} ({})  orbit {:>3} {:<8}",
         p.alg,
         p.n,
         p.m,
         if p.valid_m { "valid  " } else { "invalid" },
         p.orbit,
+        p.adv,
     );
     match &p.report {
         Ok(rep) => {
@@ -218,7 +233,7 @@ fn main() {
     } = parse_args();
     let started = Instant::now();
     println!(
-        "mc_sweep — exhaustive adversary-orbit verification (symmetry: Process, {})\n",
+        "mc_sweep — exhaustive adversary-orbit verification (symmetry: Wreath, {})\n",
         if opts.smoke {
             "smoke grid"
         } else {
@@ -246,6 +261,7 @@ fn main() {
                 n,
                 m,
                 orbit: oi,
+                adv: "orbit",
                 valid_m: is_valid_m(m as u64, n as u64),
                 report,
             });
@@ -263,6 +279,7 @@ fn main() {
             n: 2,
             m: 4,
             orbit: oi,
+            adv: "orbit",
             valid_m: false,
             report,
         });
@@ -289,11 +306,59 @@ fn main() {
                 n,
                 m,
                 orbit: oi,
+                adv: "orbit",
                 valid_m: is_valid_m(m as u64, n as u64),
                 report,
             });
             print_point(points.last().expect("just pushed"));
         }
+    }
+
+    // Rotation/ring showcases: orbits whose permutations are pairwise
+    // distinct, so the old process-only reduction stored every concrete
+    // state (canonical ≈ full) while the wreath group is the cyclic Z_3
+    // "shift processes ∘ rotate registers".  (3, 3) is outside M(3)
+    // (expected livelock) for both algorithms; the valid-m point embeds
+    // the 3-cycle ring (id, c, c²), c = (0 1 2), in m = 5 ∈ M(3).
+    println!("\nrotation/ring orbits (wreath-reduction showcases):");
+    let rot3 = Adversary::Rotations { stride: 1 };
+    for (alg, report) in [
+        (1u8, checker_alg1(3, 3, &rot3, opts).run()),
+        (2u8, checker_alg2(3, 3, &rot3, opts).run()),
+    ] {
+        points.push(Point {
+            alg,
+            n: 3,
+            m: 3,
+            orbit: 0,
+            adv: "ring",
+            valid_m: false,
+            report,
+        });
+        print_point(points.last().expect("just pushed"));
+    }
+    {
+        let c = amx_registers::Permutation::from_forward(vec![1, 2, 0, 3, 4]).expect("3-cycle");
+        let ring5 = Adversary::Explicit(vec![
+            amx_registers::Permutation::identity(5),
+            c.clone(),
+            c.compose(&c),
+        ]);
+        let ring_opts = Options {
+            max_states: opts.max_states.max(2_000_000),
+            ..opts
+        };
+        let report = checker_alg1(3, 5, &ring5, ring_opts).run();
+        points.push(Point {
+            alg: 1,
+            n: 3,
+            m: 5,
+            orbit: 0,
+            adv: "ring",
+            valid_m: true,
+            report,
+        });
+        print_point(points.last().expect("just pushed"));
     }
 
     // Budget anchor: Algorithm 1 at (3, 5) under the Identity
@@ -312,6 +377,7 @@ fn main() {
             n: 3,
             m: 5,
             orbit: 0,
+            adv: "identity",
             valid_m: true,
             report,
         });
@@ -334,6 +400,7 @@ fn main() {
             n: 4,
             m: 5,
             orbit: 0,
+            adv: "identity",
             valid_m: true,
             report,
         });
@@ -359,6 +426,7 @@ fn main() {
             n: 3,
             m: 5,
             orbit: 0,
+            adv: "identity",
             valid_m: true,
             report,
         });
@@ -437,6 +505,33 @@ fn main() {
             );
             return;
         }
+        // Reduction-factor gate: canonical_states is deterministic per
+        // point (thread-count independent), so on any point both the
+        // baseline and this sweep ran, a *rise* means the symmetry
+        // group got weaker — fail exactly, no slack.
+        let baseline_points = extract_point_canon(&text);
+        let mut matched = 0usize;
+        let mut regressed = false;
+        for p in &points {
+            let Ok(rep) = &p.report else { continue };
+            let key = point_key(p.alg, p.n, p.m, p.orbit, p.adv);
+            if let Some((_, base)) = baseline_points.iter().find(|(k, _)| *k == key) {
+                matched += 1;
+                if rep.canonical_states as u64 > *base {
+                    eprintln!(
+                        "REDUCTION REGRESSION: {key} stores {} canonical states, \
+                         baseline {path} recorded {base}",
+                        rep.canonical_states
+                    );
+                    regressed = true;
+                }
+            }
+        }
+        if regressed {
+            std::process::exit(1);
+        }
+        println!("reduction gate: canonical_states no worse on {matched} grid-matched points");
+
         let budget_ms = 3.0 * extract_total_wall_ms(&text).expect("baseline lacks total_wall_ms");
         let actual_ms: f64 = points
             .iter()
@@ -452,6 +547,51 @@ fn main() {
         }
         println!("within perf budget: {actual_ms:.0} ms ≤ {budget_ms:.0} ms (3× baseline)");
     }
+}
+
+/// Stable identity of a grid point across sweeps, for baseline matching.
+fn point_key(alg: u8, n: usize, m: usize, orbit: usize, adv: &str) -> String {
+    format!("alg{alg} n={n} m={m} orbit={orbit} adv={adv}")
+}
+
+/// Pulls `(point key, canonical_states)` pairs out of a previously
+/// written report (hand-rolled like the writer: no serde dep; each
+/// point is one line of the JSON body).
+fn extract_point_canon(json: &str) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        if !line.trim_start().starts_with("{\"alg\":") {
+            continue;
+        }
+        let num = |key: &str| -> Option<u64> {
+            let k = format!("\"{key}\": ");
+            let at = line.find(&k)? + k.len();
+            let rest = &line[at..];
+            let end = rest
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            rest[..end].parse().ok()
+        };
+        let adv = (|| {
+            let at = line.find("\"adv\": \"")? + "\"adv\": \"".len();
+            let rest = &line[at..];
+            Some(&rest[..rest.find('"')?])
+        })()
+        .unwrap_or("orbit");
+        if let (Some(alg), Some(n), Some(m), Some(orbit), Some(canon)) = (
+            num("alg"),
+            num("n"),
+            num("m"),
+            num("orbit"),
+            num("canonical_states"),
+        ) {
+            out.push((
+                point_key(alg as u8, n as usize, m as usize, orbit as usize, adv),
+                canon,
+            ));
+        }
+    }
+    out
 }
 
 /// Pulls `"total_wall_ms": <number>` out of a previously written report
@@ -480,12 +620,13 @@ fn render_json(points: &[Point], opts: Options) -> String {
         }
         let _ = write!(
             body,
-            "\n    {{\"alg\": {}, \"n\": {}, \"m\": {}, \"orbit\": {}, \"valid_m\": {}, \
-             \"verdict\": \"{}\"",
+            "\n    {{\"alg\": {}, \"n\": {}, \"m\": {}, \"orbit\": {}, \"adv\": \"{}\", \
+             \"valid_m\": {}, \"verdict\": \"{}\"",
             p.alg,
             p.n,
             p.m,
             p.orbit,
+            p.adv,
             p.valid_m,
             verdict_tag(&p.report)
         );

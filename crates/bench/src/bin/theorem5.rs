@@ -94,7 +94,7 @@ fn main() {
     // EVERY schedule — the full strength of the theorem, not just the
     // constructed ring execution.
     println!("\nExhaustive confirmation (model checker, all adversary orbits,");
-    println!("process-symmetry reduction): Algorithm 2 on invalid (ℓ, m):");
+    println!("wreath symmetry reduction): Algorithm 2 on invalid (ℓ, m):");
     for (ell, m) in [(2usize, 2usize), (2, 4), (3, 3)] {
         let orbits = adversary_orbits(ell, m);
         let mut livelocks = 0usize;
@@ -106,7 +106,7 @@ fn main() {
                 .collect();
             let report = ModelChecker::with_automata(automata, MemoryModel::Rmw, m, adv)
                 .expect("orbit reps are valid")
-                .symmetry(Symmetry::Process)
+                .symmetry(Symmetry::Wreath)
                 .max_states(4_000_000)
                 .run()
                 .expect("state space within bounds");

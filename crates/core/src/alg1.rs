@@ -32,7 +32,7 @@
 
 use std::cell::RefCell;
 
-use amx_ids::codec::PidMap;
+use amx_ids::codec::{PidMap, RegMap};
 use amx_ids::{view, Pid, Slot};
 use amx_sim::automaton::{Automaton, Outcome};
 use amx_sim::encode::{self, EncodeState};
@@ -292,9 +292,11 @@ impl Automaton for Alg1Automaton {
 }
 
 impl EncodeState for Alg1State {
-    fn encode_with(&self, _map: &PidMap, out: &mut Vec<u8>) {
-        // No identities are embedded (ownership lives in the registers,
-        // tracked by local-index bitmasks), so the relabeling is a no-op.
+    fn encode_with(&self, _pids: &PidMap, _regs: &RegMap, out: &mut Vec<u8>) {
+        // No identities are embedded (ownership lives in the registers),
+        // and the cursor/bitmask fields are *local* register names —
+        // invariant under the wreath action, which relabels only the
+        // physical array — so both relabeling hooks are no-ops.
         match *self {
             Alg1State::Idle => encode::put_u8(0, out),
             Alg1State::Snap => encode::put_u8(1, out),

@@ -23,7 +23,7 @@
 //! the complexity contrast the paper draws with Algorithm 1 (majority
 //! ownership suffices instead of all-`m` ownership).
 
-use amx_ids::codec::PidMap;
+use amx_ids::codec::{PidMap, RegMap};
 use amx_ids::{view, Pid, Slot};
 use amx_sim::automaton::{Automaton, Outcome};
 use amx_sim::encode::{self, EncodeState};
@@ -238,7 +238,7 @@ impl Automaton for Alg2Automaton {
 }
 
 impl EncodeState for Alg2State {
-    fn encode_with(&self, map: &PidMap, out: &mut Vec<u8>) {
+    fn encode_with(&self, pids: &PidMap, _regs: &RegMap, out: &mut Vec<u8>) {
         match self {
             Alg2State::Idle => encode::put_u8(0, out),
             Alg2State::CasSweep { x } => {
@@ -253,7 +253,7 @@ impl EncodeState for Alg2State {
                 encode::put_u8(*x as u8, out);
                 encode::put_u8(collected.len() as u8, out);
                 for &slot in collected {
-                    encode::put_slot(slot, map, out);
+                    encode::put_slot(slot, pids, out);
                 }
             }
             Alg2State::Resign { targets, pos } => {

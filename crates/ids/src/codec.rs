@@ -85,6 +85,72 @@ impl PidMap {
     }
 }
 
+/// A finite relabeling of *physical* register indices, the second codec
+/// hook used by the model checker's wreath (register-aware) symmetry
+/// reduction.
+///
+/// The joint symmetry group of an anonymous memory pairs a process
+/// permutation with a physical register relabeling `ρ`.  Protocol states
+/// only ever quote *local* register names — cursors and bitmasks over a
+/// process's own view — and local names are invariant under the joint
+/// action (`ρ ∘ f_i = f_{π(i)}` realigns them exactly), so most
+/// encoders ignore this map.  It exists for state components that quote
+/// a **physical** slot index (none of the paper's algorithms do, but
+/// the codec contract covers them): such an index must be rewritten
+/// through [`RegMap::map_index`] when the state is encoded under a
+/// group element, or the reduction would be unsound.
+///
+/// The empty map is the identity; indices past the stored domain pass
+/// through unchanged.
+///
+/// # Example
+///
+/// ```
+/// use amx_ids::codec::RegMap;
+/// let rot = RegMap::from_forward(vec![1, 2, 0]);
+/// assert_eq!(rot.map_index(0), 1);
+/// assert_eq!(rot.map_index(2), 0);
+/// assert_eq!(rot.map_index(9), 9, "out-of-domain indices pass through");
+/// assert!(RegMap::identity().is_identity());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegMap {
+    forward: Vec<usize>,
+}
+
+impl RegMap {
+    /// The identity relabeling (no entries).
+    #[must_use]
+    pub fn identity() -> Self {
+        RegMap {
+            forward: Vec::new(),
+        }
+    }
+
+    /// A relabeling from the forward map `physical → physical`.
+    ///
+    /// The caller is responsible for `forward` being a bijection on
+    /// `0..forward.len()` (the model checker derives it from a validated
+    /// `amx_registers::Permutation`).
+    #[must_use]
+    pub fn from_forward(forward: Vec<usize>) -> Self {
+        RegMap { forward }
+    }
+
+    /// `true` when this map relabels nothing.
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        self.forward.iter().enumerate().all(|(i, &v)| i == v)
+    }
+
+    /// Relabels one physical register index (out-of-domain indices are
+    /// fixed).
+    #[must_use]
+    pub fn map_index(&self, r: usize) -> usize {
+        self.forward.get(r).copied().unwrap_or(r)
+    }
+}
+
 /// Encodes a bare slot into a `u64` word (0 encodes ⊥).
 ///
 /// # Example
@@ -179,6 +245,19 @@ mod tests {
         assert!(!map.is_identity());
         assert!(PidMap::identity().is_identity());
         assert!(PidMap::from_pairs(vec![(a, a)]).is_identity());
+    }
+
+    #[test]
+    fn reg_map_relabels_and_fixes() {
+        let rot = RegMap::from_forward(vec![2, 0, 1]);
+        assert_eq!(rot.map_index(0), 2);
+        assert_eq!(rot.map_index(1), 0);
+        assert_eq!(rot.map_index(2), 1);
+        assert_eq!(rot.map_index(7), 7, "out of domain is fixed");
+        assert!(!rot.is_identity());
+        assert!(RegMap::identity().is_identity());
+        assert!(RegMap::from_forward(vec![0, 1, 2]).is_identity());
+        assert_eq!(RegMap::identity().map_index(3), 3);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! executable lower bound demonstrates the dichotomy exhaustively rather
 //! than only its livelock half.
 
-use amx_ids::codec::PidMap;
+use amx_ids::codec::{PidMap, RegMap};
 use amx_ids::{Pid, Slot};
 use amx_sim::automaton::{Automaton, Outcome};
 use amx_sim::encode::{self, EncodeState};
@@ -123,7 +123,7 @@ impl Automaton for GreedyClaimer {
 }
 
 impl EncodeState for GreedyState {
-    fn encode_with(&self, _map: &PidMap, out: &mut Vec<u8>) {
+    fn encode_with(&self, _pids: &PidMap, _regs: &RegMap, out: &mut Vec<u8>) {
         match *self {
             GreedyState::Idle => encode::put_u8(0, out),
             GreedyState::Sweep { x, owned } => {

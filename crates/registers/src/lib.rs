@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod automorphism;
 pub mod orbit;
 pub mod permutation;
 pub mod rmw;
@@ -50,6 +51,7 @@ pub mod rw;
 pub mod stats;
 
 pub use adversary::Adversary;
+pub use automorphism::{adversary_automorphisms, AdvAutomorphism};
 pub use orbit::{adversary_orbits, canonical_form};
 pub use permutation::{all_permutations, Permutation, PermutationError};
 pub use rmw::{AnonymousRmwMemory, RmwHandle};

@@ -46,6 +46,16 @@ use crate::permutation::{all_permutations, Permutation};
 /// canonical forms ⇔ same orbit ⇔ isomorphic state graphs for any
 /// symmetric algorithm.
 ///
+/// The least image is found in `O(n²·m + n² log n)` rather than by the
+/// old `m!·n!` scan: the first component of a lexicographically least
+/// candidate is necessarily the identity (the relabeling `g` ranges over
+/// all of `S_m`, so `g ∘ f_{π(0)} = id` is always achievable and nothing
+/// beats it), which pins `g = f_{π(0)}⁻¹`; the remaining components are
+/// then the fixed multiset `{f_{π(0)}⁻¹ ∘ f_k}`, whose least ordering is
+/// just its sort.  Minimizing over the `n` choices of `π(0)` is exact —
+/// and what makes the streamed orbit enumeration below feasible well
+/// past the old `m ≤ 6` wall.
+///
 /// # Panics
 ///
 /// Panics if `perms` is empty or its permutations have mismatched sizes.
@@ -58,17 +68,19 @@ pub fn canonical_form(perms: &[Permutation]) -> Vec<Vec<usize>> {
         "mismatched permutation sizes"
     );
     let n = perms.len();
-    let relabelings = all_permutations(m);
-    let orderings = all_permutations(n);
     let mut best: Option<Vec<Vec<usize>>> = None;
-    for g in &relabelings {
-        for pi in &orderings {
-            let candidate: Vec<Vec<usize>> = (0..n)
-                .map(|slot| g.compose(&perms[pi.apply(slot)]).as_slice().to_vec())
-                .collect();
-            if best.as_ref().is_none_or(|b| candidate < *b) {
-                best = Some(candidate);
-            }
+    for j in 0..n {
+        let g = perms[j].inverse();
+        let mut tail: Vec<Vec<usize>> = (0..n)
+            .filter(|&k| k != j)
+            .map(|k| g.compose(&perms[k]).as_slice().to_vec())
+            .collect();
+        tail.sort_unstable();
+        let mut candidate = Vec::with_capacity(n);
+        candidate.push((0..m).collect::<Vec<usize>>());
+        candidate.extend(tail);
+        if best.as_ref().is_none_or(|b| candidate < *b) {
+            best = Some(candidate);
         }
     }
     best.expect("nonempty search space")
@@ -85,35 +97,46 @@ pub fn canonical_form(perms: &[Permutation]) -> Vec<Vec<usize>> {
 /// # Panics
 ///
 /// Panics for `n == 0`, `m == 0`, and for parameter combinations whose
-/// enumeration would be infeasibly large: the total work is
-/// `(m!)ⁿ⁻¹ · m! · n!` canonicalization steps, and combinations past
-/// ~5·10⁷ of them (e.g. `n = 3, m = 6` or `n = 4, m = 5`) are rejected
-/// up front instead of running for hours.
+/// enumeration would be infeasibly large.  Candidates are streamed —
+/// each left-normalized tuple is canonicalized in `O(n²·m)` and deduped
+/// through a hash set of canonical forms, never materialized or sorted
+/// wholesale — so the bound is `(m!)ⁿ⁻¹ · n²·m` elementary steps
+/// (capped at ~2.5·10⁸).  That admits the full `M(2)` range through
+/// `m = 7` (and beyond: `n = 2` is feasible to `m ≤ 10`, `n = 3` to
+/// `m = 6`, `n = 4` to `m = 5`); `n = 4, m = 6` still exceeds it.
 #[must_use]
 pub fn adversary_orbits(n: usize, m: usize) -> Vec<Adversary> {
     assert!(n >= 1 && m >= 1, "need at least one process and register");
     let fact = |k: usize| -> u128 { (1..=k as u128).product::<u128>().max(1) };
     let work = fact(m)
         .saturating_pow(n as u32 - 1)
-        .saturating_mul(fact(m).saturating_mul(fact(n)));
+        .saturating_mul((n * n * m) as u128);
     assert!(
-        work <= 50_000_000,
-        "orbit enumeration would take (m!)^(n-1)·m!·n! = {work} canonicalization \
-         steps for n = {n}, m = {m}; feasible region is roughly m ≤ 6 for n = 2, \
-         m ≤ 5 for n = 3, m ≤ 4 for n = 4"
+        work <= 250_000_000,
+        "orbit enumeration would take (m!)^(n-1)·n²·m = {work} elementary steps \
+         for n = {n}, m = {m}; feasible region is roughly m ≤ 10 for n = 2, \
+         m ≤ 6 for n = 3, m ≤ 5 for n = 4"
     );
     let perms = all_permutations(m);
     // Left-normalizing by f_1⁻¹ maps every assignment into one with the
     // identity first, so enumerating (id, f_2, …, f_n) covers all orbits.
-    let mut reps = std::collections::BTreeSet::new();
+    // Tuples are streamed: each is canonicalized and its form hashed into
+    // the dedup set immediately, so memory is O(#orbits), not O(tuples).
+    // Component 0 of every canonical form is the identity, so only the
+    // tail is stored and hashed; the identity is re-prepended below.
+    let mut reps: std::collections::HashSet<Vec<Vec<usize>>> = std::collections::HashSet::new();
     let mut tuple: Vec<Permutation> = vec![Permutation::identity(m); n];
     enumerate_tails(&mut tuple, 1, &perms, &mut reps);
-    reps.into_iter()
-        .map(|canon| {
+    let mut ordered: Vec<Vec<Vec<usize>>> = reps.into_iter().collect();
+    ordered.sort_unstable();
+    ordered
+        .into_iter()
+        .map(|tail| {
             Adversary::Explicit(
-                canon
-                    .into_iter()
-                    .map(|fwd| Permutation::from_forward(fwd).expect("canonical image is valid"))
+                std::iter::once(Permutation::identity(m))
+                    .chain(tail.into_iter().map(|fwd| {
+                        Permutation::from_forward(fwd).expect("canonical image is valid")
+                    }))
                     .collect(),
             )
         })
@@ -124,10 +147,12 @@ fn enumerate_tails(
     tuple: &mut Vec<Permutation>,
     pos: usize,
     perms: &[Permutation],
-    reps: &mut std::collections::BTreeSet<Vec<Vec<usize>>>,
+    reps: &mut std::collections::HashSet<Vec<Vec<usize>>>,
 ) {
     if pos == tuple.len() {
-        reps.insert(canonical_form(tuple));
+        let mut canon = canonical_form(tuple);
+        canon.remove(0); // constant identity row — implicit in the set
+        reps.insert(canon);
         return;
     }
     for p in perms {
@@ -259,9 +284,61 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "orbit enumeration would take")]
-    fn oversized_enumeration_is_rejected() {
-        let _ = adversary_orbits(2, 7);
+    fn fast_canonical_form_matches_the_exhaustive_scan() {
+        // The O(n²m) canonicalizer must return exactly the old m!·n!
+        // scan's minimum — same bytes, not merely the same orbit.
+        let exhaustive = |perms: &[Permutation]| -> Vec<Vec<usize>> {
+            let (n, m) = (perms.len(), perms[0].len());
+            let mut best: Option<Vec<Vec<usize>>> = None;
+            for g in all_permutations(m) {
+                for pi in all_permutations(n) {
+                    let cand: Vec<Vec<usize>> = (0..n)
+                        .map(|s| g.compose(&perms[pi.apply(s)]).as_slice().to_vec())
+                        .collect();
+                    if best.as_ref().is_none_or(|b| cand < *b) {
+                        best = Some(cand);
+                    }
+                }
+            }
+            best.expect("nonempty")
+        };
+        for seed in 0..8u64 {
+            let cases = [
+                vec![
+                    Permutation::random(4, seed),
+                    Permutation::random(4, seed + 100),
+                ],
+                vec![
+                    Permutation::random(3, seed),
+                    Permutation::random(3, seed + 50),
+                    Permutation::random(3, seed + 99),
+                ],
+            ];
+            for perms in cases {
+                assert_eq!(
+                    canonical_form(&perms),
+                    exhaustive(&perms),
+                    "fast path diverged for {perms:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seven_registers_two_processes_is_now_feasible() {
+        // 7 ∈ M(2): the streamed enumeration lifts the old m ≤ 6 wall.
+        // Orbits for n = 2 are the pairs {h, h⁻¹}: (7! + i(7))/2 classes.
+        let reps = adversary_orbits(2, 7);
+        let fact: usize = (1..=7).product();
+        assert_eq!(reps.len(), (fact + involutions(7)) / 2);
+        // Representatives stay canonical fixed points.
+        for adv in reps.iter().take(20) {
+            let Adversary::Explicit(ps) = adv else {
+                panic!("orbit reps are explicit");
+            };
+            let form: Vec<Vec<usize>> = ps.iter().map(|p| p.as_slice().to_vec()).collect();
+            assert_eq!(canonical_form(ps), form);
+        }
     }
 
     #[test]

@@ -104,6 +104,57 @@ pub trait Automaton {
     }
 }
 
+/// Drives one scheduled step of the closed-loop workload `remainder →
+/// lock → CS → unlock → …` that the model checker explores and the
+/// deadlock-freedom property is stated under: a process scheduled in
+/// its remainder (resp. critical) section first begins a `lock()`
+/// (resp. `unlock()`) invocation, then executes one protocol step, and
+/// the phase advances on completion outcomes.
+///
+/// The model checker's successor generation delegates here, and witness
+/// replays (tests, trace tooling) should too, so the phase-machine
+/// contract lives in exactly one place.
+///
+/// # Example
+///
+/// ```
+/// use amx_sim::automaton::closed_loop_step;
+/// use amx_sim::toys::SpinForever;
+/// use amx_sim::{Automaton, MemoryModel, Outcome, Phase, SimMemory};
+///
+/// let aut = SpinForever;
+/// let mut mem = SimMemory::new(MemoryModel::Rw, 1, &amx_registers::Adversary::Identity, 1).unwrap();
+/// let mut phase = Phase::Remainder;
+/// let mut state = aut.init_state();
+/// let out = closed_loop_step(&aut, &mut phase, &mut state, &mut mem.view(0));
+/// assert_eq!((out, phase), (Outcome::Progress, Phase::Trying));
+/// ```
+pub fn closed_loop_step<A: Automaton + ?Sized, M: MemoryOps + ?Sized>(
+    aut: &A,
+    phase: &mut Phase,
+    state: &mut A::State,
+    mem: &mut M,
+) -> Outcome {
+    match *phase {
+        Phase::Remainder => {
+            aut.start_lock(state);
+            *phase = Phase::Trying;
+        }
+        Phase::Cs => {
+            aut.start_unlock(state);
+            *phase = Phase::Exiting;
+        }
+        Phase::Trying | Phase::Exiting => {}
+    }
+    let outcome = aut.step(state, mem);
+    match outcome {
+        Outcome::Acquired => *phase = Phase::Cs,
+        Outcome::Released => *phase = Phase::Remainder,
+        Outcome::Progress => {}
+    }
+    outcome
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,8 +8,14 @@
 //!
 //! * [`EncodeState::encode_with`] appends the state's bytes to a caller
 //!   scratch buffer, passing every embedded [`Slot`] through a
-//!   [`PidMap`] — the codec hook symmetry reduction uses to relabel
-//!   equality-only identities while permuting process roles.
+//!   [`PidMap`] and every embedded *physical* register index through a
+//!   [`RegMap`] — the two codec hooks symmetry reduction uses to
+//!   relabel equality-only identities (and, under the wreath group,
+//!   physical register names) while permuting process roles.  States
+//!   that quote registers by their **local** names — every state in
+//!   this workspace: cursors, sweep positions, local-index bitmasks —
+//!   ignore the `RegMap`, because local names are invariant under the
+//!   joint action (`ρ ∘ f_i = f_{π(i)}` realigns them exactly).
 //! * [`EncodeState::decode`] reads the state back from the front of a
 //!   byte slice (the engine regenerates successors from stored bytes
 //!   instead of keeping cloned nodes or a materialized edge list).
@@ -22,7 +28,7 @@
 //! implementations in this workspace; a [`Slot`] costs 4 bytes (its raw
 //! token, 0 = ⊥).
 
-use amx_ids::codec::PidMap;
+use amx_ids::codec::{PidMap, RegMap};
 use amx_ids::{Pid, Slot};
 
 /// A protocol state that can serialize itself into a flat byte buffer.
@@ -30,17 +36,20 @@ use amx_ids::{Pid, Slot};
 /// Contract: `a == b` ⇔ `encode(a) == encode(b)` (for states of the same
 /// automaton configuration), and `decode(encode(a)) == Some(a)` leaving
 /// the input advanced past exactly the written bytes.  Every [`Slot`]
-/// embedded in the state must be routed through the map given to
-/// [`encode_with`](Self::encode_with); states without embedded slots can
-/// ignore it.
+/// embedded in the state must be routed through the identity map given
+/// to [`encode_with`](Self::encode_with), and every embedded *physical*
+/// register index through the register map; states without embedded
+/// slots (or quoting registers only by local name) can ignore the
+/// respective map.
 pub trait EncodeState: Clone + Eq + std::hash::Hash + std::fmt::Debug {
     /// Appends a self-delimiting encoding of this state to `out`,
-    /// rewriting every embedded [`Slot`] through `map`.
-    fn encode_with(&self, map: &PidMap, out: &mut Vec<u8>);
+    /// rewriting every embedded [`Slot`] through `pids` and every
+    /// embedded physical register index through `regs`.
+    fn encode_with(&self, pids: &PidMap, regs: &RegMap, out: &mut Vec<u8>);
 
     /// Appends a self-delimiting encoding of this state to `out`.
     fn encode(&self, out: &mut Vec<u8>) {
-        self.encode_with(&PidMap::identity(), out);
+        self.encode_with(&PidMap::identity(), &RegMap::identity(), out);
     }
 
     /// Decodes one state from the front of `bytes`, advancing the slice.

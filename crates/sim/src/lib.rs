@@ -30,14 +30,20 @@
 //!   state.  Successors are generated into reused scratch buffers, so
 //!   the hot loop performs no per-step clones or per-node allocations
 //!   beyond the single arena append.
-//! * **Process-symmetry reduction** ([`mc::Symmetry::Process`]) — the
-//!   paper's algorithms are symmetric (identities support equality
-//!   only), so states that differ by permuting interchangeable processes
-//!   and consistently relabeling their identities are isomorphic.  The
-//!   checker canonicalizes each state under that group, storing one
-//!   representative per orbit (up to `n!` fewer states) while still
-//!   producing *concrete* witness schedules, and reports the exact
-//!   concrete state count alongside the canonical one.
+//! * **Symmetry reduction** ([`mc::Symmetry::Process`] and the
+//!   register-aware [`mc::Symmetry::Wreath`]) — the paper's algorithms
+//!   are symmetric (identities support equality only) and the memory is
+//!   *anonymous*, so states that differ by permuting interchangeable
+//!   processes, consistently relabeling their identities, and — under
+//!   the wreath group — relabeling the physical registers along an
+//!   automorphism of the adversary (`ρ ∘ f_i = f_{π(i)}`) are
+//!   isomorphic.  The checker canonicalizes each state under the chosen
+//!   group, storing one representative per orbit (up to the group order
+//!   fewer states — and the wreath group is nontrivial even on
+//!   rotation/ring adversaries where no two processes share a
+//!   permutation) while still producing *concrete* witness schedules,
+//!   and reports the exact concrete state count alongside the canonical
+//!   one.
 //! * **Work-stealing parallel frontier** ([`mc::ModelChecker::threads`],
 //!   or the `AMX_MC_THREADS` environment variable) — breadth-first
 //!   levels run on per-worker deques with batch stealing over a striped
@@ -86,7 +92,7 @@ pub mod schedule;
 pub mod toys;
 pub mod trace;
 
-pub use automaton::{Automaton, Outcome, Phase};
+pub use automaton::{closed_loop_step, Automaton, Outcome, Phase};
 pub use encode::EncodeState;
 pub use mc::{McReport, ModelChecker, Symmetry, Verdict};
 pub use mem::{MemoryModel, MemoryOps, SimMemory};

@@ -36,11 +36,20 @@
 //!   [`Automaton::symmetry_class`] token and equal adversary
 //!   permutation) may be permuted, with their equality-only identities
 //!   relabeled consistently in every register slot via
-//!   [`amx_ids::codec::PidMap`].  The paper's algorithms are symmetric
-//!   by construction, so orbits collapse by up to `n!` and the stored
-//!   state count drops accordingly.  Witness schedules remain concrete:
-//!   the group element used on each tree edge is recorded, and parent
-//!   chains are mapped back through the accumulated permutation.
+//!   [`amx_ids::codec::PidMap`].  With [`Symmetry::Wreath`] the group
+//!   is the memory's full *joint* symmetry group — pairs `(π, ρ)` of a
+//!   process permutation and a physical register relabeling that are
+//!   automorphisms of the adversary (`ρ ∘ f_i = f_{π(i)}`), enumerated
+//!   once per run by
+//!   [`amx_registers::automorphism::adversary_automorphisms`] — so the
+//!   reduction also bites on rotation/ring adversaries where no two
+//!   processes share a permutation.  The paper's algorithms are
+//!   symmetric by construction, so orbits collapse by up to the group
+//!   order and the stored state count drops accordingly.  Witness
+//!   schedules remain concrete: the group element used on each tree
+//!   edge is recorded, and parent chains are mapped back through the
+//!   accumulated permutation (`ρ` never appears in schedules — it only
+//!   relabels the register array).
 //! * [`ModelChecker::threads`] — each breadth-first level runs on
 //!   per-worker deques with batch work stealing over a striped
 //!   seen-set (one `parking_lot` lock per stripe); levels stay
@@ -71,12 +80,14 @@
 //! runs over that table, so peak memory is O(states · n) rather than
 //! O(stored transitions) and no successor is regenerated twice.
 //!
-//! With `Symmetry::Process`, the fair-livelock check runs on the orbit
-//! quotient with fairness at the granularity of symmetry classes
-//! (interchangeable processes are indistinguishable in the quotient).
-//! The differential test suite cross-validates reduced against full
-//! verdicts on every algorithm in this workspace; [`Symmetry::Off`]
-//! remains the default and is exact.
+//! With `Symmetry::Process` or `Symmetry::Wreath`, the fair-livelock
+//! check runs on the orbit quotient with fairness at the granularity of
+//! symmetry classes (processes in one group orbit are indistinguishable
+//! in the quotient), and candidate components are then confirmed
+//! exactly on their concrete orbit expansion.  The differential test
+//! suites cross-validate both reductions against the full exploration
+//! on every algorithm in this workspace; [`Symmetry::Off`] remains the
+//! default and is exact.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -85,7 +96,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use amx_ids::codec::PidMap;
+use amx_ids::codec::{PidMap, RegMap};
 use amx_ids::Slot;
 
 use crate::automaton::{Automaton, Outcome, Phase};
@@ -135,6 +146,21 @@ pub enum Symmetry {
     /// automata honouring the `symmetry_class` contract; processes that
     /// opt out (`None`) are never permuted.
     Process,
+    /// Wreath (register-aware) reduction: the full joint symmetry group
+    /// of the anonymous memory.  Elements are pairs `(π, ρ)` — process
+    /// permutation plus physical register relabeling — that are
+    /// automorphisms of the adversary itself (`ρ ∘ f_i = f_{π(i)}`,
+    /// enumerated once per run by
+    /// [`amx_registers::automorphism::adversary_automorphisms`]).  The
+    /// group contains the [`Symmetry::Process`] group (`ρ = id` on
+    /// equal-permutation processes) and additionally bites on
+    /// rotation/ring orbits where no two processes share a permutation
+    /// and process-only reduction stores every concrete state.  Same
+    /// soundness contract as `Process`: automata opt in via
+    /// [`Automaton::symmetry_class`], and states may quote registers by
+    /// local name only (or relabel quoted physical indices through the
+    /// [`amx_ids::codec::RegMap`] codec hook).
+    Wreath,
 }
 
 /// Statistics and verdict of a model-checking run.
@@ -376,9 +402,10 @@ impl<A: Automaton> ModelChecker<A> {
         self
     }
 
-    /// Debug mode: after a [`Symmetry::Process`] run, re-explore with
-    /// [`Symmetry::Off`] and panic if the verdicts (or the orbit
-    /// accounting) diverge.  Doubles the work; intended for tests.
+    /// Debug mode: after a reduced ([`Symmetry::Process`] or
+    /// [`Symmetry::Wreath`]) run, re-explore with [`Symmetry::Off`] and
+    /// panic if the verdicts (or the orbit accounting) diverge.
+    /// Doubles the work; intended for tests.
     #[must_use]
     pub fn cross_check(mut self, on: bool) -> Self {
         self.cross_check = on;
@@ -449,7 +476,7 @@ where
     /// reduced and full explorations disagree.
     pub fn run(&self) -> Result<McReport, StateSpaceExceeded> {
         let report = self.explore(self.symmetry)?;
-        if self.cross_check && self.symmetry == Symmetry::Process {
+        if self.cross_check && self.symmetry != Symmetry::Off {
             let full = self.explore(Symmetry::Off)?;
             assert_eq!(
                 verdict_kind(&report.verdict),
@@ -1010,8 +1037,13 @@ fn verdict_kind(v: &Verdict) -> &'static str {
     }
 }
 
-/// One element of the process-symmetry group: a role permutation plus
-/// the matching identity relabeling.
+/// One element of the symmetry group: a role permutation plus the
+/// matching identity relabeling, and — under [`Symmetry::Wreath`] — the
+/// physical register relabeling the role permutation forces.
+///
+/// The `π`-projection is injective across the group (the adversary
+/// automorphism condition determines `ρ` from `π`), so composition and
+/// inverse tables keyed on `pi` remain valid for wreath elements.
 #[derive(Debug, Clone)]
 struct SymElem {
     /// Role map: process `i`'s component moves to position `pi[i]`.
@@ -1020,13 +1052,27 @@ struct SymElem {
     pi_inv: Vec<usize>,
     /// Identity relabeling: `pid_i ↦ pid_{pi[i]}`.
     map: PidMap,
+    /// Inverse physical register relabeling: the image's slot `j` is
+    /// read from physical slot `rho_inv[j]`.  Empty ⇒ `ρ = id` (always
+    /// the case for [`Symmetry::Off`]/[`Symmetry::Process`] elements),
+    /// keeping the hot encode loop free of indirection.
+    rho_inv: Vec<usize>,
+    /// Forward physical relabeling as the codec hook handed to
+    /// [`EncodeState::encode_with`] for states quoting physical indices.
+    regs: RegMap,
 }
 
 /// Computes the symmetry group and the class id of every process.
 ///
-/// Two processes share a class iff both declare the same `Some`
-/// [`Automaton::symmetry_class`] token *and* hold the same adversary
-/// permutation; processes declaring `None` are singletons.  With
+/// Under [`Symmetry::Process`], two processes share a class iff both
+/// declare the same `Some` [`Automaton::symmetry_class`] token *and*
+/// hold the same adversary permutation; processes declaring `None` are
+/// singletons.  Under [`Symmetry::Wreath`] the group is the adversary's
+/// automorphism group (computed by
+/// [`amx_registers::automorphism::adversary_automorphisms`]) restricted
+/// to class-compatible role maps, and a class is an orbit of processes
+/// under the group's `π`-components — the granularity at which the
+/// quotient's fairness pre-filter can distinguish processes.  With
 /// [`Symmetry::Off`] every process is a singleton and the group is
 /// trivial.
 fn build_group<A: Automaton>(
@@ -1035,6 +1081,9 @@ fn build_group<A: Automaton>(
     symmetry: Symmetry,
 ) -> (Vec<SymElem>, Vec<usize>) {
     let n = automata.len();
+    if symmetry == Symmetry::Wreath {
+        return build_wreath_group(automata, mem0);
+    }
     let mut class_of = vec![usize::MAX; n];
     let mut class_keys: Vec<Option<(u64, Vec<usize>)>> = Vec::new();
     let mut classes: Vec<Vec<usize>> = Vec::new();
@@ -1044,6 +1093,7 @@ fn build_group<A: Automaton>(
             Symmetry::Process => automata[i]
                 .symmetry_class()
                 .map(|t| (t, mem0.permutation(i).as_slice().to_vec())),
+            Symmetry::Wreath => unreachable!("wreath groups are built above"),
         };
         let cid = key
             .as_ref()
@@ -1107,6 +1157,89 @@ fn build_group<A: Automaton>(
                 pi,
                 pi_inv,
                 map: PidMap::from_pairs(pairs),
+                rho_inv: Vec::new(),
+                regs: RegMap::identity(),
+            }
+        })
+        .collect();
+    (elems, class_of)
+}
+
+/// [`build_group`] for [`Symmetry::Wreath`]: enumerates the adversary's
+/// automorphism group (pairs `(π, ρ)` with `ρ ∘ f_i = f_{π(i)}`) and
+/// derives the process classes as the orbits of the `π`-components.
+fn build_wreath_group<A: Automaton>(
+    automata: &[A],
+    mem0: &SimMemory,
+) -> (Vec<SymElem>, Vec<usize>) {
+    let n = automata.len();
+    let keys: Vec<Option<u64>> = automata.iter().map(Automaton::symmetry_class).collect();
+    let perms: Vec<amx_registers::Permutation> =
+        (0..n).map(|i| mem0.permutation(i).clone()).collect();
+    let autos = amx_registers::adversary_automorphisms(&perms, &keys);
+    assert!(
+        autos.len() <= usize::from(u16::MAX),
+        "wreath symmetry group too large ({} elements)",
+        autos.len()
+    );
+
+    // Process classes: orbits under the π-components (the finest
+    // partition the quotient can still tell apart).
+    let mut root: Vec<usize> = (0..n).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for a in &autos {
+            for i in 0..n {
+                let (ri, rj) = (root[i], root[a.pi[i]]);
+                if ri != rj {
+                    let mn = ri.min(rj);
+                    root[i] = mn;
+                    root[a.pi[i]] = mn;
+                    changed = true;
+                }
+            }
+        }
+    }
+    let mut class_of = vec![usize::MAX; n];
+    let mut next_class = 0usize;
+    for i in 0..n {
+        // Path-compress through the min-root relation, then number the
+        // classes in first-appearance order (matching the Process-mode
+        // convention).
+        let r = root[i];
+        if class_of[r] == usize::MAX {
+            class_of[r] = next_class;
+            next_class += 1;
+        }
+        class_of[i] = class_of[r];
+    }
+
+    let elems = autos
+        .into_iter()
+        .map(|a| {
+            let mut pi_inv = vec![0usize; n];
+            for (i, &j) in a.pi.iter().enumerate() {
+                pi_inv[j] = i;
+            }
+            let pairs: Vec<_> = (0..n)
+                .filter(|&i| a.pi[i] != i)
+                .filter_map(|i| Some((automata[i].pid()?, automata[a.pi[i]].pid()?)))
+                .collect();
+            let (rho_inv, regs) = if a.rho.is_identity() {
+                (Vec::new(), RegMap::identity())
+            } else {
+                (
+                    a.rho.inverse().as_slice().to_vec(),
+                    RegMap::from_forward(a.rho.as_slice().to_vec()),
+                )
+            };
+            SymElem {
+                pi: a.pi,
+                pi_inv,
+                map: PidMap::from_pairs(pairs),
+                rho_inv,
+                regs,
             }
         })
         .collect();
@@ -1229,24 +1362,7 @@ fn advance_in_place<A: Automaton>(
     proc_entry: &mut (Phase, A::State),
 ) -> Outcome {
     let (phase, state) = proc_entry;
-    match *phase {
-        Phase::Remainder => {
-            aut.start_lock(state);
-            *phase = Phase::Trying;
-        }
-        Phase::Cs => {
-            aut.start_unlock(state);
-            *phase = Phase::Exiting;
-        }
-        Phase::Trying | Phase::Exiting => {}
-    }
-    let outcome = aut.step(state, &mut mem.view(i));
-    match outcome {
-        Outcome::Acquired => *phase = Phase::Cs,
-        Outcome::Released => *phase = Phase::Remainder,
-        Outcome::Progress => {}
-    }
-    outcome
+    crate::automaton::closed_loop_step(aut, phase, state, &mut mem.view(i))
 }
 
 /// Decodes a node's bytes into the slots/procs scratch buffers.
@@ -1271,7 +1387,10 @@ fn decode_node<S: EncodeState>(
     debug_assert!(bytes.is_empty(), "trailing bytes after node decode");
 }
 
-/// Encodes the node image under one group element into `out`.
+/// Encodes the node image under one group element into `out`: physical
+/// slots are permuted by `ρ` (slot `j` of the image is slot
+/// `ρ⁻¹(j)` of the node) and identity-relabeled; process components are
+/// permuted by `π`.
 fn encode_node_with<S: EncodeState>(
     elem: &SymElem,
     slots: &[Slot],
@@ -1279,13 +1398,19 @@ fn encode_node_with<S: EncodeState>(
     out: &mut Vec<u8>,
 ) {
     out.clear();
-    for &slot in slots {
-        encode::put_slot(slot, &elem.map, out);
+    if elem.rho_inv.is_empty() {
+        for &slot in slots {
+            encode::put_slot(slot, &elem.map, out);
+        }
+    } else {
+        for &src in &elem.rho_inv {
+            encode::put_slot(slots[src], &elem.map, out);
+        }
     }
     for j in 0..procs.len() {
         let (phase, state) = &procs[elem.pi_inv[j]];
         encode::put_u8(phase_to_u8(*phase), out);
-        state.encode_with(&elem.map, out);
+        state.encode_with(&elem.map, &elem.regs, out);
     }
 }
 
@@ -2064,6 +2189,100 @@ mod tests {
     }
 
     #[test]
+    fn wreath_group_equals_process_group_on_shared_permutations() {
+        // Identity adversary: every ρ is forced to id, so the wreath
+        // group degenerates to exactly the process-symmetry group.
+        let ids = PidPool::sequential().mint_many(3);
+        let automata: Vec<CasLock> = ids.into_iter().map(CasLock::new).collect();
+        let mem = SimMemory::new(MemoryModel::Rmw, 1, &Adversary::Identity, 3).unwrap();
+        let (process, class_p) = build_group(&automata, &mem, Symmetry::Process);
+        let (wreath, class_w) = build_group(&automata, &mem, Symmetry::Wreath);
+        assert_eq!(wreath.len(), process.len());
+        assert_eq!(class_w, class_p);
+        assert!(wreath.iter().all(|e| e.rho_inv.is_empty()));
+        let pis_p: std::collections::HashSet<Vec<usize>> =
+            process.iter().map(|e| e.pi.clone()).collect();
+        assert!(wreath.iter().all(|e| pis_p.contains(&e.pi)));
+    }
+
+    #[test]
+    fn wreath_group_bites_on_rotation_adversaries() {
+        // Rotations with distinct permutations: process-only reduction
+        // sees nothing to permute, the joint group is the cyclic Z_3
+        // "shift processes ∘ rotate registers".
+        let automata = vec![SpinForever, SpinForever, SpinForever];
+        let mem =
+            SimMemory::new(MemoryModel::Rw, 3, &Adversary::Rotations { stride: 1 }, 3).unwrap();
+        let (process, _) = build_group(&automata, &mem, Symmetry::Process);
+        assert_eq!(process.len(), 1, "no shared permutations");
+        let (wreath, class_of) = build_group(&automata, &mem, Symmetry::Wreath);
+        assert_eq!(wreath.len(), 3, "Z_3");
+        assert_eq!(class_of, vec![0, 0, 0], "one π-orbit");
+        assert!(wreath[0].pi.iter().enumerate().all(|(i, &v)| i == v));
+        assert!(wreath[0].rho_inv.is_empty());
+        assert!(wreath[1..].iter().all(|e| !e.rho_inv.is_empty()));
+    }
+
+    #[test]
+    fn wreath_reduction_on_rotations_agrees_with_full_and_shrinks() {
+        // The smallest genuinely wreath-only configuration: spinners on
+        // a rotated memory.  Cross-check re-explores exactly and panics
+        // on any verdict or orbit-accounting divergence.
+        let report = ModelChecker::with_automata(
+            vec![SpinForever, SpinForever, SpinForever],
+            MemoryModel::Rw,
+            3,
+            &Adversary::Rotations { stride: 1 },
+        )
+        .unwrap()
+        .symmetry(Symmetry::Wreath)
+        .cross_check(true)
+        .run()
+        .unwrap();
+        match report.verdict {
+            Verdict::FairLivelock { ref pending, .. } => assert_eq!(pending, &vec![0, 1, 2]),
+            ref other => panic!("expected livelock, got {other:?}"),
+        }
+        assert!(
+            report.canonical_states < report.full_states_estimate,
+            "the joint group must collapse rotation orbits: {} vs {}",
+            report.canonical_states,
+            report.full_states_estimate
+        );
+    }
+
+    #[test]
+    fn wreath_livelock_witness_replays_to_the_pending_state() {
+        let automata = vec![SpinForever, SpinForever, SpinForever];
+        let adv = Adversary::Rotations { stride: 1 };
+        let report = ModelChecker::with_automata(automata.clone(), MemoryModel::Rw, 3, &adv)
+            .unwrap()
+            .symmetry(Symmetry::Wreath)
+            .run()
+            .unwrap();
+        let Verdict::FairLivelock {
+            pending,
+            witness_schedule,
+            ..
+        } = report.verdict
+        else {
+            panic!("expected livelock, got {:?}", report.verdict);
+        };
+        let mut mem = SimMemory::new(MemoryModel::Rw, 3, &adv, 3).unwrap();
+        let mut procs: Vec<(Phase, crate::toys::SpinState)> = automata
+            .iter()
+            .map(|a| (Phase::Remainder, a.init_state()))
+            .collect();
+        for &a in &witness_schedule {
+            let _ = advance_in_place(&automata[a], a, &mut mem, &mut procs[a]);
+        }
+        let reached: Vec<usize> = (0..3)
+            .filter(|&i| matches!(procs[i].0, Phase::Trying | Phase::Exiting))
+            .collect();
+        assert_eq!(reached, pending);
+    }
+
+    #[test]
     fn concretize_maps_actors_through_the_permutation() {
         // Group: identity and the swap of two processes.
         let group = vec![
@@ -2071,11 +2290,15 @@ mod tests {
                 pi: vec![0, 1],
                 pi_inv: vec![0, 1],
                 map: PidMap::identity(),
+                rho_inv: Vec::new(),
+                regs: RegMap::identity(),
             },
             SymElem {
                 pi: vec![1, 0],
                 pi_inv: vec![1, 0],
                 map: PidMap::identity(),
+                rho_inv: Vec::new(),
+                regs: RegMap::identity(),
             },
         ];
         // Step quotient actor 0 canonicalized by the swap, then actor 0

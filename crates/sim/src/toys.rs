@@ -15,7 +15,7 @@
 //! These toys are `pub` so downstream crates (and doctests) can exercise
 //! the drivers without depending on `amx-core`.
 
-use amx_ids::codec::PidMap;
+use amx_ids::codec::{PidMap, RegMap};
 use amx_ids::{Pid, Slot};
 
 use crate::automaton::{Automaton, Outcome};
@@ -95,7 +95,7 @@ impl Automaton for CasLock {
 }
 
 impl EncodeState for CasLockState {
-    fn encode_with(&self, _map: &PidMap, out: &mut Vec<u8>) {
+    fn encode_with(&self, _pids: &PidMap, _regs: &RegMap, out: &mut Vec<u8>) {
         encode::put_u8(
             match self {
                 CasLockState::Idle => 0,
@@ -192,7 +192,7 @@ impl Automaton for NaiveFlagLock {
 }
 
 impl EncodeState for NaiveFlagState {
-    fn encode_with(&self, _map: &PidMap, out: &mut Vec<u8>) {
+    fn encode_with(&self, _pids: &PidMap, _regs: &RegMap, out: &mut Vec<u8>) {
         encode::put_u8(
             match self {
                 NaiveFlagState::Idle => 0,
@@ -331,7 +331,7 @@ impl Automaton for PetersonTwo {
 }
 
 impl EncodeState for PetersonState {
-    fn encode_with(&self, _map: &PidMap, out: &mut Vec<u8>) {
+    fn encode_with(&self, _pids: &PidMap, _regs: &RegMap, out: &mut Vec<u8>) {
         encode::put_u8(
             match self {
                 PetersonState::Idle => 0,
@@ -407,7 +407,7 @@ impl Automaton for SpinForever {
 }
 
 impl EncodeState for SpinState {
-    fn encode_with(&self, _map: &PidMap, out: &mut Vec<u8>) {
+    fn encode_with(&self, _pids: &PidMap, _regs: &RegMap, out: &mut Vec<u8>) {
         encode::put_u8(
             match self {
                 SpinState::Idle => 0,

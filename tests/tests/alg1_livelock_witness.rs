@@ -1,0 +1,166 @@
+//! Replays the Algorithm 1 `(n = 4, m = 5)` fair-livelock witness found
+//! by the model checker (PR 3's n = 4 frontier sweep) through the trace
+//! machinery, and pins down *how* the livelock component is entered.
+//!
+//! Background (ROADMAP "Alg 1 n = 4 livelock"): `5 ∈ M(4)`, so the paper
+//! claims deadlock-freedom, yet the exhaustive engine reports a fair
+//! livelock with all four processes pending, a 64,504-state
+//! completion-free SCC and the 12-step entry schedule
+//! `[3, 2, 0, 1, 1, 1, 0, 0, 1, 1, 1, 1]` — confirmed bit-for-bit by
+//! two independent engine generations.
+//!
+//! What the annotated replay shows (the findings note in ROADMAP
+//! summarizes this):
+//!
+//! * Steps 0–3: all four processes snapshot the **empty** memory.  The
+//!   line-4 inner loop admits a process on an all-⊥ view, so every one
+//!   of them legitimately commits to `WriteFree { x: 0 }` — four
+//!   pending writes to the *same* register, each justified by a view
+//!   that is stale by the time the write lands.
+//! * Steps 4–11: pairs of those stale writes overwrite each other
+//!   (`p1`'s claim on register 0 is erased by `p0` at step 6 without
+//!   `p1` ever withdrawing), while the writer re-snapshots, sees a
+//!   partially-owned view, and claims the next free register.
+//! * The `shrink()` path (`ShrinkRead`/`ShrinkWrite`, the ROADMAP's
+//!   original suspect) is **never exercised** on the way into the SCC:
+//!   no full view ever forms — registers 3 and 4 stay ⊥ through the
+//!   whole prefix — so the line-7–9 withdrawal arithmetic never runs.
+//!   The suspect therefore shifts from the shrink/bitmask arithmetic to
+//!   the unbounded staleness of the line-5/6 free-slot write (the
+//!   window between the snapshot and the write it justifies).
+
+use amx_core::{Alg1Automaton, MutexSpec};
+use amx_ids::PidPool;
+use amx_registers::Adversary;
+use amx_sim::automaton::closed_loop_step;
+use amx_sim::trace::{render, summarize};
+use amx_sim::{Automaton, MemoryModel, Outcome, Phase, Runner, Scheduler, SimMemory, Workload};
+
+/// The model checker's 12-step entry schedule into the livelock SCC.
+const WITNESS: [usize; 12] = [3, 2, 0, 1, 1, 1, 0, 0, 1, 1, 1, 1];
+
+fn automata() -> Vec<Alg1Automaton> {
+    let spec = MutexSpec::rw_unchecked(4, 5);
+    let mut pool = PidPool::sequential();
+    (0..4)
+        .map(|_| Alg1Automaton::new(spec, pool.mint()))
+        .collect()
+}
+
+#[test]
+fn witness_reaches_the_all_pending_state_with_annotated_steps() {
+    use amx_core::alg1::Alg1State as S;
+    let automata = automata();
+    let ids: Vec<_> = automata.iter().map(|a| a.id()).collect();
+    let mut mem = SimMemory::new(MemoryModel::Rw, 5, &Adversary::Identity, 4).unwrap();
+    let mut phases = vec![Phase::Remainder; 4];
+    let mut states: Vec<S> = automata.iter().map(Automaton::init_state).collect();
+
+    // The annotated expectation per step: (actor, state after the step,
+    // owner of each register after the step, ⊥ as None).
+    let own = |slots: &[amx_ids::Slot], expect: [Option<usize>; 5]| {
+        let got: Vec<Option<usize>> = slots
+            .iter()
+            .map(|s| ids.iter().position(|&id| s.is_owned_by(id)))
+            .collect();
+        assert_eq!(got, expect.to_vec());
+    };
+    let expected: [(usize, S); 12] = [
+        // Steps 0–3: four snapshots of the empty memory, four identical
+        // free-slot decisions — the stale-write seed of the livelock.
+        (3, S::WriteFree { x: 0 }),
+        (2, S::WriteFree { x: 0 }),
+        (0, S::WriteFree { x: 0 }),
+        (1, S::WriteFree { x: 0 }),
+        // Step 4: p1's write lands first; register 0 is p1's.
+        (1, S::Snap),
+        // Step 5: p1 re-snapshots (owns 1 of 5, not all, view not
+        // empty) and claims the next free register.
+        (1, S::WriteFree { x: 1 }),
+        // Step 6: p0's stale write OVERWRITES p1's claim on register 0
+        // — p1 loses a register without withdrawing, p0 now owns it.
+        (0, S::Snap),
+        (0, S::WriteFree { x: 1 }),
+        // Steps 8–11: p1, snapshotting fresh each time, keeps claiming
+        // the next free slot; p2 and p3 still hold their stale
+        // WriteFree { x: 0 } decisions from the empty view.
+        (1, S::Snap),
+        (1, S::WriteFree { x: 2 }),
+        (1, S::Snap),
+        (1, S::WriteFree { x: 3 }),
+    ];
+    for (k, &(actor, ref after)) in expected.iter().enumerate() {
+        assert_eq!(actor, WITNESS[k], "annotation out of sync with witness");
+        let out = closed_loop_step(
+            &automata[actor],
+            &mut phases[actor],
+            &mut states[actor],
+            &mut mem.view(actor),
+        );
+        assert_eq!(out, Outcome::Progress, "step {k}: nothing may complete");
+        assert_eq!(&states[actor], after, "step {k}: unexpected state");
+        assert!(
+            !matches!(states[actor], S::ShrinkRead { .. } | S::ShrinkWrite { .. }),
+            "step {k}: the shrink path must never run on the way in"
+        );
+    }
+    // The SCC entry state: all four pending, p2/p3 still aiming their
+    // stale writes at register 0, registers 3 and 4 never written.
+    assert_eq!(phases, vec![Phase::Trying; 4]);
+    own(mem.slots(), [Some(0), Some(1), Some(1), None, None]);
+    assert_eq!(states[0], S::WriteFree { x: 1 });
+    assert_eq!(states[1], S::WriteFree { x: 3 });
+    assert_eq!(states[2], S::WriteFree { x: 0 });
+    assert_eq!(states[3], S::WriteFree { x: 0 });
+
+    // Two more steps inside the component: the stale writes land, and
+    // ownership of register 0 churns p0 → p2 → p3 with no process ever
+    // withdrawing — the overwrite engine that sustains the livelock.
+    let _ = closed_loop_step(
+        &automata[2],
+        &mut phases[2],
+        &mut states[2],
+        &mut mem.view(2),
+    );
+    own(mem.slots(), [Some(2), Some(1), Some(1), None, None]);
+    let _ = closed_loop_step(
+        &automata[3],
+        &mut phases[3],
+        &mut states[3],
+        &mut mem.view(3),
+    );
+    own(mem.slots(), [Some(3), Some(1), Some(1), None, None]);
+    assert_eq!(phases, vec![Phase::Trying; 4], "still nobody completes");
+}
+
+#[test]
+fn witness_replays_through_the_trace_machinery() {
+    // The same schedule through the Runner's recorded-trace path: the
+    // rendered listing is the human-readable form of the annotation
+    // above, and the summary confirms no completions of any kind.
+    let report = Runner::with_adversary(automata(), MemoryModel::Rw, 5, &Adversary::Identity)
+        .unwrap()
+        .workload(Workload::unbounded())
+        .scheduler(Scheduler::script(WITNESS.to_vec()))
+        .max_steps(WITNESS.len() as u64)
+        .record_trace()
+        .run();
+    let events = report.trace.as_ref().expect("trace was recorded");
+    assert_eq!(events.len(), WITNESS.len());
+    let scheduled: Vec<usize> = events.iter().map(|e| e.proc_index).collect();
+    assert_eq!(scheduled, WITNESS.to_vec());
+
+    let summary = summarize(events, 4);
+    assert_eq!(summary.steps_per_proc, vec![3, 7, 1, 1]);
+    assert_eq!(summary.acquisitions, vec![0; 4], "no lock ever completes");
+    assert_eq!(summary.releases, vec![0; 4]);
+
+    let listing = render(events, false);
+    assert_eq!(listing.lines().count(), WITNESS.len());
+    assert!(
+        !listing.contains("ACQUIRED") && !listing.contains("released"),
+        "completion-free prefix:\n{listing}"
+    );
+    // Every step after the first per process runs in the trying phase.
+    assert!(listing.contains("try"));
+}
