@@ -20,14 +20,22 @@
 //! the [`ClassicLock`] interface where a calling thread passes its
 //! (non-anonymous!) index — exactly the assumption anonymous algorithms
 //! must do without.
+//!
+//! Beyond the threaded locks, the [`automaton`] module re-expresses the
+//! TAS, Burns–Lynch and 2-process Peterson baselines as `amx-sim` step
+//! machines, so the exhaustive model checker certifies them with the
+//! same machinery (and the same property monitors) as the paper's
+//! anonymous algorithms — see `mc_sweep`'s baseline grid points.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod automaton;
 mod burns;
 mod peterson;
 mod simple;
 
+pub use automaton::{BurnsLynchAutomaton, PetersonTwoAutomaton, TasAutomaton};
 pub use burns::BurnsLynchLock;
 pub use peterson::PetersonTournament;
 pub use simple::{AndersonLock, TasLock, TicketLock, TtasLock};

@@ -52,6 +52,10 @@ fn main() {
             Verdict::Ok => (true, true),
             Verdict::MutualExclusionViolation { .. } => (false, true),
             Verdict::FairLivelock { .. } => (true, false),
+            // No monitors are registered in this harness.
+            Verdict::PropertyViolation { property, .. } => {
+                unreachable!("unexpected property violation: {property}")
+            }
         };
         println!(
             "  {n}  {m}   {adv_name:<15}  {canonical:>9}  {full:>7}   {}          {}",

@@ -27,36 +27,61 @@
 //!   --max-states N   canonical-state bound per point
 //!   --out PATH       where to write the JSON report (default BENCH_mc.json)
 //!   --no-progress    disable the throttled live-progress lines on stderr
+//!   --property NAME  (repeatable) attach the named `amx-props` built-in
+//!                    predicate as an on-the-fly reachability monitor to
+//!                    every grid point; hit counts land in the JSON
+//!                    (e.g. writer-collision, full-view — see
+//!                    `amx_props::predicate::by_name`)
+//!   --scc-query NAME (repeatable) attach the named predicate as an
+//!                    SCC-interior query: on every fair-livelock point,
+//!                    report whether it holds somewhere/everywhere
+//!                    inside the livelock component (with a concrete
+//!                    witness schedule when somewhere)
 //!   --baseline PATH  regression gates: fail if this sweep's wall time
 //!                    exceeds 3× the `total_wall_ms` recorded in PATH,
-//!                    or if `canonical_states` *rises* on any point of
+//!                    if `canonical_states` *rises* on any point of
 //!                    PATH this sweep also ran (a reduction-factor
 //!                    regression — canonical counts are deterministic,
-//!                    so any rise means the symmetry group shrank)
+//!                    so any rise means the symmetry group shrank), or
+//!                    if any recorded property/SCC-query outcome
+//!                    changed on a grid-matched point (property
+//!                    regression; exact, no slack)
 //!
 //! The JSON report (`BENCH_mc.json`) carries the perf trajectory the CI
 //! bench-smoke job tracks: aggregate states/second, the
 //! canonical-vs-full compression ratio, compressed-arena and seen-table
-//! bytes, fair-livelock SCC wall time, and frontier steal counts.  The
+//! bytes, fair-livelock SCC wall time, frontier steal counts — and,
+//! since the property subsystem landed, per-point mutual-exclusion
+//! verification, per-process `max_pending_depth` (longest observed
+//! wait), property-monitor hit counts and SCC-query answers.  The
 //! committed `BENCH_baseline.json` is the recorded smoke baseline the
 //! CI budget compares against.
 //!
 //! Grid notes: both grids carry the n = 4 point alg2 (4, 1); the full
 //! grid adds the alg1 (4, 5) frontier point (5.2M canonical / 122M
 //! concrete states), whose fair-livelock verdict is a tracked known
-//! deviation (see ROADMAP).  Smoke additionally runs the alg1 (3, 5)
-//! budget-anchor point so the perf gate measures above noise.
+//! deviation (see ROADMAP) — `--scc-query full-view` on that point
+//! answers the ROADMAP's withdrawal-rule question over the whole
+//! 64,504-state livelock component.  Smoke additionally runs the alg1
+//! (3, 5) budget-anchor point so the perf gate measures above noise,
+//! and the model-checked **non-anonymous baselines** (TAS, Burns–Lynch,
+//! 2-process Peterson from `amx_baselines::automaton`), which must all
+//! verify `Ok`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use amx_baselines::automaton::{BurnsLynchAutomaton, PetersonTwoAutomaton, TasAutomaton};
 use amx_core::{Alg1Automaton, Alg2Automaton, MutexSpec};
 use amx_ids::PidPool;
 use amx_numth::{is_valid_m, smallest_valid_m};
+use amx_props::obs::Observe;
+use amx_props::predicate::{by_name, StatePredicate};
+use amx_props::property::{monitor_for, scc_query_for};
 use amx_registers::orbit::adversary_orbits;
 use amx_registers::Adversary;
 use amx_sim::mc::{McProgress, McReport, ModelChecker, StateSpaceExceeded, Symmetry, Verdict};
-use amx_sim::MemoryModel;
+use amx_sim::{EncodeState, MemoryModel};
 
 #[derive(Debug, Clone, Copy)]
 struct Options {
@@ -67,9 +92,18 @@ struct Options {
     progress: bool,
 }
 
-#[derive(Debug, Clone)]
+/// Predicates attached to every grid point, parsed from `--property`
+/// (reachability monitors) and `--scc-query` (SCC-interior queries).
+#[derive(Debug, Default)]
+struct Props {
+    monitors: Vec<StatePredicate>,
+    queries: Vec<StatePredicate>,
+}
+
+#[derive(Debug)]
 struct CliArgs {
     opts: Options,
+    props: Props,
     out_path: String,
     baseline: Option<String>,
 }
@@ -82,8 +116,15 @@ fn parse_args() -> CliArgs {
         max_states: 4_000_000,
         progress: true,
     };
+    let mut props = Props::default();
     let mut out_path = "BENCH_mc.json".to_string();
     let mut baseline = None;
+    let resolve = |name: &str| {
+        by_name(name).unwrap_or_else(|| {
+            eprintln!("unknown predicate {name}; see amx_props::predicate::by_name");
+            std::process::exit(2);
+        })
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -98,6 +139,14 @@ fn parse_args() -> CliArgs {
                 let v = args.next().expect("--max-states needs a value");
                 opts.max_states = v.parse().expect("--max-states needs an integer");
             }
+            "--property" => {
+                let name = args.next().expect("--property needs a predicate name");
+                props.monitors.push(resolve(&name));
+            }
+            "--scc-query" => {
+                let name = args.next().expect("--scc-query needs a predicate name");
+                props.queries.push(resolve(&name));
+            }
             "--out" => out_path = args.next().expect("--out needs a path"),
             "--baseline" => baseline = Some(args.next().expect("--baseline needs a path")),
             other => {
@@ -111,6 +160,7 @@ fn parse_args() -> CliArgs {
     }
     CliArgs {
         opts,
+        props,
         out_path,
         baseline,
     }
@@ -118,7 +168,9 @@ fn parse_args() -> CliArgs {
 
 #[derive(Debug)]
 struct Point {
-    alg: u8,
+    /// Algorithm tag: `"1"`, `"2"`, or a model-checked baseline
+    /// (`"tas"`, `"burns"`, `"peterson"`).
+    alg: &'static str,
     n: usize,
     m: usize,
     orbit: usize,
@@ -130,28 +182,112 @@ struct Point {
     report: Result<McReport, StateSpaceExceeded>,
 }
 
-fn checker_alg1(n: usize, m: usize, adv: &Adversary, opts: Options) -> ModelChecker<Alg1Automaton> {
+/// Compiles the CLI-selected predicates onto one checker: monitors
+/// watch every stored state, queries answer over livelock components.
+fn attach_props<A>(
+    mut mc: ModelChecker<A>,
+    automata: &[A],
+    adv: &Adversary,
+    n: usize,
+    m: usize,
+    props: &Props,
+) -> ModelChecker<A>
+where
+    A: Observe + Clone + Send + Sync + 'static,
+    A::State: EncodeState + Send,
+{
+    if props.monitors.is_empty() && props.queries.is_empty() {
+        return mc;
+    }
+    let perms = adv.permutations(n, m).expect("valid adversary");
+    for p in &props.monitors {
+        mc = mc.monitor(monitor_for(p, automata, &perms, false));
+    }
+    for q in &props.queries {
+        mc = mc.scc_query(scc_query_for(q, automata, &perms));
+    }
+    mc
+}
+
+fn checker_alg1(
+    n: usize,
+    m: usize,
+    adv: &Adversary,
+    opts: Options,
+    props: &Props,
+) -> ModelChecker<Alg1Automaton> {
     let spec = MutexSpec::rw_unchecked(n, m);
     let mut pool = PidPool::sequential();
     let automata: Vec<Alg1Automaton> = (0..n)
         .map(|_| Alg1Automaton::new(spec, pool.mint()))
         .collect();
-    configure(
-        ModelChecker::with_automata(automata, MemoryModel::Rw, m, adv).expect("valid adversary"),
+    let mc = configure(
+        ModelChecker::with_automata(automata.clone(), MemoryModel::Rw, m, adv)
+            .expect("valid adversary"),
         opts,
-    )
+    );
+    attach_props(mc, &automata, adv, n, m, props)
 }
 
-fn checker_alg2(n: usize, m: usize, adv: &Adversary, opts: Options) -> ModelChecker<Alg2Automaton> {
+fn checker_alg2(
+    n: usize,
+    m: usize,
+    adv: &Adversary,
+    opts: Options,
+    props: &Props,
+) -> ModelChecker<Alg2Automaton> {
     let spec = MutexSpec::rmw_unchecked(n, m);
     let mut pool = PidPool::sequential();
     let automata: Vec<Alg2Automaton> = (0..n)
         .map(|_| Alg2Automaton::new(spec, pool.mint()))
         .collect();
-    configure(
-        ModelChecker::with_automata(automata, MemoryModel::Rmw, m, adv).expect("valid adversary"),
+    let mc = configure(
+        ModelChecker::with_automata(automata.clone(), MemoryModel::Rmw, m, adv)
+            .expect("valid adversary"),
         opts,
-    )
+    );
+    attach_props(mc, &automata, adv, n, m, props)
+}
+
+fn checker_tas(n: usize, opts: Options, props: &Props) -> ModelChecker<TasAutomaton> {
+    let mut pool = PidPool::sequential();
+    let automata: Vec<TasAutomaton> = (0..n).map(|_| TasAutomaton::new(pool.mint())).collect();
+    let adv = Adversary::Identity;
+    let mc = configure(
+        ModelChecker::with_automata(automata.clone(), MemoryModel::Rmw, 1, &adv)
+            .expect("identity adversary"),
+        opts,
+    );
+    attach_props(mc, &automata, &adv, n, 1, props)
+}
+
+fn checker_burns(n: usize, opts: Options, props: &Props) -> ModelChecker<BurnsLynchAutomaton> {
+    let mut pool = PidPool::sequential();
+    let automata: Vec<BurnsLynchAutomaton> = (0..n)
+        .map(|i| BurnsLynchAutomaton::new(pool.mint(), i, n))
+        .collect();
+    let adv = Adversary::Identity;
+    let mc = configure(
+        ModelChecker::with_automata(automata.clone(), MemoryModel::Rw, n, &adv)
+            .expect("identity adversary"),
+        opts,
+    );
+    attach_props(mc, &automata, &adv, n, n, props)
+}
+
+fn checker_peterson(opts: Options, props: &Props) -> ModelChecker<PetersonTwoAutomaton> {
+    let mut pool = PidPool::sequential();
+    let automata = vec![
+        PetersonTwoAutomaton::new(pool.mint(), 0),
+        PetersonTwoAutomaton::new(pool.mint(), 1),
+    ];
+    let adv = Adversary::Identity;
+    let mc = configure(
+        ModelChecker::with_automata(automata.clone(), MemoryModel::Rw, 3, &adv)
+            .expect("identity adversary"),
+        opts,
+    );
+    attach_props(mc, &automata, &adv, 2, 3, props)
 }
 
 fn configure<A: amx_sim::Automaton>(mut mc: ModelChecker<A>, opts: Options) -> ModelChecker<A> {
@@ -191,6 +327,7 @@ fn verdict_tag(r: &Result<McReport, StateSpaceExceeded>) -> &'static str {
             Verdict::Ok => "ok",
             Verdict::MutualExclusionViolation { .. } => "mutex-violation",
             Verdict::FairLivelock { .. } => "fair-livelock",
+            Verdict::PropertyViolation { .. } => "property-violation",
         },
         Err(_) => "state-bound-exceeded",
     }
@@ -198,8 +335,8 @@ fn verdict_tag(r: &Result<McReport, StateSpaceExceeded>) -> &'static str {
 
 fn print_point(p: &Point) {
     let head = format!(
-        "  alg{}  n={} m={} ({})  orbit {:>3} {:<8}",
-        p.alg,
+        "  {:<11} n={} m={} ({})  orbit {:>3} {:<8}",
+        format!("alg{}", p.alg),
         p.n,
         p.m,
         if p.valid_m { "valid  " } else { "invalid" },
@@ -220,6 +357,36 @@ fn print_point(p: &Point) {
                 rep.arena_bytes as f64 / rep.canonical_states.max(1) as f64,
                 rep.scc_wall_time.as_secs_f64(),
             );
+            for mon in &rep.monitors {
+                println!(
+                    "        property {:<32} {}",
+                    mon.name,
+                    if mon.hit_somewhere() {
+                        format!("hit on {} states", mon.hit_states)
+                    } else {
+                        "never hit".to_string()
+                    }
+                );
+            }
+            for q in &rep.scc_queries {
+                println!(
+                    "        scc-query {:<31} {} ({}/{} states{})",
+                    q.name,
+                    if q.holds_everywhere {
+                        "EVERYWHERE"
+                    } else if q.holds_somewhere {
+                        "somewhere"
+                    } else {
+                        "ABSENT"
+                    },
+                    q.hit_states,
+                    q.states_examined,
+                    q.witness_schedule
+                        .as_ref()
+                        .map(|s| format!(", witness {s:?}"))
+                        .unwrap_or_default(),
+                );
+            }
         }
         Err(e) => println!("{head}  {e}"),
     }
@@ -228,6 +395,7 @@ fn print_point(p: &Point) {
 fn main() {
     let CliArgs {
         opts,
+        props,
         out_path,
         baseline,
     } = parse_args();
@@ -255,9 +423,9 @@ fn main() {
     };
     for &(n, m) in &alg1_grid {
         for (oi, adv) in adversary_orbits(n, m).iter().enumerate() {
-            let report = checker_alg1(n, m, adv, opts).run();
+            let report = checker_alg1(n, m, adv, opts, &props).run();
             points.push(Point {
-                alg: 1,
+                alg: "1",
                 n,
                 m,
                 orbit: oi,
@@ -273,9 +441,9 @@ fn main() {
     // the sweep target); the valid-m grids above run ALL orbits.
     println!("  (invalid-m control: first 3 of 17 orbits at alg1 n=2 m=4)");
     for (oi, adv) in adversary_orbits(2, 4).iter().enumerate().take(3) {
-        let report = checker_alg1(2, 4, adv, opts).run();
+        let report = checker_alg1(2, 4, adv, opts, &props).run();
         points.push(Point {
-            alg: 1,
+            alg: "1",
             n: 2,
             m: 4,
             orbit: oi,
@@ -300,9 +468,9 @@ fn main() {
     };
     for &(n, m) in &alg2_grid {
         for (oi, adv) in adversary_orbits(n, m).iter().enumerate() {
-            let report = checker_alg2(n, m, adv, opts).run();
+            let report = checker_alg2(n, m, adv, opts, &props).run();
             points.push(Point {
-                alg: 2,
+                alg: "2",
                 n,
                 m,
                 orbit: oi,
@@ -314,6 +482,57 @@ fn main() {
         }
     }
 
+    // Model-checked non-anonymous baselines (amx_baselines::automaton):
+    // the comparators are now *verified*, not just stress-tested — TAS
+    // ("simple"), Burns–Lynch (the m ≥ n lower-bound-matching RW lock)
+    // and 2-process Peterson, all expected Ok.  They ride in both grids
+    // (all finish in milliseconds) so mutual exclusion is machine-checked
+    // for every comparator the bench tables quote.
+    println!("\nnon-anonymous baselines (model-checked):");
+    for (n, report) in [
+        (2usize, checker_tas(2, opts, &props).run()),
+        (3, checker_tas(3, opts, &props).run()),
+    ] {
+        points.push(Point {
+            alg: "tas",
+            n,
+            m: 1,
+            orbit: 0,
+            adv: "identity",
+            valid_m: true,
+            report,
+        });
+        print_point(points.last().expect("just pushed"));
+    }
+    for (n, report) in [
+        (2usize, checker_burns(2, opts, &props).run()),
+        (3, checker_burns(3, opts, &props).run()),
+    ] {
+        points.push(Point {
+            alg: "burns",
+            n,
+            m: n,
+            orbit: 0,
+            adv: "identity",
+            valid_m: true,
+            report,
+        });
+        print_point(points.last().expect("just pushed"));
+    }
+    {
+        let report = checker_peterson(opts, &props).run();
+        points.push(Point {
+            alg: "peterson",
+            n: 2,
+            m: 3,
+            orbit: 0,
+            adv: "identity",
+            valid_m: true,
+            report,
+        });
+        print_point(points.last().expect("just pushed"));
+    }
+
     // Rotation/ring showcases: orbits whose permutations are pairwise
     // distinct, so the old process-only reduction stored every concrete
     // state (canonical ≈ full) while the wreath group is the cyclic Z_3
@@ -323,8 +542,8 @@ fn main() {
     println!("\nrotation/ring orbits (wreath-reduction showcases):");
     let rot3 = Adversary::Rotations { stride: 1 };
     for (alg, report) in [
-        (1u8, checker_alg1(3, 3, &rot3, opts).run()),
-        (2u8, checker_alg2(3, 3, &rot3, opts).run()),
+        ("1", checker_alg1(3, 3, &rot3, opts, &props).run()),
+        ("2", checker_alg2(3, 3, &rot3, opts, &props).run()),
     ] {
         points.push(Point {
             alg,
@@ -348,9 +567,9 @@ fn main() {
             max_states: opts.max_states.max(2_000_000),
             ..opts
         };
-        let report = checker_alg1(3, 5, &ring5, ring_opts).run();
+        let report = checker_alg1(3, 5, &ring5, ring_opts, &props).run();
         points.push(Point {
-            alg: 1,
+            alg: "1",
             n: 3,
             m: 5,
             orbit: 0,
@@ -371,9 +590,9 @@ fn main() {
             max_states: opts.max_states.max(2_000_000),
             ..opts
         };
-        let report = checker_alg1(3, 5, &Adversary::Identity, anchor_opts).run();
+        let report = checker_alg1(3, 5, &Adversary::Identity, anchor_opts, &props).run();
         points.push(Point {
-            alg: 1,
+            alg: "1",
             n: 3,
             m: 5,
             orbit: 0,
@@ -394,9 +613,9 @@ fn main() {
             max_states: opts.max_states.max(8_000_000),
             ..opts
         };
-        let report = checker_alg1(4, 5, &Adversary::Identity, n4_opts).run();
+        let report = checker_alg1(4, 5, &Adversary::Identity, n4_opts, &props).run();
         points.push(Point {
-            alg: 1,
+            alg: "1",
             n: 4,
             m: 5,
             orbit: 0,
@@ -420,9 +639,9 @@ fn main() {
             max_states: opts.max_states.max(8_000_000),
             ..opts
         };
-        let report = checker_alg2(3, 5, &Adversary::Identity, deep_opts).run();
+        let report = checker_alg2(3, 5, &Adversary::Identity, deep_opts, &props).run();
         points.push(Point {
-            alg: 2,
+            alg: "2",
             n: 3,
             m: 5,
             orbit: 0,
@@ -453,14 +672,14 @@ fn main() {
             );
         }
         if let Ok(rep) = &p.report {
-            let expected_livelock = !p.valid_m || (p.alg == 1 && p.m < p.n);
+            let expected_livelock = !p.valid_m || (p.alg == "1" && p.m < p.n);
             // Known deviation, under investigation (see ROADMAP):
             // Algorithm 1's deterministic free-slot refinement admits a
             // fair livelock at (n = 4, m = 5) even though 5 ∈ M(4) —
             // found by this engine's first n = 4 sweep and confirmed by
             // the independent PR 2 engine (identical canonical and
             // concrete state counts, same verdict).
-            let known_deviation = p.alg == 1 && p.n == 4 && p.m == 5;
+            let known_deviation = p.alg == "1" && p.n == 4 && p.m == 5;
             match (&rep.verdict, expected_livelock) {
                 (Verdict::Ok, false) | (Verdict::FairLivelock { .. }, true) => {}
                 (Verdict::FairLivelock { .. }, false) if known_deviation => {
@@ -509,19 +728,60 @@ fn main() {
         // point (thread-count independent), so on any point both the
         // baseline and this sweep ran, a *rise* means the symmetry
         // group got weaker — fail exactly, no slack.
-        let baseline_points = extract_point_canon(&text);
+        let baseline_points = extract_points(&text);
         let mut matched = 0usize;
+        let mut prop_matched = 0usize;
         let mut regressed = false;
         for p in &points {
             let Ok(rep) = &p.report else { continue };
             let key = point_key(p.alg, p.n, p.m, p.orbit, p.adv);
-            if let Some((_, base)) = baseline_points.iter().find(|(k, _)| *k == key) {
-                matched += 1;
-                if rep.canonical_states as u64 > *base {
+            let Some(base) = baseline_points.iter().find(|b| b.key == key) else {
+                continue;
+            };
+            matched += 1;
+            if rep.canonical_states as u64 > base.canonical_states {
+                eprintln!(
+                    "REDUCTION REGRESSION: {key} stores {} canonical states, \
+                     baseline {path} recorded {}",
+                    rep.canonical_states, base.canonical_states
+                );
+                regressed = true;
+            }
+            // Property gate: monitor hit counts and SCC-query verdicts
+            // are exact and deterministic; any change on a recorded
+            // point is a property regression — fail with no slack.
+            // Only names recorded in BOTH reports are compared, so
+            // adding or dropping --property flags does not trip it.
+            for (name, base_hits) in &base.properties {
+                let Some(mon) = rep.monitors.iter().find(|m| &m.name == name) else {
+                    continue;
+                };
+                prop_matched += 1;
+                if mon.hit_states as u64 != *base_hits {
                     eprintln!(
-                        "REDUCTION REGRESSION: {key} stores {} canonical states, \
-                         baseline {path} recorded {base}",
-                        rep.canonical_states
+                        "PROPERTY REGRESSION: {key} property {name} hit {} states, \
+                         baseline {path} recorded {base_hits}",
+                        mon.hit_states
+                    );
+                    regressed = true;
+                }
+            }
+            for (name, base_verdict) in &base.scc_queries {
+                let Some(q) = rep.scc_queries.iter().find(|q| &q.name == name) else {
+                    continue;
+                };
+                prop_matched += 1;
+                let verdict = if q.holds_everywhere {
+                    "everywhere"
+                } else if q.holds_somewhere {
+                    "somewhere"
+                } else {
+                    "absent"
+                };
+                if verdict != base_verdict {
+                    eprintln!(
+                        "PROPERTY REGRESSION: {key} scc-query {name} is now \"{verdict}\", \
+                         baseline {path} recorded \"{base_verdict}\""
                     );
                     regressed = true;
                 }
@@ -530,7 +790,10 @@ fn main() {
         if regressed {
             std::process::exit(1);
         }
-        println!("reduction gate: canonical_states no worse on {matched} grid-matched points");
+        println!(
+            "reduction gate: canonical_states no worse on {matched} grid-matched points; \
+             property gate: {prop_matched} recorded outcomes unchanged"
+        );
 
         let budget_ms = 3.0 * extract_total_wall_ms(&text).expect("baseline lacks total_wall_ms");
         let actual_ms: f64 = points
@@ -550,14 +813,46 @@ fn main() {
 }
 
 /// Stable identity of a grid point across sweeps, for baseline matching.
-fn point_key(alg: u8, n: usize, m: usize, orbit: usize, adv: &str) -> String {
+fn point_key(alg: &str, n: usize, m: usize, orbit: usize, adv: &str) -> String {
     format!("alg{alg} n={n} m={m} orbit={orbit} adv={adv}")
 }
 
-/// Pulls `(point key, canonical_states)` pairs out of a previously
-/// written report (hand-rolled like the writer: no serde dep; each
-/// point is one line of the JSON body).
-fn extract_point_canon(json: &str) -> Vec<(String, u64)> {
+/// One baseline point's recorded facts the regression gates compare.
+#[derive(Debug, Clone)]
+struct BaselinePoint {
+    key: String,
+    canonical_states: u64,
+    /// `"name" → hit count` pairs from the `properties` object.
+    properties: Vec<(String, u64)>,
+    /// `"name" → verdict` pairs from the `scc_queries` object.
+    scc_queries: Vec<(String, String)>,
+}
+
+/// Extracts a `"key": { ... }` object's flat entries off a point line.
+fn extract_object(line: &str, key: &str) -> Vec<(String, String)> {
+    let Some(at) = line.find(&format!("\"{key}\": {{")) else {
+        return Vec::new();
+    };
+    let rest = &line[at + key.len() + 5..];
+    let Some(end) = rest.find('}') else {
+        return Vec::new();
+    };
+    rest[..end]
+        .split(',')
+        .filter_map(|entry| {
+            let (k, v) = entry.split_once(':')?;
+            Some((
+                k.trim().trim_matches('"').to_string(),
+                v.trim().trim_matches('"').to_string(),
+            ))
+        })
+        .collect()
+}
+
+/// Pulls the recorded points out of a previously written report
+/// (hand-rolled like the writer: no serde dep; each point is one line
+/// of the JSON body).
+fn extract_points(json: &str) -> Vec<BaselinePoint> {
     let mut out = Vec::new();
     for line in json.lines() {
         if !line.trim_start().starts_with("{\"alg\":") {
@@ -572,23 +867,29 @@ fn extract_point_canon(json: &str) -> Vec<(String, u64)> {
                 .unwrap_or(rest.len());
             rest[..end].parse().ok()
         };
-        let adv = (|| {
-            let at = line.find("\"adv\": \"")? + "\"adv\": \"".len();
+        let string = |key: &str| -> Option<&str> {
+            let k = format!("\"{key}\": \"");
+            let at = line.find(&k)? + k.len();
             let rest = &line[at..];
             Some(&rest[..rest.find('"')?])
-        })()
-        .unwrap_or("orbit");
+        };
+        let adv = string("adv").unwrap_or("orbit");
         if let (Some(alg), Some(n), Some(m), Some(orbit), Some(canon)) = (
-            num("alg"),
+            string("alg"),
             num("n"),
             num("m"),
             num("orbit"),
             num("canonical_states"),
         ) {
-            out.push((
-                point_key(alg as u8, n as usize, m as usize, orbit as usize, adv),
-                canon,
-            ));
+            out.push(BaselinePoint {
+                key: point_key(alg, n as usize, m as usize, orbit as usize, adv),
+                canonical_states: canon,
+                properties: extract_object(line, "properties")
+                    .into_iter()
+                    .filter_map(|(k, v)| Some((k, v.parse().ok()?)))
+                    .collect(),
+                scc_queries: extract_object(line, "scc_queries"),
+            });
         }
     }
     out
@@ -620,7 +921,7 @@ fn render_json(points: &[Point], opts: Options) -> String {
         }
         let _ = write!(
             body,
-            "\n    {{\"alg\": {}, \"n\": {}, \"m\": {}, \"orbit\": {}, \"adv\": \"{}\", \
+            "\n    {{\"alg\": \"{}\", \"n\": {}, \"m\": {}, \"orbit\": {}, \"adv\": \"{}\", \
              \"valid_m\": {}, \"verdict\": \"{}\"",
             p.alg,
             p.n,
@@ -640,7 +941,7 @@ fn render_json(points: &[Point], opts: Options) -> String {
                 ", \"canonical_states\": {}, \"full_states\": {}, \"transitions\": {}, \
                  \"peak_frontier\": {}, \"arena_bytes\": {}, \"arena_bytes_per_state\": {:.2}, \
                  \"seen_table_bytes\": {}, \"wall_ms\": {:.3}, \"scc_wall_ms\": {:.3}, \
-                 \"steal_count\": {}, \"states_per_sec\": {:.0}",
+                 \"steal_count\": {}, \"states_per_sec\": {:.0}, \"mutual_exclusion\": {}",
                 rep.canonical_states,
                 rep.full_states_estimate,
                 rep.transitions,
@@ -652,7 +953,48 @@ fn render_json(points: &[Point], opts: Options) -> String {
                 rep.scc_wall_time.as_secs_f64() * 1e3,
                 rep.steal_count,
                 rep.canonical_states as f64 / rep.wall_time.as_secs_f64().max(1e-9),
+                !matches!(rep.verdict, Verdict::MutualExclusionViolation { .. }),
             );
+            // Per-process longest observed wait (quantitative
+            // starvation data; canonical positions under reduction).
+            let depths: Vec<String> = rep
+                .max_pending_depth
+                .iter()
+                .map(ToString::to_string)
+                .collect();
+            let _ = write!(body, ", \"max_pending_depth\": [{}]", depths.join(", "));
+            // Property-monitor hit counts (deterministic: canonical
+            // states are) — the object the --baseline property gate
+            // compares exactly.
+            if !rep.monitors.is_empty() {
+                let entries: Vec<String> = rep
+                    .monitors
+                    .iter()
+                    .map(|m| format!("\"{}\": {}", m.name, m.hit_states))
+                    .collect();
+                let _ = write!(body, ", \"properties\": {{{}}}", entries.join(", "));
+            }
+            // SCC-query verdicts over the livelock component.
+            if !rep.scc_queries.is_empty() {
+                let entries: Vec<String> = rep
+                    .scc_queries
+                    .iter()
+                    .map(|q| {
+                        format!(
+                            "\"{}\": \"{}\"",
+                            q.name,
+                            if q.holds_everywhere {
+                                "everywhere"
+                            } else if q.holds_somewhere {
+                                "somewhere"
+                            } else {
+                                "absent"
+                            }
+                        )
+                    })
+                    .collect();
+                let _ = write!(body, ", \"scc_queries\": {{{}}}", entries.join(", "));
+            }
         }
         body.push('}');
     }

