@@ -25,7 +25,12 @@
 //! TAS, Burns–Lynch and 2-process Peterson baselines as `amx-sim` step
 //! machines, so the exhaustive model checker certifies them with the
 //! same machinery (and the same property monitors) as the paper's
-//! anonymous algorithms — see `mc_sweep`'s baseline grid points.
+//! anonymous algorithms — see `mc_sweep`'s baseline grid points.  The
+//! [`threaded`] module then drives those certified step machines over
+//! real atomic registers behind the unified `amx_core::lock::AmxLock`
+//! API ([`TasStepLock`], [`BurnsStepLock`], [`PetersonTreeLock`]), so
+//! the contention rig measures baselines and anonymous algorithms
+//! through one trait object.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,11 +39,13 @@ pub mod automaton;
 mod burns;
 mod peterson;
 mod simple;
+pub mod threaded;
 
 pub use automaton::{BurnsLynchAutomaton, PetersonTwoAutomaton, TasAutomaton};
 pub use burns::BurnsLynchLock;
 pub use peterson::PetersonTournament;
 pub use simple::{AndersonLock, TasLock, TicketLock, TtasLock};
+pub use threaded::{BurnsStepLock, PetersonTreeLock, TasStepLock};
 
 /// A blocking lock whose callers identify themselves with a dense thread
 /// index `0..n` fixed at construction time.

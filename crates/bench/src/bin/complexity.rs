@@ -67,7 +67,7 @@ fn main() {
         let lock = RwAnonLock::new(spec);
         let participants = lock.participants(&Adversary::Random(9)).expect("adv");
         let counters: Vec<_> = participants.iter().map(|p| p.counters().clone()).collect();
-        let out = amx_bench::run_rw_participants(participants, iters);
+        let out = amx_bench::run_participants(participants, iters);
         assert_eq!(out.violations, 0);
         let agg = aggregate(&counters);
         let costs = EntryCosts::summarize(&agg, out.total_entries);
@@ -84,7 +84,7 @@ fn main() {
         let lock = RmwAnonLock::new(spec);
         let participants = lock.participants(&Adversary::Random(9)).expect("adv");
         let counters: Vec<_> = participants.iter().map(|p| p.counters().clone()).collect();
-        let out = amx_bench::run_rmw_participants(participants, iters);
+        let out = amx_bench::run_participants(participants, iters);
         assert_eq!(out.violations, 0);
         let agg = aggregate(&counters);
         let costs = EntryCosts::summarize(&agg, out.total_entries);

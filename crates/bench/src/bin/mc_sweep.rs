@@ -1000,6 +1000,7 @@ fn render_json(points: &[Point], opts: Options) -> String {
     }
     format!(
         "{{\n  \"bench\": \"mc_sweep\",\n  \"smoke\": {},\n  \"deep\": {},\n  \"threads\": {},\n  \
+         \"available_parallelism\": {},\n  \
          \"max_states\": {},\n  \"points\": [{}\n  ],\n  \"totals\": {{\n    \
          \"canonical_states\": {},\n    \"full_states\": {},\n    \
          \"canonical_vs_full\": {:.4},\n    \"states_per_sec\": {:.0},\n    \
@@ -1013,6 +1014,9 @@ fn render_json(points: &[Point], opts: Options) -> String {
             .iter()
             .find_map(|p| p.report.as_ref().ok().map(|r| r.threads))
             .unwrap_or(1),
+        // Disambiguates "steal_count: 0 because 1-core container" from
+        // "steal_count: 0 because the work-stealing frontier regressed".
+        std::thread::available_parallelism().map_or(1, |p| p.get()),
         opts.max_states,
         body,
         total_canon,

@@ -11,6 +11,7 @@
 //! | Theorem 5 construction | `cargo run -p amx-bench --bin theorem5` |
 //! | §I-C / §VII complexity contrast | `cargo run -p amx-bench --bin complexity` |
 //! | All-adversary orbit sweep (symmetry-reduced model checker) | `cargo run -p amx-bench --bin mc_sweep` |
+//! | Multicore lock contention rig (all 5 families, one `AmxLock` path) | `cargo run -p amx-bench --bin lock_bench` |
 //!
 //! plus criterion benches `alg_throughput`, `baseline_comparison`,
 //! `snapshot_cost`, `entry_cost` and `mc_cost`.
@@ -21,6 +22,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use amx_core::lock::{BuildLock, Participant};
 use amx_core::{MutexSpec, RmwAnonLock, RwAnonLock};
 use amx_registers::Adversary;
 
@@ -51,8 +53,8 @@ impl StressOutcome {
 /// Panics on adversary materialization failure.
 #[must_use]
 pub fn stress_rw(spec: MutexSpec, adversary: &Adversary, iters: u64) -> StressOutcome {
-    let participants = RwAnonLock::create(spec, adversary).expect("valid adversary");
-    run_rw_participants(participants, iters)
+    let participants = RwAnonLock::with_participants(spec, adversary).expect("valid adversary");
+    run_participants(participants, iters)
 }
 
 /// Runs `iters` lock/unlock cycles per thread on Algorithm 2 (threaded).
@@ -62,40 +64,16 @@ pub fn stress_rw(spec: MutexSpec, adversary: &Adversary, iters: u64) -> StressOu
 /// Panics on adversary materialization failure.
 #[must_use]
 pub fn stress_rmw(spec: MutexSpec, adversary: &Adversary, iters: u64) -> StressOutcome {
-    let participants = RmwAnonLock::create(spec, adversary).expect("valid adversary");
-    run_rmw_participants(participants, iters)
+    let participants = RmwAnonLock::with_participants(spec, adversary).expect("valid adversary");
+    run_participants(participants, iters)
 }
 
-/// Runs caller-supplied Algorithm 1 participants (so the caller keeps
-/// their operation counters).
+/// Runs caller-supplied participants of *any* lock family — one thread
+/// each, `iters` lock/unlock cycles per thread — so the caller keeps
+/// their operation counters.  Mutual exclusion is watched by an in-CS
+/// overlap detector.
 #[must_use]
-pub fn run_rw_participants(
-    participants: Vec<amx_core::RwParticipant>,
-    iters: u64,
-) -> StressOutcome {
-    run_stress(participants, iters, |p, f| {
-        let _g = p.lock();
-        f();
-    })
-}
-
-/// Runs caller-supplied Algorithm 2 participants.
-#[must_use]
-pub fn run_rmw_participants(
-    participants: Vec<amx_core::RmwParticipant>,
-    iters: u64,
-) -> StressOutcome {
-    run_stress(participants, iters, |p, f| {
-        let _g = p.lock();
-        f();
-    })
-}
-
-fn run_stress<P: Send>(
-    participants: Vec<P>,
-    iters: u64,
-    mut cycle: impl FnMut(&mut P, &mut dyn FnMut()) + Send + Copy,
-) -> StressOutcome {
+pub fn run_participants(participants: Vec<Participant>, iters: u64) -> StressOutcome {
     let in_cs = AtomicU64::new(0);
     let violations = AtomicU64::new(0);
     let entries = AtomicU64::new(0);
@@ -105,13 +83,12 @@ fn run_stress<P: Send>(
             let (in_cs, violations, entries) = (&in_cs, &violations, &entries);
             s.spawn(move || {
                 for _ in 0..iters {
-                    cycle(&mut p, &mut || {
-                        if in_cs.fetch_add(1, Ordering::SeqCst) != 0 {
-                            violations.fetch_add(1, Ordering::SeqCst);
-                        }
-                        entries.fetch_add(1, Ordering::Relaxed);
-                        in_cs.fetch_sub(1, Ordering::SeqCst);
-                    });
+                    let _g = p.lock();
+                    if in_cs.fetch_add(1, Ordering::SeqCst) != 0 {
+                        violations.fetch_add(1, Ordering::SeqCst);
+                    }
+                    entries.fetch_add(1, Ordering::Relaxed);
+                    in_cs.fetch_sub(1, Ordering::SeqCst);
                 }
             });
         }

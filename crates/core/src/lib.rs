@@ -31,11 +31,14 @@
 //!   runs, exhaustive model checking, lock-step adversaries), and
 //! * a **threaded lock** ([`threaded::RwAnonLock`],
 //!   [`threaded::RmwAnonLock`]) that drives the same automaton over the
-//!   real atomic arrays of `amx-registers`, with RAII guards.
+//!   real atomic arrays of `amx-registers`, behind the unified
+//!   [`lock::AmxLock`] API (`Send` [`lock::Participant`] handles, RAII
+//!   [`lock::Guard`]s, poisoning on critical-section panic).
 //!
 //! # Quickstart
 //!
 //! ```
+//! use amx_core::lock::BuildLock;
 //! use amx_core::spec::MutexSpec;
 //! use amx_core::threaded::RwAnonLock;
 //! use amx_registers::Adversary;
@@ -43,7 +46,7 @@
 //!
 //! // 3 processes need m = 5 anonymous RW registers (smallest valid size).
 //! let spec = MutexSpec::smallest_rw(3)?;
-//! let participants = RwAnonLock::create(spec, &Adversary::Random(42))?;
+//! let participants = RwAnonLock::with_participants(spec, &Adversary::Random(42))?;
 //!
 //! let counter = AtomicU64::new(0);
 //! std::thread::scope(|s| {
@@ -69,6 +72,7 @@ pub mod adapter;
 pub mod alg1;
 pub mod alg2;
 mod bits;
+pub mod lock;
 pub mod metrics;
 pub mod policy;
 pub mod spec;
@@ -76,6 +80,7 @@ pub mod threaded;
 
 pub use alg1::Alg1Automaton;
 pub use alg2::Alg2Automaton;
+pub use lock::{AmxLock, BuildLock, Guard, Participant, RawEndpoint};
 pub use policy::FreeSlotPolicy;
 pub use spec::{MutexSpec, SpecError};
-pub use threaded::{RmwAnonLock, RmwParticipant, RwAnonLock, RwParticipant};
+pub use threaded::{RmwAnonLock, RwAnonLock};

@@ -1,0 +1,337 @@
+//! The unified locking API every lock family in this workspace sits
+//! behind.
+//!
+//! An [`AmxLock`] is a *shared lock object*: it owns the register array
+//! (behind an `Arc`, so the object is cheaply clonable) and mints one
+//! [`Participant`] per process.  Participants are `Send` handles — move
+//! each into the thread that plays its process.  All acquisition styles
+//! live on the handle and every one of them returns the same RAII
+//! [`Guard`]:
+//!
+//! * [`Participant::lock`] — spin until acquired;
+//! * [`Participant::try_lock`] — one bounded attempt, withdrawing
+//!   cleanly on failure;
+//! * [`Participant::try_lock_for`] — keep trying until a wall-clock
+//!   deadline, withdrawing on timeout;
+//! * [`Participant::try_lock_steps`] — the low-level bounded probe that
+//!   leaves the competition *pending* on failure (resume with `lock`,
+//!   leave with [`Participant::withdraw`]).
+//!
+//! Dropping the guard is the one and only unlock path; every unlock
+//! protocol in the workspace is wait-free, so the destructor cannot
+//! block indefinitely — which is also why it is safe to run during
+//! unwinding.  If a guard is dropped *because its holder panicked*, the
+//! lock is marked **poisoned**: the critical section may have been left
+//! half-done.  Poisoning here is advisory (the next `lock()` still
+//! succeeds — deadlock-freedom is the whole point of the paper) and is
+//! observable through [`Guard::poisoned`], [`Participant::is_poisoned`]
+//! and [`AmxLock::is_poisoned`]; clear it with [`AmxLock::clear_poison`].
+//!
+//! Lock families implement the trait by wrapping a [`RawEndpoint`] — the
+//! minimal per-process driver SPI — so harnesses like the contention rig
+//! drive Algorithm 1, Algorithm 2, TAS, Burns–Lynch and Peterson through
+//! one `Box<dyn AmxLock>` with zero per-family code.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use amx_ids::Pid;
+use amx_registers::adversary::AdversaryError;
+use amx_registers::{Adversary, OpCounters};
+
+use crate::policy::FreeSlotPolicy;
+use crate::spec::MutexSpec;
+
+/// Steps granted to a single [`Participant::try_lock`] attempt — ample
+/// for any *uncontended* acquisition in the workspace (the costliest,
+/// Algorithm 1, needs `Θ(m²)` reads with `m ≤ 64`).
+const TRY_LOCK_STEPS: u64 = 65_536;
+
+/// Steps run between deadline checks in [`Participant::try_lock_for`].
+const TRY_SLICE_STEPS: u64 = 128;
+
+/// A shared lock object: the register array plus the recipe for minting
+/// per-process [`Participant`] handles.
+///
+/// The trait is object safe — the contention rig holds a
+/// `Box<dyn AmxLock>` per family and never branches on the family.
+pub trait AmxLock: Send + Sync + fmt::Debug {
+    /// Short machine-readable family name (`"alg1"`, `"alg2"`, `"tas"`,
+    /// `"burns-lynch"`, `"peterson"`), used as the key in bench reports.
+    fn family(&self) -> &'static str;
+
+    /// The validated `(n, m, model)` configuration of this lock.
+    fn spec(&self) -> MutexSpec;
+
+    /// Mints one `Send` [`Participant`] handle per process, with fresh
+    /// identities and — for the anonymous families — register-name
+    /// permutations drawn from `adversary`.  Non-anonymous baselines
+    /// document that they ignore the adversary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates adversary materialization failures.
+    fn participants(&self, adversary: &Adversary) -> Result<Vec<Participant>, AdversaryError>;
+
+    /// Whether some holder panicked inside a critical section since the
+    /// last [`clear_poison`](Self::clear_poison).
+    fn is_poisoned(&self) -> bool;
+
+    /// Clears the poison flag after the caller has repaired (or decided
+    /// to ignore) whatever the panicking holder left behind.
+    fn clear_poison(&self);
+}
+
+/// Uniform constructor surface shared by every [`AmxLock`] implementor:
+/// one generic `with_participants(spec, &adversary)` entry point
+/// replacing the per-family `create` associated functions.
+pub trait BuildLock: AmxLock + Sized {
+    /// Builds the shared lock object for `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` does not fit the family (wrong memory model or a
+    /// register count the family cannot use).
+    fn from_spec(spec: MutexSpec) -> Self;
+
+    /// One-call setup: build the lock object for `spec` and mint one
+    /// participant per process.  The lock object itself is dropped; the
+    /// participants keep the shared registers alive through their `Arc`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates adversary materialization failures.
+    fn with_participants(
+        spec: MutexSpec,
+        adversary: &Adversary,
+    ) -> Result<Vec<Participant>, AdversaryError> {
+        Self::from_spec(spec).participants(adversary)
+    }
+}
+
+/// The per-process driver SPI a lock family implements so [`Participant`]
+/// can wrap it.
+///
+/// Implementations drive a step machine (an [`amx_sim::automaton::Automaton`])
+/// against real atomic registers; `Participant` layers entry accounting,
+/// poisoning and the RAII guard on top.  One step ≙ one shared-memory
+/// operation, so the step bounds of `try_acquire` are operation bounds.
+pub trait RawEndpoint: Send + fmt::Debug {
+    /// The (symmetric) identity this endpoint writes into registers.
+    fn pid(&self) -> Pid;
+
+    /// Cumulative shared-memory operation counters for this endpoint.
+    fn counters(&self) -> &OpCounters;
+
+    /// Runs the entry protocol to completion (spinning as needed).
+    /// Resumes a competition left pending by a failed `try_acquire`.
+    fn acquire(&mut self);
+
+    /// Runs at most `max_steps` entry-protocol steps; returns whether
+    /// the lock was acquired.  On `false` the process is **still
+    /// competing** (it may own registers) — callers either resume with
+    /// `acquire` or leave with `abandon`.
+    fn try_acquire(&mut self, max_steps: u64) -> bool;
+
+    /// Runs the (wait-free) exit protocol to completion.
+    fn release(&mut self);
+
+    /// Cleanly leaves a pending competition, erasing every claim this
+    /// process still holds in shared memory.
+    fn abandon(&mut self);
+
+    /// Installs a free-register selection policy, where the family has
+    /// one (Algorithm 1's line-6 choice).  Default: no-op.
+    fn set_policy(&mut self, policy: FreeSlotPolicy) {
+        let _ = policy;
+    }
+}
+
+/// One process's `Send` endpoint of an [`AmxLock`].  Move it into the
+/// thread that plays this process; every acquisition method returns the
+/// RAII [`Guard`] whose drop is the single unlock path.
+#[derive(Debug)]
+pub struct Participant {
+    raw: Box<dyn RawEndpoint>,
+    family: &'static str,
+    spec: MutexSpec,
+    poison: Arc<AtomicBool>,
+    entries: u64,
+}
+
+impl Participant {
+    /// Wraps a family's [`RawEndpoint`] driver.  `poison` is the flag
+    /// shared with the minting lock object (and all sibling
+    /// participants).
+    ///
+    /// This is the SPI constructor for lock families; applications get
+    /// participants from [`AmxLock::participants`].
+    #[must_use]
+    pub fn from_raw(
+        family: &'static str,
+        spec: MutexSpec,
+        poison: Arc<AtomicBool>,
+        raw: Box<dyn RawEndpoint>,
+    ) -> Self {
+        Participant {
+            raw,
+            family,
+            spec,
+            poison,
+            entries: 0,
+        }
+    }
+
+    /// This participant's (symmetric) identity.
+    #[must_use]
+    pub fn pid(&self) -> Pid {
+        self.raw.pid()
+    }
+
+    /// The family name of the minting lock (see [`AmxLock::family`]).
+    #[must_use]
+    pub fn family(&self) -> &'static str {
+        self.family
+    }
+
+    /// The configuration of the minting lock.
+    #[must_use]
+    pub fn spec(&self) -> MutexSpec {
+        self.spec
+    }
+
+    /// Cumulative shared-memory operation counters for this participant.
+    #[must_use]
+    pub fn counters(&self) -> &OpCounters {
+        self.raw.counters()
+    }
+
+    /// Critical sections entered so far.
+    #[must_use]
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Whether the shared lock is currently poisoned.
+    #[must_use]
+    pub fn is_poisoned(&self) -> bool {
+        self.poison.load(Ordering::Acquire)
+    }
+
+    /// Sets the free-register selection policy, where the family has one
+    /// (Algorithm 1's line 6); a no-op for every other family.
+    #[must_use]
+    pub fn with_policy(mut self, policy: FreeSlotPolicy) -> Self {
+        self.raw.set_policy(policy);
+        self
+    }
+
+    /// Acquires the lock, spinning until this process wins; returns the
+    /// critical-section guard.
+    ///
+    /// Resumes a competition left pending by an exhausted
+    /// [`try_lock_steps`](Self::try_lock_steps).
+    pub fn lock(&mut self) -> Guard<'_> {
+        self.raw.acquire();
+        self.enter()
+    }
+
+    /// One bounded acquisition attempt.  On failure the process
+    /// *withdraws* (erases its claims) before returning `None`, so the
+    /// call leaves no trace in shared memory.
+    pub fn try_lock(&mut self) -> Option<Guard<'_>> {
+        if self.raw.try_acquire(TRY_LOCK_STEPS) {
+            Some(self.enter())
+        } else {
+            self.raw.abandon();
+            None
+        }
+    }
+
+    /// Keeps attempting until `timeout` has elapsed, then withdraws and
+    /// returns `None`.  At least one bounded attempt is always made.
+    pub fn try_lock_for(&mut self, timeout: Duration) -> Option<Guard<'_>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.raw.try_acquire(TRY_SLICE_STEPS) {
+                return Some(self.enter());
+            }
+            if Instant::now() >= deadline {
+                self.raw.abandon();
+                return None;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Low-level bounded probe: runs at most `max_steps` protocol steps
+    /// (≙ shared-memory operations).  On `None` the process is **still
+    /// competing** — it may own registers; call [`lock`](Self::lock) to
+    /// finish or [`withdraw`](Self::withdraw) to leave cleanly.
+    pub fn try_lock_steps(&mut self, max_steps: u64) -> Option<Guard<'_>> {
+        if self.raw.try_acquire(max_steps) {
+            Some(self.enter())
+        } else {
+            None
+        }
+    }
+
+    /// Abandons a pending competition, erasing this process's claims
+    /// from shared memory.
+    pub fn withdraw(&mut self) {
+        self.raw.abandon();
+    }
+
+    fn enter(&mut self) -> Guard<'_> {
+        self.entries += 1;
+        let poisoned = self.poison.load(Ordering::Acquire);
+        Guard {
+            participant: self,
+            poisoned,
+        }
+    }
+}
+
+/// RAII critical-section guard: dropping it runs the family's wait-free
+/// unlock protocol.  This is the **only** unlock path.
+///
+/// If the drop happens during a panic unwind, the shared lock is marked
+/// poisoned *before* the registers are released, so the next acquirer's
+/// guard reports [`poisoned`](Guard::poisoned).
+#[derive(Debug)]
+pub struct Guard<'a> {
+    participant: &'a mut Participant,
+    poisoned: bool,
+}
+
+impl Guard<'_> {
+    /// The identity holding the critical section.
+    #[must_use]
+    pub fn pid(&self) -> Pid {
+        self.participant.pid()
+    }
+
+    /// The configuration of the lock being held.
+    #[must_use]
+    pub fn spec(&self) -> MutexSpec {
+        self.participant.spec
+    }
+
+    /// Whether the lock was poisoned at the moment this guard acquired
+    /// it (i.e. some earlier holder panicked mid-critical-section).
+    #[must_use]
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+}
+
+impl Drop for Guard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.participant.poison.store(true, Ordering::Release);
+        }
+        self.participant.raw.release();
+    }
+}

@@ -1,28 +1,41 @@
-//! Blocking locks over real atomic registers.
+//! Threaded lock runtime for the paper's algorithms, behind the unified
+//! [`AmxLock`] API.
 //!
 //! [`RwAnonLock`] (Algorithm 1) and [`RmwAnonLock`] (Algorithm 2) drive
 //! the *same* automata that the simulator model-checks, but over the
-//! lock-free arrays of `amx-registers`, one OS thread per process.  Each
-//! competing thread owns a participant object; `lock()` spins the
-//! automaton until it acquires and returns an RAII guard whose drop runs
-//! the (wait-free) unlock protocol.
+//! lock-free arrays of `amx-registers`, one OS thread per process.  Both
+//! implement [`AmxLock`] + [`BuildLock`]: the lock object owns the
+//! anonymous register array (cheaply clonable, `Arc` semantics) and
+//! mints one `Send` [`Participant`] handle per process.  `lock()` on a
+//! participant spins the automaton until it acquires and returns an
+//! RAII [`Guard`] whose drop runs the wait-free unlock protocol — and
+//! marks the lock poisoned if the holder is panicking.
 //!
 //! # Example
 //!
 //! ```
+//! use amx_core::lock::BuildLock;
 //! use amx_core::spec::MutexSpec;
 //! use amx_core::threaded::RmwAnonLock;
 //! use amx_registers::Adversary;
 //!
 //! let spec = MutexSpec::rmw(2, 3)?;
-//! let mut participants = RmwAnonLock::create(spec, &Adversary::Random(1))?;
+//! let mut participants = RmwAnonLock::with_participants(spec, &Adversary::Random(1))?;
 //! let mut p = participants.remove(0);
 //! {
-//!     let _guard = p.lock();
+//!     let guard = p.lock();
+//!     assert_eq!(guard.spec(), spec);
 //!     // …critical section…
-//! } // guard drop runs unlock()
+//! } // guard drop runs the wait-free unlock
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! The full acquisition menu (`try_lock`, `try_lock_for`,
+//! `try_lock_steps`, `withdraw`) lives on [`Participant`]; see the
+//! [`lock`](crate::lock) module docs.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 
 use amx_ids::{Pid, PidPool, Slot};
 use amx_registers::adversary::AdversaryError;
@@ -33,13 +46,14 @@ use amx_sim::mem::MemoryOps;
 use crate::adapter::{RmwMemoryOps, RwMemoryOps};
 use crate::alg1::{Alg1Automaton, Alg1State};
 use crate::alg2::{Alg2Automaton, Alg2State};
+use crate::lock::{AmxLock, BuildLock, Participant, RawEndpoint};
 use crate::policy::FreeSlotPolicy;
 use crate::spec::{Model, MutexSpec};
 
 /// How often a spinning participant yields to the OS scheduler.
 const YIELD_EVERY: u64 = 64;
 
-fn spin_pause(step: u64) {
+pub(crate) fn spin_pause(step: u64) {
     if step.is_multiple_of(YIELD_EVERY) {
         std::thread::yield_now();
     } else {
@@ -53,6 +67,7 @@ fn spin_pause(step: u64) {
 pub struct RwAnonLock {
     mem: AnonymousRwMemory,
     spec: MutexSpec,
+    poison: Arc<AtomicBool>,
 }
 
 impl RwAnonLock {
@@ -67,21 +82,24 @@ impl RwAnonLock {
         RwAnonLock {
             mem: AnonymousRwMemory::new(spec.m()),
             spec,
+            poison: Arc::new(AtomicBool::new(false)),
         }
     }
 
-    /// One-call setup: lock object + one participant per process, with
-    /// identities minted internally and permutations drawn from
-    /// `adversary`.
+    /// One-call setup: lock object + one participant per process.
     ///
     /// # Errors
     ///
     /// Propagates adversary materialization failures.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `RwAnonLock::with_participants` (the `BuildLock` entry point)"
+    )]
     pub fn create(
         spec: MutexSpec,
         adversary: &Adversary,
-    ) -> Result<Vec<RwParticipant>, AdversaryError> {
-        RwAnonLock::new(spec).participants(adversary)
+    ) -> Result<Vec<Participant>, AdversaryError> {
+        <Self as BuildLock>::with_participants(spec, adversary)
     }
 
     /// The validated configuration.
@@ -102,10 +120,7 @@ impl RwAnonLock {
     /// # Errors
     ///
     /// Propagates adversary materialization failures.
-    pub fn participants(
-        &self,
-        adversary: &Adversary,
-    ) -> Result<Vec<RwParticipant>, AdversaryError> {
+    pub fn participants(&self, adversary: &Adversary) -> Result<Vec<Participant>, AdversaryError> {
         let perms = adversary.permutations(self.spec.n(), self.spec.m())?;
         let mut pool = PidPool::sequential();
         Ok(perms
@@ -114,106 +129,93 @@ impl RwAnonLock {
                 let id = pool.mint();
                 let counters = OpCounters::new();
                 let handle = self.mem.handle_with_counters(id, perm, counters.clone());
-                RwParticipant {
-                    automaton: Alg1Automaton::new(self.spec, id),
-                    state: Alg1State::Idle,
-                    ops: RwMemoryOps::new(handle),
-                    counters,
-                    entries: 0,
-                }
+                Participant::from_raw(
+                    AmxLock::family(self),
+                    self.spec,
+                    Arc::clone(&self.poison),
+                    Box::new(RwEndpoint {
+                        automaton: Alg1Automaton::new(self.spec, id),
+                        state: Alg1State::Idle,
+                        ops: RwMemoryOps::new(handle),
+                        counters,
+                    }),
+                )
             })
             .collect())
     }
 }
 
-/// One process's endpoint of an [`RwAnonLock`].  Move it into the thread
-/// that plays this process.
+impl AmxLock for RwAnonLock {
+    fn family(&self) -> &'static str {
+        "alg1"
+    }
+
+    fn spec(&self) -> MutexSpec {
+        self.spec
+    }
+
+    fn participants(&self, adversary: &Adversary) -> Result<Vec<Participant>, AdversaryError> {
+        RwAnonLock::participants(self, adversary)
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.poison.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    fn clear_poison(&self) {
+        self.poison
+            .store(false, std::sync::atomic::Ordering::Release);
+    }
+}
+
+impl BuildLock for RwAnonLock {
+    fn from_spec(spec: MutexSpec) -> Self {
+        RwAnonLock::new(spec)
+    }
+}
+
+/// Algorithm 1 per-process driver behind [`RawEndpoint`].
 #[derive(Debug)]
-pub struct RwParticipant {
+struct RwEndpoint {
     automaton: Alg1Automaton,
     state: Alg1State,
     ops: RwMemoryOps,
     counters: OpCounters,
-    entries: u64,
 }
 
-impl RwParticipant {
-    /// This participant's (symmetric) identity.
-    #[must_use]
-    pub fn id(&self) -> Pid {
+impl RawEndpoint for RwEndpoint {
+    fn pid(&self) -> Pid {
         self.automaton.id()
     }
 
-    /// Cumulative shared-memory operation counters for this participant.
-    #[must_use]
-    pub fn counters(&self) -> &OpCounters {
+    fn counters(&self) -> &OpCounters {
         &self.counters
     }
 
-    /// Critical sections entered so far.
-    #[must_use]
-    pub fn entries(&self) -> u64 {
-        self.entries
-    }
-
-    /// Sets the free-register policy (Algorithm 1 line 6 choice).
-    #[must_use]
-    pub fn with_policy(mut self, policy: FreeSlotPolicy) -> Self {
-        self.automaton = self.automaton.with_policy(policy);
-        self
-    }
-
-    /// Acquires the lock, spinning until this process wins all `m`
-    /// registers; returns the critical-section guard.
-    ///
-    /// Resumes a competition left pending by an exhausted
-    /// [`try_lock_steps`](Self::try_lock_steps).
-    pub fn lock(&mut self) -> RwGuard<'_> {
+    fn acquire(&mut self) {
         if self.state == Alg1State::Idle {
             self.automaton.start_lock(&mut self.state);
         }
         let mut step = 0u64;
-        loop {
-            if self.automaton.step(&mut self.state, &mut self.ops) == Outcome::Acquired {
-                self.entries += 1;
-                return RwGuard { participant: self };
-            }
+        while self.automaton.step(&mut self.state, &mut self.ops) != Outcome::Acquired {
             step += 1;
             spin_pause(step);
         }
     }
 
-    /// Bounded acquisition attempt: runs at most `max_steps` automaton
-    /// steps.  On `None` the process is **still competing** (it may own
-    /// registers); call `lock` to finish or [`withdraw`](Self::withdraw)
-    /// to leave the competition cleanly.
-    pub fn try_lock_steps(&mut self, max_steps: u64) -> Option<RwGuard<'_>> {
+    fn try_acquire(&mut self, max_steps: u64) -> bool {
         if self.state == Alg1State::Idle {
             self.automaton.start_lock(&mut self.state);
         }
         for _ in 0..max_steps {
             if self.automaton.step(&mut self.state, &mut self.ops) == Outcome::Acquired {
-                self.entries += 1;
-                return Some(RwGuard { participant: self });
+                return true;
             }
         }
-        None
+        false
     }
 
-    /// Abandons a pending competition: erases this process's identity
-    /// from every register it still holds (one shrink pass — sufficient,
-    /// since no other process ever writes this identity).
-    pub fn withdraw(&mut self) {
-        let snap = self.ops.snapshot();
-        for x in amx_ids::view::owned_indices(&snap, self.id()) {
-            if self.ops.read(x).is_owned_by(self.id()) {
-                self.ops.write(x, Slot::BOTTOM);
-            }
-        }
-        self.state = Alg1State::Idle;
-    }
-
-    fn run_unlock(&mut self) {
+    fn release(&mut self) {
         self.automaton.start_unlock(&mut self.state);
         let mut step = 0u64;
         while self.automaton.step(&mut self.state, &mut self.ops) != Outcome::Released {
@@ -221,32 +223,22 @@ impl RwParticipant {
             spin_pause(step);
         }
     }
-}
 
-/// RAII critical-section guard for Algorithm 1.
-///
-/// Dropping the guard runs `unlock()` — a wait-free bounded loop
-/// (at most one read and one write per register), so the destructor
-/// cannot block indefinitely.
-#[derive(Debug)]
-pub struct RwGuard<'a> {
-    participant: &'a mut RwParticipant,
-}
-
-impl RwGuard<'_> {
-    /// The identity holding the critical section.
-    #[must_use]
-    pub fn id(&self) -> Pid {
-        self.participant.id()
+    fn abandon(&mut self) {
+        // One erase pass suffices: no other process ever writes this
+        // identity, so every owned register stays owned until we clear it.
+        let snap = self.ops.snapshot();
+        let id = self.automaton.id();
+        for x in amx_ids::view::owned_indices(&snap, id) {
+            if self.ops.read(x).is_owned_by(id) {
+                self.ops.write(x, Slot::BOTTOM);
+            }
+        }
+        self.state = Alg1State::Idle;
     }
 
-    /// Explicit unlock (equivalent to dropping the guard).
-    pub fn unlock(self) {}
-}
-
-impl Drop for RwGuard<'_> {
-    fn drop(&mut self) {
-        self.participant.run_unlock();
+    fn set_policy(&mut self, policy: FreeSlotPolicy) {
+        self.automaton = self.automaton.clone().with_policy(policy);
     }
 }
 
@@ -256,6 +248,7 @@ impl Drop for RwGuard<'_> {
 pub struct RmwAnonLock {
     mem: AnonymousRmwMemory,
     spec: MutexSpec,
+    poison: Arc<AtomicBool>,
 }
 
 impl RmwAnonLock {
@@ -270,19 +263,24 @@ impl RmwAnonLock {
         RmwAnonLock {
             mem: AnonymousRmwMemory::new(spec.m()),
             spec,
+            poison: Arc::new(AtomicBool::new(false)),
         }
     }
 
-    /// One-call setup mirroring [`RwAnonLock::create`].
+    /// One-call setup mirroring the old `RwAnonLock::create`.
     ///
     /// # Errors
     ///
     /// Propagates adversary materialization failures.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `RmwAnonLock::with_participants` (the `BuildLock` entry point)"
+    )]
     pub fn create(
         spec: MutexSpec,
         adversary: &Adversary,
-    ) -> Result<Vec<RmwParticipant>, AdversaryError> {
-        RmwAnonLock::new(spec).participants(adversary)
+    ) -> Result<Vec<Participant>, AdversaryError> {
+        <Self as BuildLock>::with_participants(spec, adversary)
     }
 
     /// The validated configuration.
@@ -303,10 +301,7 @@ impl RmwAnonLock {
     /// # Errors
     ///
     /// Propagates adversary materialization failures.
-    pub fn participants(
-        &self,
-        adversary: &Adversary,
-    ) -> Result<Vec<RmwParticipant>, AdversaryError> {
+    pub fn participants(&self, adversary: &Adversary) -> Result<Vec<Participant>, AdversaryError> {
         let perms = adversary.permutations(self.spec.n(), self.spec.m())?;
         let mut pool = PidPool::sequential();
         Ok(perms
@@ -315,90 +310,93 @@ impl RmwAnonLock {
                 let id = pool.mint();
                 let counters = OpCounters::new();
                 let handle = self.mem.handle_with_counters(id, perm, counters.clone());
-                RmwParticipant {
-                    automaton: Alg2Automaton::new(self.spec, id),
-                    state: Alg2State::Idle,
-                    ops: RmwMemoryOps::new(handle),
-                    counters,
-                    entries: 0,
-                }
+                Participant::from_raw(
+                    AmxLock::family(self),
+                    self.spec,
+                    Arc::clone(&self.poison),
+                    Box::new(RmwEndpoint {
+                        automaton: Alg2Automaton::new(self.spec, id),
+                        state: Alg2State::Idle,
+                        ops: RmwMemoryOps::new(handle),
+                        counters,
+                    }),
+                )
             })
             .collect())
     }
 }
 
-/// One process's endpoint of an [`RmwAnonLock`].
+impl AmxLock for RmwAnonLock {
+    fn family(&self) -> &'static str {
+        "alg2"
+    }
+
+    fn spec(&self) -> MutexSpec {
+        self.spec
+    }
+
+    fn participants(&self, adversary: &Adversary) -> Result<Vec<Participant>, AdversaryError> {
+        RmwAnonLock::participants(self, adversary)
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.poison.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    fn clear_poison(&self) {
+        self.poison
+            .store(false, std::sync::atomic::Ordering::Release);
+    }
+}
+
+impl BuildLock for RmwAnonLock {
+    fn from_spec(spec: MutexSpec) -> Self {
+        RmwAnonLock::new(spec)
+    }
+}
+
+/// Algorithm 2 per-process driver behind [`RawEndpoint`].
 #[derive(Debug)]
-pub struct RmwParticipant {
+struct RmwEndpoint {
     automaton: Alg2Automaton,
     state: Alg2State,
     ops: RmwMemoryOps,
     counters: OpCounters,
-    entries: u64,
 }
 
-impl RmwParticipant {
-    /// This participant's (symmetric) identity.
-    #[must_use]
-    pub fn id(&self) -> Pid {
+impl RawEndpoint for RmwEndpoint {
+    fn pid(&self) -> Pid {
         self.automaton.id()
     }
 
-    /// Cumulative shared-memory operation counters for this participant.
-    #[must_use]
-    pub fn counters(&self) -> &OpCounters {
+    fn counters(&self) -> &OpCounters {
         &self.counters
     }
 
-    /// Critical sections entered so far.
-    #[must_use]
-    pub fn entries(&self) -> u64 {
-        self.entries
-    }
-
-    /// Acquires the lock, spinning until this process owns a majority of
-    /// the registers; returns the critical-section guard.
-    pub fn lock(&mut self) -> RmwGuard<'_> {
+    fn acquire(&mut self) {
         if self.state == Alg2State::Idle {
             self.automaton.start_lock(&mut self.state);
         }
         let mut step = 0u64;
-        loop {
-            if self.automaton.step(&mut self.state, &mut self.ops) == Outcome::Acquired {
-                self.entries += 1;
-                return RmwGuard { participant: self };
-            }
+        while self.automaton.step(&mut self.state, &mut self.ops) != Outcome::Acquired {
             step += 1;
             spin_pause(step);
         }
     }
 
-    /// Bounded acquisition attempt; see
-    /// [`RwParticipant::try_lock_steps`].
-    pub fn try_lock_steps(&mut self, max_steps: u64) -> Option<RmwGuard<'_>> {
+    fn try_acquire(&mut self, max_steps: u64) -> bool {
         if self.state == Alg2State::Idle {
             self.automaton.start_lock(&mut self.state);
         }
         for _ in 0..max_steps {
             if self.automaton.step(&mut self.state, &mut self.ops) == Outcome::Acquired {
-                self.entries += 1;
-                return Some(RmwGuard { participant: self });
+                return true;
             }
         }
-        None
+        false
     }
 
-    /// Abandons a pending competition, erasing this process's claims.
-    pub fn withdraw(&mut self) {
-        for x in 0..self.ops.m() {
-            let _ = self
-                .ops
-                .compare_and_swap(x, Slot::from(self.id()), Slot::BOTTOM);
-        }
-        self.state = Alg2State::Idle;
-    }
-
-    fn run_unlock(&mut self) {
+    fn release(&mut self) {
         self.automaton.start_unlock(&mut self.state);
         let mut step = 0u64;
         while self.automaton.step(&mut self.state, &mut self.ops) != Outcome::Released {
@@ -406,31 +404,13 @@ impl RmwParticipant {
             spin_pause(step);
         }
     }
-}
 
-/// RAII critical-section guard for Algorithm 2.
-///
-/// Dropping the guard runs `unlock()` — one `compare&swap` per register,
-/// wait-free.
-#[derive(Debug)]
-pub struct RmwGuard<'a> {
-    participant: &'a mut RmwParticipant,
-}
-
-impl RmwGuard<'_> {
-    /// The identity holding the critical section.
-    #[must_use]
-    pub fn id(&self) -> Pid {
-        self.participant.id()
-    }
-
-    /// Explicit unlock (equivalent to dropping the guard).
-    pub fn unlock(self) {}
-}
-
-impl Drop for RmwGuard<'_> {
-    fn drop(&mut self) {
-        self.participant.run_unlock();
+    fn abandon(&mut self) {
+        let id = self.automaton.id();
+        for x in 0..self.ops.m() {
+            let _ = self.ops.compare_and_swap(x, Slot::from(id), Slot::BOTTOM);
+        }
+        self.state = Alg2State::Idle;
     }
 }
 
@@ -438,6 +418,7 @@ impl Drop for RmwGuard<'_> {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
 
     #[test]
     fn rw_solo_lock_unlock() {
@@ -445,9 +426,11 @@ mod tests {
         let lock = RwAnonLock::new(spec);
         let mut parts = lock.participants(&Adversary::Identity).unwrap();
         {
-            let expect_id = parts[0].id();
+            let expect_id = parts[0].pid();
             let guard = parts[0].lock();
-            assert_eq!(guard.id(), expect_id);
+            assert_eq!(guard.pid(), expect_id);
+            assert_eq!(guard.spec(), spec);
+            assert!(!guard.poisoned());
             assert!(lock.memory().observe_all().iter().all(|s| !s.is_bottom()));
         }
         assert!(lock.memory().observe_all().iter().all(|s| s.is_bottom()));
@@ -460,7 +443,7 @@ mod tests {
         let lock = RmwAnonLock::new(spec);
         let mut parts = lock.participants(&Adversary::Identity).unwrap();
         {
-            let holder = parts[1].id();
+            let holder = parts[1].pid();
             let _guard = parts[1].lock();
             let owned = lock
                 .memory()
@@ -476,7 +459,7 @@ mod tests {
     #[test]
     fn rw_two_threads_exclusion_and_counter() {
         let spec = MutexSpec::rw(2, 3).unwrap();
-        let participants = RwAnonLock::create(spec, &Adversary::Random(7)).unwrap();
+        let participants = RwAnonLock::with_participants(spec, &Adversary::Random(7)).unwrap();
         let counter = AtomicU64::new(0);
         let in_cs = AtomicU64::new(0);
         std::thread::scope(|s| {
@@ -498,7 +481,7 @@ mod tests {
     #[test]
     fn rmw_three_threads_exclusion_and_counter() {
         let spec = MutexSpec::rmw(3, 5).unwrap();
-        let participants = RmwAnonLock::create(spec, &Adversary::Random(3)).unwrap();
+        let participants = RmwAnonLock::with_participants(spec, &Adversary::Random(3)).unwrap();
         let counter = AtomicU64::new(0);
         let in_cs = AtomicU64::new(0);
         std::thread::scope(|s| {
@@ -521,7 +504,7 @@ mod tests {
     fn rmw_single_register_two_threads() {
         // The degenerate m = 1 configuration: a pure CAS lock.
         let spec = MutexSpec::rmw(2, 1).unwrap();
-        let participants = RmwAnonLock::create(spec, &Adversary::Identity).unwrap();
+        let participants = RmwAnonLock::with_participants(spec, &Adversary::Identity).unwrap();
         let counter = AtomicU64::new(0);
         std::thread::scope(|s| {
             for mut p in participants {
@@ -554,7 +537,7 @@ mod tests {
             .memory()
             .observe_all()
             .iter()
-            .all(|s| !s.is_owned_by(b.id())));
+            .all(|s| !s.is_owned_by(b.pid())));
         drop(guard);
         // Now b succeeds.
         let g = b.lock();
@@ -563,9 +546,31 @@ mod tests {
     }
 
     #[test]
+    fn try_lock_and_try_lock_for_withdraw_on_failure() {
+        let spec = MutexSpec::rmw(2, 3).unwrap();
+        let lock = RmwAnonLock::new(spec);
+        let parts = lock.participants(&Adversary::Identity).unwrap();
+        let (mut a, mut b) = {
+            let mut it = parts.into_iter();
+            (it.next().unwrap(), it.next().unwrap())
+        };
+        assert!(a.try_lock().is_some(), "uncontended try_lock succeeds");
+        let guard = a.lock();
+        assert!(b.try_lock_for(Duration::from_millis(10)).is_none());
+        // The failed attempts withdrew: b owns nothing.
+        assert!(lock
+            .memory()
+            .observe_all()
+            .iter()
+            .all(|s| !s.is_owned_by(b.pid())));
+        drop(guard);
+        assert!(b.try_lock().is_some());
+    }
+
+    #[test]
     fn counters_accumulate_per_participant() {
         let spec = MutexSpec::rw(2, 3).unwrap();
-        let mut parts = RwAnonLock::create(spec, &Adversary::Identity).unwrap();
+        let mut parts = RwAnonLock::with_participants(spec, &Adversary::Identity).unwrap();
         let p = &mut parts[0];
         {
             let _g = p.lock();
@@ -575,6 +580,17 @@ mod tests {
             "≥ m writes interleaved with snapshots"
         );
         assert!(p.counters().writes() >= 3 + 3, "3 claims + 3 erases");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_create_still_forwards() {
+        let spec = MutexSpec::rw(2, 3).unwrap();
+        let mut parts = RwAnonLock::create(spec, &Adversary::Identity).unwrap();
+        drop(parts[0].lock());
+        let spec = MutexSpec::rmw(2, 3).unwrap();
+        let mut parts = RmwAnonLock::create(spec, &Adversary::Identity).unwrap();
+        drop(parts[0].lock());
     }
 
     #[test]

@@ -56,4 +56,4 @@ pub use orbit::{adversary_orbits, canonical_form};
 pub use permutation::{all_permutations, Permutation, PermutationError};
 pub use rmw::{AnonymousRmwMemory, RmwHandle};
 pub use rw::{AnonymousRwMemory, RwHandle, SnapshotError};
-pub use stats::OpCounters;
+pub use stats::{OpCounters, OpSnapshot};

@@ -130,6 +130,60 @@ impl OpCounters {
         self.inner.snapshots.store(0, Ordering::Relaxed);
         self.inner.collect_rounds.store(0, Ordering::Relaxed);
     }
+
+    /// One coherent-enough copy of all five counts (each counter read
+    /// once, relaxed), for reporting after the measured threads joined.
+    ///
+    /// Named `snapshot_counts` to avoid confusion with *register*
+    /// snapshots (which [`snapshots`](Self::snapshots) tallies).
+    #[must_use]
+    pub fn snapshot_counts(&self) -> OpSnapshot {
+        OpSnapshot {
+            reads: self.reads(),
+            writes: self.writes(),
+            cas_ops: self.cas_ops(),
+            snapshots: self.snapshots(),
+            collect_rounds: self.collect_rounds(),
+        }
+    }
+}
+
+/// A plain-value copy of an [`OpCounters`] reading, detached from the
+/// shared atomics — subtractable, serializable, safe to hold across a
+/// run boundary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpSnapshot {
+    /// Atomic register reads.
+    pub reads: u64,
+    /// Atomic register writes.
+    pub writes: u64,
+    /// Compare&swap invocations (successful or not).
+    pub cas_ops: u64,
+    /// Completed register-array snapshot operations.
+    pub snapshots: u64,
+    /// Collect rounds performed inside those snapshots.
+    pub collect_rounds: u64,
+}
+
+impl OpSnapshot {
+    /// Sum of all primitive operations (reads + writes + cas).
+    #[must_use]
+    pub fn total_primitive_ops(&self) -> u64 {
+        self.reads + self.writes + self.cas_ops
+    }
+
+    /// Per-field saturating difference `self - earlier`, for windowed
+    /// measurements over a shared counter set.
+    #[must_use]
+    pub fn since(&self, earlier: &OpSnapshot) -> OpSnapshot {
+        OpSnapshot {
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+            cas_ops: self.cas_ops.saturating_sub(earlier.cas_ops),
+            snapshots: self.snapshots.saturating_sub(earlier.snapshots),
+            collect_rounds: self.collect_rounds.saturating_sub(earlier.collect_rounds),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -177,6 +231,25 @@ mod tests {
         d.record_write();
         assert_eq!(c.writes(), 2);
         assert_eq!(d.writes(), 2);
+    }
+
+    #[test]
+    fn snapshot_counts_detach_and_subtract() {
+        let c = OpCounters::new();
+        c.record_read();
+        c.record_write();
+        let before = c.snapshot_counts();
+        c.record_read();
+        c.record_cas();
+        let after = c.snapshot_counts();
+        let delta = after.since(&before);
+        assert_eq!(delta.reads, 1);
+        assert_eq!(delta.writes, 0);
+        assert_eq!(delta.cas_ops, 1);
+        assert_eq!(delta.total_primitive_ops(), 2);
+        // The detached copy does not move with the live counters.
+        c.record_read();
+        assert_eq!(after.reads, 2);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use amx_core::lock::BuildLock;
 use amx_core::spec::MutexSpec;
 use amx_core::threaded::RwAnonLock;
 use amx_core::{Alg2Automaton, MutexSpec as Spec};
@@ -21,7 +22,7 @@ use amx_registers::Adversary;
 
 fn run_under(adversary: &Adversary, label: &str) -> Result<(), Box<dyn std::error::Error>> {
     let spec = MutexSpec::rw(2, 3)?;
-    let participants = RwAnonLock::create(spec, adversary)?;
+    let participants = RwAnonLock::with_participants(spec, adversary)?;
     let counter = AtomicU64::new(0);
     std::thread::scope(|s| {
         for mut p in participants {

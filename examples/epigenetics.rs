@@ -13,6 +13,7 @@
 
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
+use amx_core::lock::BuildLock;
 use amx_core::spec::MutexSpec;
 use amx_core::threaded::RmwAnonLock;
 use amx_numth::smallest_valid_m;
@@ -28,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let spec = MutexSpec::rmw(cells, sites)?;
     // Every cell perceives the binding sites in its own random order.
-    let participants = RmwAnonLock::create(spec, &Adversary::Random(7))?;
+    let participants = RmwAnonLock::with_participants(spec, &Adversary::Random(7))?;
 
     // The shared epigenome: each locus is individually atomic, but a
     // *pattern rewrite* spans all loci and is only consistent if no two

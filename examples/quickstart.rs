@@ -8,6 +8,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use amx_core::lock::BuildLock;
 use amx_core::spec::MutexSpec;
 use amx_core::threaded::RwAnonLock;
 use amx_registers::Adversary;
@@ -23,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // The adversary scrambles each process's view of the register array.
-    let participants = RwAnonLock::create(spec, &Adversary::Random(2024))?;
+    let participants = RwAnonLock::with_participants(spec, &Adversary::Random(2024))?;
 
     let counter = AtomicU64::new(0);
     std::thread::scope(|s| {

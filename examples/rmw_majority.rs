@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for (t, mut p) in participants.into_iter().enumerate() {
             let (lock, printed) = (&lock, &printed);
             s.spawn(move || {
-                let me = p.id();
+                let me = p.pid();
                 for _ in 0..iters {
                     let _guard = p.lock();
                     if !printed.swap(true, Ordering::Relaxed) {

@@ -21,9 +21,9 @@ fn memories_are_shareable_handles_are_movable() {
     // …while per-process handles move into their owning thread.
     assert_send::<RwHandle>();
     assert_send::<RmwHandle>();
-    // Participants are one-per-thread objects.
-    assert_send::<amx_core::RwParticipant>();
-    assert_send::<amx_core::RmwParticipant>();
+    // Participants are one-per-thread objects (one unified type for
+    // every lock family behind the `AmxLock` trait).
+    assert_send::<amx_core::Participant>();
     assert_send::<OpCounters>();
     assert_sync::<OpCounters>();
 }

@@ -1,0 +1,232 @@
+//! The unified `AmxLock` API contract, exercised uniformly over every
+//! lock family in the workspace: both anonymous algorithms (Alg 1 RW,
+//! Alg 2 RMW) and the three non-anonymous baselines (TAS, Burns–Lynch,
+//! Peterson tournament).
+//!
+//! Each test takes its locks from one factory and drives them through
+//! `&dyn AmxLock` / `Participant` / `Guard` only — no per-family code
+//! paths — so the contract (guard RAII, poisoning on CS panic, timeout
+//! semantics, mutual exclusion) is checked on the exact surface the
+//! contention rig and downstream users consume.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use amx_baselines::{BurnsStepLock, PetersonTreeLock, TasStepLock};
+use amx_core::lock::{AmxLock, BuildLock, Participant};
+use amx_core::{MutexSpec, RmwAnonLock, RwAnonLock};
+use amx_registers::Adversary;
+
+/// All five lock families at `n` processes, as trait objects.
+fn families(n: usize) -> Vec<Box<dyn AmxLock>> {
+    vec![
+        Box::new(RwAnonLock::new(MutexSpec::smallest_rw(n).unwrap())),
+        Box::new(RmwAnonLock::new(MutexSpec::smallest_rmw(n).unwrap())),
+        Box::new(TasStepLock::new(n)),
+        Box::new(BurnsStepLock::new(n)),
+        Box::new(PetersonTreeLock::new(n)),
+    ]
+}
+
+fn participants(lock: &dyn AmxLock) -> Vec<Participant> {
+    // Random permutations for the anonymous families; the baselines
+    // ignore the adversary (their processes legitimately know names).
+    lock.participants(&Adversary::Random(7)).unwrap()
+}
+
+#[test]
+fn every_family_mutual_exclusion_counter_stress() {
+    for lock in families(4) {
+        let parts = participants(lock.as_ref());
+        let iters = 200u64;
+        let counter = AtomicU64::new(0);
+        let in_cs = AtomicU64::new(0);
+        let violations = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for mut p in parts {
+                let (counter, in_cs, violations) = (&counter, &in_cs, &violations);
+                s.spawn(move || {
+                    for _ in 0..iters {
+                        let _g = p.lock();
+                        if in_cs.fetch_add(1, Ordering::SeqCst) != 0 {
+                            violations.fetch_add(1, Ordering::SeqCst);
+                        }
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        in_cs.fetch_sub(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            counter.load(Ordering::Relaxed),
+            4 * iters,
+            "{}: every increment must land",
+            lock.family()
+        );
+        assert_eq!(
+            violations.load(Ordering::SeqCst),
+            0,
+            "{}: exclusion must hold",
+            lock.family()
+        );
+        assert!(!lock.is_poisoned(), "{}: clean run", lock.family());
+    }
+}
+
+#[test]
+fn every_family_guard_raii_poisons_on_panic() {
+    for lock in families(2) {
+        let family = lock.family();
+        let mut parts = participants(lock.as_ref());
+        let (left, right) = parts.split_at_mut(1);
+        let panicker = &mut left[0];
+        let survivor = &mut right[0];
+
+        // A clean cycle first: guards release on normal drop.
+        {
+            let g = panicker.lock();
+            assert!(!g.poisoned(), "{family}: fresh lock is unpoisoned");
+        }
+
+        // Panic while holding the guard.  The unwind must run the
+        // guard's Drop — releasing the lock via the wait-free exit AND
+        // marking the lock object poisoned.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = panicker.lock();
+            panic!("simulated critical-section failure");
+        }));
+        assert!(result.is_err(), "{family}: the panic must propagate");
+        assert!(
+            lock.is_poisoned(),
+            "{family}: a CS panic must poison the lock"
+        );
+
+        // The next locker still gets in (the release ran!) but sees the
+        // poison flag on its guard.
+        {
+            let g = survivor.lock();
+            assert!(g.poisoned(), "{family}: next guard observes poison");
+        }
+        assert!(survivor.is_poisoned());
+
+        // clear_poison restores clean guards.
+        lock.clear_poison();
+        assert!(!lock.is_poisoned(), "{family}: poison cleared");
+        let g = survivor.lock();
+        assert!(!g.poisoned(), "{family}: guard clean after clear_poison");
+    }
+}
+
+#[test]
+fn every_family_poison_crosses_threads() {
+    // Same contract as above, but the panic happens on a real spawned
+    // thread (join returns Err) — the shape production code hits.
+    for lock in families(2) {
+        let family = lock.family();
+        let mut parts = participants(lock.as_ref());
+        let mut panicker = parts.swap_remove(0);
+        let survivor = &mut parts[0];
+        let handle = std::thread::spawn(move || {
+            let _g = panicker.lock();
+            panic!("worker died in its critical section");
+        });
+        assert!(handle.join().is_err(), "{family}: join reports the panic");
+        assert!(lock.is_poisoned(), "{family}: poison visible cross-thread");
+        let g = survivor.lock();
+        assert!(g.poisoned(), "{family}: survivor's guard sees it");
+    }
+}
+
+#[test]
+fn every_family_try_lock_uncontended_succeeds() {
+    for lock in families(2) {
+        let family = lock.family();
+        let mut parts = participants(lock.as_ref());
+        let mut p = parts.swap_remove(0);
+        let g = p.try_lock();
+        assert!(g.is_some(), "{family}: uncontended try_lock must win");
+        drop(g);
+        let g = p.try_lock_for(Duration::from_millis(50));
+        assert!(g.is_some(), "{family}: uncontended try_lock_for must win");
+    }
+}
+
+#[test]
+fn every_family_try_lock_for_times_out_under_contention() {
+    for lock in families(2) {
+        let family = lock.family();
+        let mut parts = participants(lock.as_ref());
+        let mut second = parts.pop().unwrap();
+        let mut first = parts.pop().unwrap();
+        let _held = first.lock();
+        let before = std::time::Instant::now();
+        assert!(
+            second.try_lock_for(Duration::from_millis(30)).is_none(),
+            "{family}: contended try_lock_for must time out"
+        );
+        assert!(
+            before.elapsed() >= Duration::from_millis(30),
+            "{family}: the timeout must actually elapse"
+        );
+        // The timed-out attempt withdrew: once the holder leaves, the
+        // second participant can still enter (nothing leaked).
+        drop(_held);
+        assert!(
+            second.try_lock_for(Duration::from_secs(5)).is_some(),
+            "{family}: participant usable after a timeout"
+        );
+    }
+}
+
+#[test]
+fn every_family_guard_exposes_pid_and_spec() {
+    for lock in families(3) {
+        let family = lock.family();
+        let spec = lock.spec();
+        let mut parts = participants(lock.as_ref());
+        let mut seen = std::collections::HashSet::new();
+        for p in &mut parts {
+            let expected = p.pid();
+            let g = p.lock();
+            assert_eq!(g.pid(), expected, "{family}: Guard::pid echoes its owner");
+            assert_eq!(g.spec(), spec, "{family}: Guard::spec echoes the lock");
+            seen.insert(g.pid());
+        }
+        assert_eq!(seen.len(), 3, "{family}: distinct pids per participant");
+    }
+}
+
+#[test]
+fn every_family_reports_coherent_spec() {
+    for lock in families(5) {
+        let spec = lock.spec();
+        assert_eq!(spec.n(), 5, "{}: n matches the build", lock.family());
+        let parts = participants(lock.as_ref());
+        assert_eq!(
+            parts.len(),
+            5,
+            "{}: one participant per process",
+            lock.family()
+        );
+        for p in &parts {
+            assert_eq!(p.family(), lock.family());
+            assert_eq!(p.spec(), spec);
+            assert_eq!(p.entries(), 0, "fresh participants have no entries");
+        }
+    }
+}
+
+#[test]
+fn build_lock_generic_entry_point() {
+    // `BuildLock::with_participants` is the one-call constructor; it
+    // works identically through the generic bound for every implementor.
+    fn mint<L: BuildLock>(spec: MutexSpec) -> Vec<Participant> {
+        L::with_participants(spec, &Adversary::Identity).unwrap()
+    }
+    let rw = mint::<RwAnonLock>(MutexSpec::smallest_rw(2).unwrap());
+    let rmw = mint::<RmwAnonLock>(MutexSpec::smallest_rmw(2).unwrap());
+    let tas = mint::<TasStepLock>(MutexSpec::rmw(2, 1).unwrap());
+    for mut p in rw.into_iter().chain(rmw).chain(tas) {
+        let _g = p.lock();
+    }
+}

@@ -3,25 +3,25 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use amx_core::lock::{BuildLock, Participant};
 use amx_core::{FreeSlotPolicy, MutexSpec, RmwAnonLock, RwAnonLock};
 use amx_numth::valid_memory_sizes;
 use amx_registers::Adversary;
 
 /// Runs `iters` cycles per thread; returns (entries, violations).
 fn stress_rw(spec: MutexSpec, adversary: &Adversary, iters: u64) -> (u64, u64) {
-    let participants = RwAnonLock::create(spec, adversary).unwrap();
+    let participants = RwAnonLock::with_participants(spec, adversary).unwrap();
     stress(participants, iters)
 }
 
 fn stress_rmw(spec: MutexSpec, adversary: &Adversary, iters: u64) -> (u64, u64) {
-    let participants = RmwAnonLock::create(spec, adversary).unwrap();
+    let participants = RmwAnonLock::with_participants(spec, adversary).unwrap();
     stress(participants, iters)
 }
 
-fn stress<P: Send>(participants: Vec<P>, iters: u64) -> (u64, u64)
-where
-    for<'a> &'a mut P: LockCycle,
-{
+/// One harness for every lock family: participants are the unified
+/// `amx_core::lock::Participant` regardless of the minting lock.
+fn stress(participants: Vec<Participant>, iters: u64) -> (u64, u64) {
     let in_cs = AtomicU64::new(0);
     let violations = AtomicU64::new(0);
     let entries = AtomicU64::new(0);
@@ -30,13 +30,12 @@ where
             let (in_cs, violations, entries) = (&in_cs, &violations, &entries);
             s.spawn(move || {
                 for _ in 0..iters {
-                    (&mut p).cycle(|| {
-                        if in_cs.fetch_add(1, Ordering::SeqCst) != 0 {
-                            violations.fetch_add(1, Ordering::SeqCst);
-                        }
-                        entries.fetch_add(1, Ordering::Relaxed);
-                        in_cs.fetch_sub(1, Ordering::SeqCst);
-                    });
+                    let _g = p.lock();
+                    if in_cs.fetch_add(1, Ordering::SeqCst) != 0 {
+                        violations.fetch_add(1, Ordering::SeqCst);
+                    }
+                    entries.fetch_add(1, Ordering::Relaxed);
+                    in_cs.fetch_sub(1, Ordering::SeqCst);
                 }
             });
         }
@@ -45,25 +44,6 @@ where
         entries.load(Ordering::Relaxed),
         violations.load(Ordering::SeqCst),
     )
-}
-
-/// Small adapter so one harness drives both participant types.
-trait LockCycle {
-    fn cycle(self, body: impl FnOnce());
-}
-
-impl LockCycle for &mut amx_core::RwParticipant {
-    fn cycle(self, body: impl FnOnce()) {
-        let _g = self.lock();
-        body();
-    }
-}
-
-impl LockCycle for &mut amx_core::RmwParticipant {
-    fn cycle(self, body: impl FnOnce()) {
-        let _g = self.lock();
-        body();
-    }
 }
 
 #[test]
