@@ -63,6 +63,8 @@ fn main() {
                 Verdict::PropertyViolation { property, .. } => {
                     unreachable!("unexpected property violation: {property}")
                 }
+                // No checkpoint halting is configured in this harness.
+                Verdict::Interrupted { .. } => unreachable!("unexpected interruption"),
             };
             println!(
                 "  {n}  {m}   {adv_name:<15}  {policy:<14?}  {canonical:>9}  {full:>7}   {}          {}",

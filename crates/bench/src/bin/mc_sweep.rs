@@ -47,6 +47,22 @@
 //!                    changed on a grid-matched point (property
 //!                    regression; exact, no slack)
 //!
+//! Out-of-core / resumability options (see the `amx-sim` crate docs):
+//!   --resident-budget BYTES  cap the resident arena bytes per point;
+//!                    cold compressed pages spill to disk and fault
+//!                    back in transparently (suffixes k/m/g, e.g. 64m)
+//!   --spill-dir DIR  where spill files live (default: the system temp
+//!                    dir; they are unlinked on creation either way)
+//!   --checkpoint-dir DIR     checkpoint completed BFS levels; each
+//!                    grid point writes to its own subdirectory
+//!   --checkpoint-every N     checkpoint every N levels (default 1)
+//!   --resume         continue each point from its checkpoint if one
+//!                    exists (configuration-fingerprint-checked)
+//!   --halt-after-checkpoints K  stop each point after writing K
+//!                    checkpoints (verdict `interrupted`); the sweep
+//!                    then exits with code 86 so CI can rerun it with
+//!                    `--resume` and assert bit-identical counts
+//!
 //! The JSON report (`BENCH_mc.json`) carries the perf trajectory the CI
 //! bench-smoke job tracks: aggregate states/second, the
 //! canonical-vs-full compression ratio, compressed-arena and seen-table
@@ -58,8 +74,9 @@
 //! CI budget compares against.
 //!
 //! Grid notes: both grids carry the n = 4 point alg2 (4, 1); the full
-//! grid adds the alg1 (4, 5) frontier point (5.2M canonical / 122M
-//! concrete states), whose fair-livelock verdict is a tracked known
+//! grid adds alg2 (5, 1) — the first n = 5 datapoint — and the alg1
+//! (4, 5) frontier point (5.2M canonical / 122M concrete states),
+//! whose fair-livelock verdict is a tracked known
 //! deviation (see ROADMAP) — `--scc-query full-view` on that point
 //! answers the ROADMAP's withdrawal-rule question over the whole
 //! 64,504-state livelock component.  Smoke additionally runs the alg1
@@ -100,10 +117,52 @@ struct Props {
     queries: Vec<StatePredicate>,
 }
 
+/// Out-of-core / resumability configuration applied to every grid
+/// point (`--resident-budget`, `--spill-dir`, `--checkpoint-dir`,
+/// `--checkpoint-every`, `--resume`, `--halt-after-checkpoints`).
+#[derive(Debug)]
+struct OutOfCore {
+    resident_budget: Option<usize>,
+    spill_dir: Option<String>,
+    checkpoint_dir: Option<String>,
+    checkpoint_every: u32,
+    resume: bool,
+    halt_after_checkpoints: Option<u32>,
+}
+
+impl OutOfCore {
+    fn inactive() -> Self {
+        OutOfCore {
+            resident_budget: None,
+            spill_dir: None,
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            resume: false,
+            halt_after_checkpoints: None,
+        }
+    }
+}
+
+/// Parses a byte count with an optional binary `k`/`m`/`g` suffix
+/// (`64m` → 64 MiB); a bare number is bytes.
+fn parse_bytes(s: &str) -> usize {
+    let (digits, mult) = match s.trim().to_ascii_lowercase() {
+        ref t if t.ends_with('k') => (t[..t.len() - 1].to_string(), 1usize << 10),
+        ref t if t.ends_with('m') => (t[..t.len() - 1].to_string(), 1usize << 20),
+        ref t if t.ends_with('g') => (t[..t.len() - 1].to_string(), 1usize << 30),
+        t => (t, 1),
+    };
+    let n: usize = digits
+        .parse()
+        .unwrap_or_else(|_| panic!("bad byte count {s:?} (want e.g. 64m, 512k, 1g, or bytes)"));
+    n * mult
+}
+
 #[derive(Debug)]
 struct CliArgs {
     opts: Options,
     props: Props,
+    ooc: OutOfCore,
     out_path: String,
     baseline: Option<String>,
 }
@@ -117,6 +176,7 @@ fn parse_args() -> CliArgs {
         progress: true,
     };
     let mut props = Props::default();
+    let mut ooc = OutOfCore::inactive();
     let mut out_path = "BENCH_mc.json".to_string();
     let mut baseline = None;
     let resolve = |name: &str| {
@@ -149,6 +209,26 @@ fn parse_args() -> CliArgs {
             }
             "--out" => out_path = args.next().expect("--out needs a path"),
             "--baseline" => baseline = Some(args.next().expect("--baseline needs a path")),
+            "--resident-budget" => {
+                let v = args.next().expect("--resident-budget needs a byte count");
+                ooc.resident_budget = Some(parse_bytes(&v));
+            }
+            "--spill-dir" => ooc.spill_dir = Some(args.next().expect("--spill-dir needs a path")),
+            "--checkpoint-dir" => {
+                ooc.checkpoint_dir = Some(args.next().expect("--checkpoint-dir needs a path"));
+            }
+            "--checkpoint-every" => {
+                let v = args.next().expect("--checkpoint-every needs a value");
+                ooc.checkpoint_every = v.parse().expect("--checkpoint-every needs an integer");
+            }
+            "--resume" => ooc.resume = true,
+            "--halt-after-checkpoints" => {
+                let v = args.next().expect("--halt-after-checkpoints needs a value");
+                ooc.halt_after_checkpoints = Some(
+                    v.parse()
+                        .expect("--halt-after-checkpoints needs an integer"),
+                );
+            }
             other => {
                 eprintln!("unknown option {other}; see the crate docs");
                 std::process::exit(2);
@@ -161,6 +241,7 @@ fn parse_args() -> CliArgs {
     CliArgs {
         opts,
         props,
+        ooc,
         out_path,
         baseline,
     }
@@ -321,6 +402,43 @@ fn configure<A: amx_sim::Automaton>(mut mc: ModelChecker<A>, opts: Options) -> M
     mc
 }
 
+/// Applies the out-of-core configuration to one point's checker and
+/// runs it.  Each point checkpoints into its own subdirectory of
+/// `--checkpoint-dir` (the directory tag is the stable point key), so
+/// a killed sweep resumes every point from its own level boundary.
+fn run_point<A>(
+    mut mc: ModelChecker<A>,
+    ooc: &OutOfCore,
+    tag: &str,
+) -> Result<McReport, StateSpaceExceeded>
+where
+    A: amx_sim::Automaton + Sync,
+    A::State: EncodeState + Send,
+{
+    if let Some(bytes) = ooc.resident_budget {
+        mc = mc.resident_budget(bytes);
+    }
+    if let Some(dir) = &ooc.spill_dir {
+        mc = mc.spill_dir(dir);
+    }
+    if let Some(dir) = &ooc.checkpoint_dir {
+        mc = mc
+            .checkpoint_dir(std::path::Path::new(dir).join(tag))
+            .checkpoint_every(ooc.checkpoint_every)
+            .resume(ooc.resume);
+        if let Some(k) = ooc.halt_after_checkpoints {
+            mc = mc.halt_after_checkpoints(k);
+        }
+    }
+    mc.run()
+}
+
+/// Filesystem-safe per-point checkpoint subdirectory name; unique
+/// across the grid for the same reason [`point_key`] is.
+fn point_dir_tag(alg: &str, n: usize, m: usize, orbit: usize, adv: &str) -> String {
+    format!("alg{alg}-n{n}-m{m}-o{orbit}-{adv}")
+}
+
 fn verdict_tag(r: &Result<McReport, StateSpaceExceeded>) -> &'static str {
     match r {
         Ok(rep) => match rep.verdict {
@@ -328,6 +446,7 @@ fn verdict_tag(r: &Result<McReport, StateSpaceExceeded>) -> &'static str {
             Verdict::MutualExclusionViolation { .. } => "mutex-violation",
             Verdict::FairLivelock { .. } => "fair-livelock",
             Verdict::PropertyViolation { .. } => "property-violation",
+            Verdict::Interrupted { .. } => "interrupted",
         },
         Err(_) => "state-bound-exceeded",
     }
@@ -357,6 +476,18 @@ fn print_point(p: &Point) {
                 rep.arena_bytes as f64 / rep.canonical_states.max(1) as f64,
                 rep.scc_wall_time.as_secs_f64(),
             );
+            if rep.arena_spilled_bytes > 0 || rep.spill_faults > 0 {
+                println!(
+                    "        spill: {:.1} MB on disk / {:.1} MB resident, {} evictions, {} faults",
+                    rep.arena_spilled_bytes as f64 / 1e6,
+                    rep.arena_resident_bytes as f64 / 1e6,
+                    rep.spill_evictions,
+                    rep.spill_faults,
+                );
+            }
+            if let Some(lvl) = rep.resumed_from_level {
+                println!("        resumed from checkpoint at level {lvl}");
+            }
             for mon in &rep.monitors {
                 println!(
                     "        property {:<32} {}",
@@ -396,6 +527,7 @@ fn main() {
     let CliArgs {
         opts,
         props,
+        ooc,
         out_path,
         baseline,
     } = parse_args();
@@ -423,7 +555,11 @@ fn main() {
     };
     for &(n, m) in &alg1_grid {
         for (oi, adv) in adversary_orbits(n, m).iter().enumerate() {
-            let report = checker_alg1(n, m, adv, opts, &props).run();
+            let report = run_point(
+                checker_alg1(n, m, adv, opts, &props),
+                &ooc,
+                &point_dir_tag("1", n, m, oi, "orbit"),
+            );
             points.push(Point {
                 alg: "1",
                 n,
@@ -441,7 +577,11 @@ fn main() {
     // the sweep target); the valid-m grids above run ALL orbits.
     println!("  (invalid-m control: first 3 of 17 orbits at alg1 n=2 m=4)");
     for (oi, adv) in adversary_orbits(2, 4).iter().enumerate().take(3) {
-        let report = checker_alg1(2, 4, adv, opts, &props).run();
+        let report = run_point(
+            checker_alg1(2, 4, adv, opts, &props),
+            &ooc,
+            &point_dir_tag("1", 2, 4, oi, "orbit"),
+        );
         points.push(Point {
             alg: "1",
             n: 2,
@@ -460,15 +600,22 @@ fn main() {
     // valid single-RMW-register configuration — small enough for the
     // smoke budget, and the first 4-process datapoint on the tracked
     // perf trajectory (PR 2's engine had none).
+    // The full grid's (5, 1) point is the first n = 5 datapoint in the
+    // tracked trajectory: the degenerate single-RMW-register
+    // configuration scales to five processes while staying exhaustive.
     let n2m = smallest_valid_m(2) as usize; // 3
     let alg2_grid: Vec<(usize, usize)> = if opts.smoke {
         vec![(2, 1), (2, n2m), (2, 2), (4, 1)]
     } else {
-        vec![(2, 1), (2, n2m), (2, 2), (2, 5), (3, 1), (4, 1)]
+        vec![(2, 1), (2, n2m), (2, 2), (2, 5), (3, 1), (4, 1), (5, 1)]
     };
     for &(n, m) in &alg2_grid {
         for (oi, adv) in adversary_orbits(n, m).iter().enumerate() {
-            let report = checker_alg2(n, m, adv, opts, &props).run();
+            let report = run_point(
+                checker_alg2(n, m, adv, opts, &props),
+                &ooc,
+                &point_dir_tag("2", n, m, oi, "orbit"),
+            );
             points.push(Point {
                 alg: "2",
                 n,
@@ -489,10 +636,10 @@ fn main() {
     // (all finish in milliseconds) so mutual exclusion is machine-checked
     // for every comparator the bench tables quote.
     println!("\nnon-anonymous baselines (model-checked):");
-    for (n, report) in [
-        (2usize, checker_tas(2, opts, &props).run()),
-        (3, checker_tas(3, opts, &props).run()),
-    ] {
+    for (n, report) in [2usize, 3].map(|n| {
+        let tag = point_dir_tag("tas", n, 1, 0, "identity");
+        (n, run_point(checker_tas(n, opts, &props), &ooc, &tag))
+    }) {
         points.push(Point {
             alg: "tas",
             n,
@@ -504,10 +651,10 @@ fn main() {
         });
         print_point(points.last().expect("just pushed"));
     }
-    for (n, report) in [
-        (2usize, checker_burns(2, opts, &props).run()),
-        (3, checker_burns(3, opts, &props).run()),
-    ] {
+    for (n, report) in [2usize, 3].map(|n| {
+        let tag = point_dir_tag("burns", n, n, 0, "identity");
+        (n, run_point(checker_burns(n, opts, &props), &ooc, &tag))
+    }) {
         points.push(Point {
             alg: "burns",
             n,
@@ -520,7 +667,11 @@ fn main() {
         print_point(points.last().expect("just pushed"));
     }
     {
-        let report = checker_peterson(opts, &props).run();
+        let report = run_point(
+            checker_peterson(opts, &props),
+            &ooc,
+            &point_dir_tag("peterson", 2, 3, 0, "identity"),
+        );
         points.push(Point {
             alg: "peterson",
             n: 2,
@@ -542,8 +693,22 @@ fn main() {
     println!("\nrotation/ring orbits (wreath-reduction showcases):");
     let rot3 = Adversary::Rotations { stride: 1 };
     for (alg, report) in [
-        ("1", checker_alg1(3, 3, &rot3, opts, &props).run()),
-        ("2", checker_alg2(3, 3, &rot3, opts, &props).run()),
+        (
+            "1",
+            run_point(
+                checker_alg1(3, 3, &rot3, opts, &props),
+                &ooc,
+                &point_dir_tag("1", 3, 3, 0, "ring"),
+            ),
+        ),
+        (
+            "2",
+            run_point(
+                checker_alg2(3, 3, &rot3, opts, &props),
+                &ooc,
+                &point_dir_tag("2", 3, 3, 0, "ring"),
+            ),
+        ),
     ] {
         points.push(Point {
             alg,
@@ -567,7 +732,11 @@ fn main() {
             max_states: opts.max_states.max(2_000_000),
             ..opts
         };
-        let report = checker_alg1(3, 5, &ring5, ring_opts, &props).run();
+        let report = run_point(
+            checker_alg1(3, 5, &ring5, ring_opts, &props),
+            &ooc,
+            &point_dir_tag("1", 3, 5, 0, "ring"),
+        );
         points.push(Point {
             alg: "1",
             n: 3,
@@ -590,7 +759,11 @@ fn main() {
             max_states: opts.max_states.max(2_000_000),
             ..opts
         };
-        let report = checker_alg1(3, 5, &Adversary::Identity, anchor_opts, &props).run();
+        let report = run_point(
+            checker_alg1(3, 5, &Adversary::Identity, anchor_opts, &props),
+            &ooc,
+            &point_dir_tag("1", 3, 5, 0, "identity"),
+        );
         points.push(Point {
             alg: "1",
             n: 3,
@@ -613,7 +786,11 @@ fn main() {
             max_states: opts.max_states.max(8_000_000),
             ..opts
         };
-        let report = checker_alg1(4, 5, &Adversary::Identity, n4_opts, &props).run();
+        let report = run_point(
+            checker_alg1(4, 5, &Adversary::Identity, n4_opts, &props),
+            &ooc,
+            &point_dir_tag("1", 4, 5, 0, "identity"),
+        );
         points.push(Point {
             alg: "1",
             n: 4,
@@ -639,7 +816,11 @@ fn main() {
             max_states: opts.max_states.max(8_000_000),
             ..opts
         };
-        let report = checker_alg2(3, 5, &Adversary::Identity, deep_opts, &props).run();
+        let report = run_point(
+            checker_alg2(3, 5, &Adversary::Identity, deep_opts, &props),
+            &ooc,
+            &point_dir_tag("2", 3, 5, 0, "identity"),
+        );
         points.push(Point {
             alg: "2",
             n: 3,
@@ -672,6 +853,11 @@ fn main() {
             );
         }
         if let Ok(rep) = &p.report {
+            // A point halted by --halt-after-checkpoints has no verdict
+            // to check yet; the --resume rerun finishes it.
+            if matches!(rep.verdict, Verdict::Interrupted { .. }) {
+                continue;
+            }
             let expected_livelock = !p.valid_m || (p.alg == "1" && p.m < p.n);
             // Known deviation, under investigation (see ROADMAP):
             // Algorithm 1's deterministic free-slot refinement admits a
@@ -703,6 +889,18 @@ fn main() {
         points.len(),
         started.elapsed()
     );
+
+    // A sweep stopped by --halt-after-checkpoints is incomplete by
+    // design: skip the regression gates (they would compare partial
+    // counts) and exit with the dedicated code the CI resume job keys
+    // on.
+    let interrupted = points.iter().any(
+        |p| matches!(&p.report, Ok(rep) if matches!(rep.verdict, Verdict::Interrupted { .. })),
+    );
+    if interrupted {
+        println!("sweep interrupted at a checkpoint; rerun with --resume to continue");
+        std::process::exit(86);
+    }
 
     // Perf-regression gate: with a recorded baseline report, fail when
     // this sweep's measured wall time exceeds 3× the baseline's (the
@@ -955,6 +1153,23 @@ fn render_json(points: &[Point], opts: Options) -> String {
                 rep.canonical_states as f64 / rep.wall_time.as_secs_f64().max(1e-9),
                 !matches!(rep.verdict, Verdict::MutualExclusionViolation { .. }),
             );
+            // Out-of-core accounting: resident vs. spilled arena bytes
+            // are reported separately (their sum is the logical
+            // arena_bytes above), plus the spill traffic and
+            // checkpoint counters.
+            let _ = write!(
+                body,
+                ", \"arena_resident_bytes\": {}, \"arena_spilled_bytes\": {}, \
+                 \"spill_faults\": {}, \"spill_evictions\": {}, \"checkpoints_written\": {}",
+                rep.arena_resident_bytes,
+                rep.arena_spilled_bytes,
+                rep.spill_faults,
+                rep.spill_evictions,
+                rep.checkpoints_written,
+            );
+            if let Some(lvl) = rep.resumed_from_level {
+                let _ = write!(body, ", \"resumed_from_level\": {lvl}");
+            }
             // Per-process longest observed wait (quantitative
             // starvation data; canonical positions under reduction).
             let depths: Vec<String> = rep

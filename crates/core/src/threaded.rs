@@ -86,22 +86,6 @@ impl RwAnonLock {
         }
     }
 
-    /// One-call setup: lock object + one participant per process.
-    ///
-    /// # Errors
-    ///
-    /// Propagates adversary materialization failures.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `RwAnonLock::with_participants` (the `BuildLock` entry point)"
-    )]
-    pub fn create(
-        spec: MutexSpec,
-        adversary: &Adversary,
-    ) -> Result<Vec<Participant>, AdversaryError> {
-        <Self as BuildLock>::with_participants(spec, adversary)
-    }
-
     /// The validated configuration.
     #[must_use]
     pub fn spec(&self) -> MutexSpec {
@@ -265,22 +249,6 @@ impl RmwAnonLock {
             spec,
             poison: Arc::new(AtomicBool::new(false)),
         }
-    }
-
-    /// One-call setup mirroring the old `RwAnonLock::create`.
-    ///
-    /// # Errors
-    ///
-    /// Propagates adversary materialization failures.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `RmwAnonLock::with_participants` (the `BuildLock` entry point)"
-    )]
-    pub fn create(
-        spec: MutexSpec,
-        adversary: &Adversary,
-    ) -> Result<Vec<Participant>, AdversaryError> {
-        <Self as BuildLock>::with_participants(spec, adversary)
     }
 
     /// The validated configuration.
@@ -580,17 +548,6 @@ mod tests {
             "≥ m writes interleaved with snapshots"
         );
         assert!(p.counters().writes() >= 3 + 3, "3 claims + 3 erases");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_create_still_forwards() {
-        let spec = MutexSpec::rw(2, 3).unwrap();
-        let mut parts = RwAnonLock::create(spec, &Adversary::Identity).unwrap();
-        drop(parts[0].lock());
-        let spec = MutexSpec::rmw(2, 3).unwrap();
-        let mut parts = RmwAnonLock::create(spec, &Adversary::Identity).unwrap();
-        drop(parts[0].lock());
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! Level-boundary checkpoints for resumable BFS exploration.
+//!
+//! A checkpoint captures everything the exploration loop needs to
+//! continue from a completed breadth-first level bit-identically: the
+//! per-shard interned arenas (via the spill-invariant
+//! [`StateArena`] snapshot format) and BFS-tree metadata, the pending
+//! frontier (as global ids — the bytes are rematerialized from the
+//! arenas on load), the global counters, and the monitor accumulators.
+//!
+//! The file is written atomically (`mc.ckpt.tmp` + rename) so a crash
+//! mid-write leaves the previous checkpoint intact, and it is keyed by
+//! a configuration fingerprint: resuming under a different automaton,
+//! parameter set, symmetry mode, or shard count is refused instead of
+//! silently producing garbage.
+
+use std::fs::{self, File};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::intern::{read_u64, write_u64, StateArena};
+use crate::mc::{MonitorHit, NodeMeta, Shard};
+
+/// Checkpoint file name inside the checkpoint directory.
+const FILE: &str = "mc.ckpt";
+/// Format magic; bump the trailing digit on layout changes.
+const MAGIC: &[u8; 8] = b"AMXCKPT1";
+
+/// Borrowed view of the exploration state written at a level boundary.
+pub(crate) struct Snapshot<'a> {
+    /// Configuration fingerprint the checkpoint is only valid for.
+    pub(crate) fingerprint: u64,
+    /// Number of completed BFS levels.
+    pub(crate) level: u32,
+    pub(crate) transitions: u64,
+    pub(crate) acquisitions: u64,
+    pub(crate) peak_frontier: u64,
+    pub(crate) orbit_sum: u64,
+    pub(crate) monitor_hits: &'a [MonitorHit],
+    /// The next frontier; only the global ids are persisted.
+    pub(crate) frontier: &'a [(u32, Box<[u8]>)],
+    pub(crate) shards: &'a [Shard],
+}
+
+/// Owned exploration state read back from a checkpoint.
+pub(crate) struct Restored {
+    pub(crate) level: u32,
+    pub(crate) transitions: u64,
+    pub(crate) acquisitions: u64,
+    pub(crate) peak_frontier: u64,
+    pub(crate) orbit_sum: u64,
+    pub(crate) monitor_hits: Vec<MonitorHit>,
+    /// Frontier global ids; bytes are rematerialized by the caller.
+    pub(crate) frontier: Vec<u32>,
+    pub(crate) shards: Vec<Shard>,
+}
+
+/// Writes `snap` to `<dir>/mc.ckpt`, atomically replacing any previous
+/// checkpoint.
+pub(crate) fn write(dir: &Path, snap: &Snapshot<'_>) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let tmp = dir.join(format!("{FILE}.tmp"));
+    let mut w = BufWriter::new(File::create(&tmp)?);
+    w.write_all(MAGIC)?;
+    write_u64(&mut w, snap.fingerprint)?;
+    write_u64(&mut w, u64::from(snap.level))?;
+    write_u64(&mut w, snap.transitions)?;
+    write_u64(&mut w, snap.acquisitions)?;
+    write_u64(&mut w, snap.peak_frontier)?;
+    write_u64(&mut w, snap.orbit_sum)?;
+    write_u64(&mut w, snap.monitor_hits.len() as u64)?;
+    for hit in snap.monitor_hits {
+        write_u64(&mut w, hit.count as u64)?;
+        match hit.best {
+            Some(((pos, actor), node)) => {
+                write_u64(&mut w, 1)?;
+                write_u64(&mut w, pos as u64)?;
+                write_u64(&mut w, actor as u64)?;
+                write_u64(&mut w, u64::from(node))?;
+            }
+            None => write_u64(&mut w, 0)?,
+        }
+    }
+    write_u64(&mut w, snap.frontier.len() as u64)?;
+    for (gid, _) in snap.frontier {
+        w.write_all(&gid.to_le_bytes())?;
+    }
+    write_u64(&mut w, snap.shards.len() as u64)?;
+    for shard in snap.shards {
+        shard.arena.write_snapshot(&mut w)?;
+        write_u64(&mut w, shard.meta.len() as u64)?;
+        for m in &shard.meta {
+            // Parent in the high half, sigma and actor packed low.
+            let packed =
+                (u64::from(m.parent) << 32) | (u64::from(m.sigma) << 8) | u64::from(m.actor);
+            write_u64(&mut w, packed)?;
+        }
+    }
+    w.flush()?;
+    let file = w.into_inner().map_err(|e| e.into_error())?;
+    file.sync_all()?;
+    fs::rename(&tmp, dir.join(FILE))
+}
+
+/// Loads the checkpoint from `<dir>/mc.ckpt`.
+///
+/// Returns `Ok(None)` when no checkpoint exists yet (a fresh run) and
+/// an `InvalidData` error when one exists but was written by an
+/// incompatible configuration (different automaton, parameters,
+/// symmetry mode, or shard count).
+pub(crate) fn load(dir: &Path, fingerprint: u64) -> io::Result<Option<Restored>> {
+    let file = match File::open(dir.join(FILE)) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let mut r = BufReader::new(file);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if magic != *MAGIC {
+        return Err(bad_data("checkpoint magic mismatch"));
+    }
+    if read_u64(&mut r)? != fingerprint {
+        return Err(bad_data(
+            "checkpoint was written by an incompatible configuration",
+        ));
+    }
+    let level = read_u32_checked(&mut r, "level")?;
+    let transitions = read_u64(&mut r)?;
+    let acquisitions = read_u64(&mut r)?;
+    let peak_frontier = read_u64(&mut r)?;
+    let orbit_sum = read_u64(&mut r)?;
+    let n_monitors = read_len(&mut r, "monitor count")?;
+    let mut monitor_hits = Vec::with_capacity(n_monitors);
+    for _ in 0..n_monitors {
+        let count = usize::try_from(read_u64(&mut r)?).map_err(|_| bad_data("monitor count"))?;
+        let best = match read_u64(&mut r)? {
+            0 => None,
+            1 => {
+                let pos = usize::try_from(read_u64(&mut r)?).map_err(|_| bad_data("hit pos"))?;
+                let actor =
+                    usize::try_from(read_u64(&mut r)?).map_err(|_| bad_data("hit actor"))?;
+                let node = read_u32_checked(&mut r, "hit node")?;
+                Some(((pos, actor), node))
+            }
+            _ => return Err(bad_data("monitor hit flag")),
+        };
+        monitor_hits.push(MonitorHit { count, best });
+    }
+    let n_frontier = read_len(&mut r, "frontier length")?;
+    let mut frontier = Vec::with_capacity(n_frontier);
+    let mut b4 = [0u8; 4];
+    for _ in 0..n_frontier {
+        r.read_exact(&mut b4)?;
+        frontier.push(u32::from_le_bytes(b4));
+    }
+    let n_shards = read_len(&mut r, "shard count")?;
+    let mut shards = Vec::with_capacity(n_shards);
+    for _ in 0..n_shards {
+        let arena = StateArena::read_snapshot(&mut r)?;
+        let n_meta = read_len(&mut r, "meta length")?;
+        if n_meta != arena.len() {
+            return Err(bad_data("meta table length disagrees with arena"));
+        }
+        let mut meta = Vec::with_capacity(n_meta);
+        for _ in 0..n_meta {
+            let packed = read_u64(&mut r)?;
+            meta.push(NodeMeta {
+                parent: (packed >> 32) as u32,
+                actor: packed as u8,
+                sigma: (packed >> 8) as u16,
+            });
+        }
+        shards.push(Shard { arena, meta });
+    }
+    // Trailing garbage means a torn or foreign file — refuse it.
+    if r.read(&mut [0u8; 1])? != 0 {
+        return Err(bad_data("trailing bytes after checkpoint payload"));
+    }
+    Ok(Some(Restored {
+        level,
+        transitions,
+        acquisitions,
+        peak_frontier,
+        orbit_sum,
+        monitor_hits,
+        frontier,
+        shards,
+    }))
+}
+
+fn read_u32_checked(r: &mut impl Read, what: &str) -> io::Result<u32> {
+    u32::try_from(read_u64(r)?).map_err(|_| bad_data(what))
+}
+
+fn read_len(r: &mut impl Read, what: &str) -> io::Result<usize> {
+    usize::try_from(read_u64(r)?).map_err(|_| bad_data(what))
+}
+
+fn bad_data(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what)
+}

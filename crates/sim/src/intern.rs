@@ -1,4 +1,5 @@
-//! An interned arena of encoded states — the model checker's seen-set.
+//! An interned arena of encoded states — the model checker's seen-set,
+//! with optional out-of-core page spill.
 //!
 //! The old seen-set was a `HashMap<Node, u32>` whose keys were fully
 //! cloned `Node { Vec<Slot>, Vec<(Phase, S)> }` values: two heap
@@ -6,22 +7,23 @@
 //! *insertion* (the map key and the node list each held one).
 //! [`StateArena`] replaces it with a compressed page layout:
 //!
-//! * one flat `Vec<u8>` holding every encoded state's *record* back to
-//!   back.  States are grouped into fixed-size pages of [`PAGE`]
-//!   states; within a page, the first state of each distinct byte
-//!   length is stored raw (a page *base*), and every other state as a
-//!   **byte-mask delta** against its page's base of the same length: a
-//!   one-byte back-distance to the base, a bitmask of changed byte
-//!   positions, then only the changed bytes.  BFS-adjacent canonical
-//!   states differ in a dozen scattered bytes out of dozens (measured
-//!   on the Algorithm 2 deep point: ~14 of ~53, and *scattered* — a
-//!   contiguous-diff encoding captures almost nothing), so records
-//!   shrink to roughly `len/8 + changed + 1` bytes.  A state that
-//!   drifted too far from its base (delta no smaller than raw) is
+//! * per-page record buffers holding every encoded state's *record*
+//!   back to back.  States are grouped into fixed-size pages of
+//!   [`PAGE`] states; within a page, the first state of each distinct
+//!   byte length is stored raw (a page *base*), and every other state
+//!   as a **byte-mask delta** against its page's base of the same
+//!   length: a one-byte back-distance to the base, a bitmask of changed
+//!   byte positions, then only the changed bytes.  BFS-adjacent
+//!   canonical states differ in a dozen scattered bytes out of dozens
+//!   (measured on the Algorithm 2 deep point: ~14 of ~53, and
+//!   *scattered* — a contiguous-diff encoding captures almost nothing),
+//!   so records shrink to roughly `len/8 + changed + 1` bytes.  A state
+//!   that drifted too far from its base (delta no smaller than raw) is
 //!   stored raw and becomes the page's new base for its length, so
 //!   compression adapts instead of degrading across a page.
-//! * a `Vec<u32>` of end offsets (state `i`'s record is
-//!   `data[ends[i-1]..ends[i]]`) — the compact offset index,
+//! * a `Vec<u32>` of end offsets (state `i`'s record is the span
+//!   `ends[i-1]..ends[i]` of the logical record stream) — the compact
+//!   offset index,
 //! * an open-addressing hash table whose buckets pack the state index
 //!   with a 32-bit hash fragment, so membership probes filter on the
 //!   fragment before touching state bytes, and table growth rehashes
@@ -34,11 +36,43 @@
 //! are one hop.  Indices are dense `u32`s, assigned in insertion
 //! order, which is exactly what the breadth-first parent chains and
 //! the SCC pass need — compression never disturbs the index contract.
+//!
+//! # Out-of-core spill
+//!
+//! A delta record's base always lives in the *same* page (the base
+//! directory is cleared at every page boundary), so a completed page is
+//! self-contained: every record in it decodes from that page's payload
+//! alone.  That makes pages the spill unit.  With a spill backend
+//! attached ([`StateArena::set_spill`]), completed pages whose total
+//! payload exceeds the resident-byte budget are evicted to a spill
+//! file (positioned `pread`/`pwrite`, no memory map) under a CLOCK
+//! second-chance policy; the still-filling page, the offset index and
+//! the hash table always stay resident.  Page payloads are immutable
+//! once complete, so a page is written to its file slot at most once —
+//! re-evicting an unmodified faulted page just drops the bytes.
+//!
+//! Reads fall into two regimes.  The *intern* path (`&mut self`)
+//! transparently faults pages back in, admitting them to the resident
+//! set and evicting colder pages to stay on budget.  The shared read
+//! paths (`&self`: [`get_into`](StateArena::get_into),
+//! [`lookup_hashed`](StateArena::lookup_hashed)) cannot mutate the
+//! resident set; their `_cached` variants take a caller-owned
+//! [`PageCache`] — a small per-worker LRU of decompressed page
+//! payloads — so post-exploration passes (CSR build, witness chains,
+//! queries) run against a spilled arena from many threads without
+//! locks.  Every page read from the spill file, on either path, counts
+//! one *fault*.
+
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::os::unix::fs::FileExt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// States per compression page.  A delta record's back-distance to its
 /// base must fit one byte, so pages hold 256 states; page boundaries
-/// also bound how far apart a delta and its base can land in `data`
-/// (locality for the one-hop reconstruction).
+/// also bound how far apart a delta and its base can land in the
+/// record stream (locality for the one-hop reconstruction), and the
+/// page is the unit of spill (see the module docs).
 pub const PAGE: usize = 256;
 
 /// Multiplier of the 64-bit FNV-1a hash used for the byte strings.
@@ -116,8 +150,155 @@ fn bucket(frag: u32, idx: u32) -> u64 {
     (u64::from(frag) << 32) | u64::from(idx)
 }
 
-/// An append-only set of byte strings with dense `u32` indices and
-/// page/delta compression of the stored payload.
+/// Sentinel: the page has never been written to the spill file.
+const NEVER_SPILLED: u64 = u64::MAX;
+
+/// Source of unique [`StateArena`] tags for [`PageCache`] keys.
+static NEXT_ARENA_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Source of unique names for [`anon_spill_file`].
+static NEXT_SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Creates an anonymous spill file in `dir`: created read/write and
+/// immediately unlinked, so the space is reclaimed when the last
+/// handle drops — including on abnormal exit.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from creation or unlinking.
+pub fn anon_spill_file(dir: &std::path::Path) -> io::Result<File> {
+    let seq = NEXT_SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
+    let path = dir.join(format!("amx-spill-{}-{seq}.tmp", std::process::id()));
+    let file = File::options()
+        .read(true)
+        .write(true)
+        .create_new(true)
+        .open(&path)?;
+    std::fs::remove_file(&path)?;
+    Ok(file)
+}
+
+/// The payload of one completed page.
+#[derive(Debug)]
+struct PageSlot {
+    /// The page's record bytes; `None` while evicted to the spill file.
+    bytes: Option<Box<[u8]>>,
+    /// Offset of this page's payload in the spill file
+    /// ([`NEVER_SPILLED`] until first evicted).  Payloads are immutable
+    /// once the page completes, so the slot is written at most once and
+    /// stays valid for every later re-eviction.
+    spill_off: u64,
+    /// CLOCK second-chance bit, set on fault-in and on completion.
+    referenced: bool,
+}
+
+/// The spill backend: file, budget, CLOCK state and counters.
+#[derive(Debug)]
+struct SpillBackend {
+    file: File,
+    /// Append cursor of the spill file.
+    file_len: u64,
+    /// Resident-payload budget in bytes, covering completed pages only
+    /// (the still-filling page and the indexes are always resident).
+    budget: usize,
+    /// Payload bytes of currently resident completed pages.
+    resident: usize,
+    /// CLOCK hand (next page index to examine).
+    hand: usize,
+    /// Cumulative page evictions (bytes dropped from the resident set).
+    evictions: u64,
+    /// Cumulative page reads from the spill file: intern-path fault-ins
+    /// plus read-side ([`PageCache`] / uncached) misses.  Atomic so the
+    /// lock-free shared read paths can count.
+    faults: AtomicU64,
+}
+
+/// A small caller-owned LRU of decompressed page payloads, enabling
+/// the `&self` read paths ([`StateArena::get_into_cached`],
+/// [`StateArena::lookup_hashed_cached`]) to serve records of spilled
+/// pages without mutating the arena — each worker of a parallel
+/// post-exploration pass owns one.  Entries are keyed by
+/// (arena, page), so one cache may serve many shards.
+#[derive(Debug, Default)]
+pub struct PageCache {
+    slots: Vec<CacheSlot>,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug)]
+struct CacheSlot {
+    arena: u64,
+    page: u32,
+    bytes: Vec<u8>,
+}
+
+/// Pages a [`PageCache`] retains.  Post-exploration passes walk states
+/// in dense order, so a handful of pages per worker captures the
+/// locality; parent-chain walks jump around, which is what the extra
+/// slots beyond one are for.
+const PAGE_CACHE_SLOTS: usize = 16;
+
+impl PageCache {
+    /// An empty cache (capacity [`PAGE_CACHE_SLOTS`] pages).
+    #[must_use]
+    pub fn new() -> Self {
+        PageCache::default()
+    }
+
+    /// `(hits, misses)` against this cache; each miss was one spill
+    /// file read.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// The payload of `arena`'s spilled page `p`, faulting it into the
+    /// cache from the spill file if absent.
+    fn load(&mut self, arena: &StateArena, p: usize) -> &[u8] {
+        let key = (arena.id, p as u32);
+        if let Some(i) = self.slots.iter().position(|s| (s.arena, s.page) == key) {
+            self.hits += 1;
+            self.slots[..=i].rotate_right(1);
+        } else {
+            self.misses += 1;
+            let mut slot = if self.slots.len() >= PAGE_CACHE_SLOTS {
+                self.slots.pop().expect("cache capacity > 0")
+            } else {
+                CacheSlot {
+                    arena: 0,
+                    page: 0,
+                    bytes: Vec::new(),
+                }
+            };
+            arena.read_spilled_into(p, &mut slot.bytes);
+            slot.arena = key.0;
+            slot.page = key.1;
+            self.slots.insert(0, slot);
+        }
+        &self.slots[0].bytes
+    }
+}
+
+/// Spill counters of one arena, as reported by
+/// [`StateArena::spill_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Payload bytes currently evicted (whose only copy is on disk).
+    pub spilled_bytes: usize,
+    /// Cumulative page reads from the spill file (any path).
+    pub faults: u64,
+    /// Cumulative page evictions.
+    pub evictions: u64,
+    /// Bytes the spill file occupies (each page is written at most
+    /// once, so this is the high-water footprint of ever-evicted
+    /// pages).
+    pub spill_file_bytes: u64,
+}
+
+/// An append-only set of byte strings with dense `u32` indices,
+/// page/delta compression of the stored payload, and optional
+/// page-granular spill to disk (see the module docs).
 ///
 /// # Example
 ///
@@ -133,9 +314,18 @@ fn bucket(frag: u32, idx: u32) -> u64 {
 /// assert_eq!(arena.get(a), b"state-a");
 /// assert_eq!(arena.len(), 2);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct StateArena {
-    data: Vec<u8>,
+    /// Unique tag keying [`PageCache`] entries.
+    id: u64,
+    /// Payloads of completed pages, in page order.
+    pages: Vec<PageSlot>,
+    /// Record buffer of the still-filling page (always resident).
+    cur: Vec<u8>,
+    /// Total payload bytes of completed pages (resident or spilled) —
+    /// equivalently, the global record-stream offset where `cur`
+    /// begins.
+    sealed_bytes: usize,
     ends: Vec<u32>,
     table: Vec<u64>,
     /// Raw bases of the *current* page, one per distinct state length:
@@ -143,17 +333,61 @@ pub struct StateArena {
     /// insertion-time aid, never consulted on reads (records carry
     /// their own back-distance).
     page_bases: Vec<(u16, u32)>,
+    spill: Option<SpillBackend>,
 }
 
 impl StateArena {
-    /// An empty arena.
+    /// An empty arena (fully resident; attach spill with
+    /// [`set_spill`](Self::set_spill)).
     #[must_use]
     pub fn new() -> Self {
         StateArena {
-            data: Vec::new(),
+            id: NEXT_ARENA_ID.fetch_add(1, Ordering::Relaxed),
+            pages: Vec::new(),
+            cur: Vec::new(),
+            sealed_bytes: 0,
             ends: Vec::new(),
             table: vec![EMPTY; 16],
             page_bases: Vec::new(),
+            spill: None,
+        }
+    }
+
+    /// Attaches a spill backend: completed pages beyond `budget_bytes`
+    /// of resident payload are evicted to `file` (which the arena owns
+    /// from here on; see [`anon_spill_file`]).  Takes effect
+    /// immediately — an over-budget arena evicts down on attach.  At
+    /// least one completed page stays resident regardless of budget.
+    pub fn set_spill(&mut self, file: File, budget_bytes: usize) {
+        self.spill = Some(SpillBackend {
+            file,
+            file_len: 0,
+            budget: budget_bytes,
+            resident: self.sealed_bytes,
+            hand: 0,
+            evictions: 0,
+            faults: AtomicU64::new(0),
+        });
+        self.evict_to_budget(None);
+    }
+
+    /// Whether a spill backend is attached.
+    #[must_use]
+    pub fn has_spill(&self) -> bool {
+        self.spill.is_some()
+    }
+
+    /// Current spill counters (all zero without a backend).
+    #[must_use]
+    pub fn spill_stats(&self) -> SpillStats {
+        match &self.spill {
+            None => SpillStats::default(),
+            Some(sp) => SpillStats {
+                spilled_bytes: self.sealed_bytes - sp.resident,
+                faults: sp.faults.load(Ordering::Relaxed),
+                evictions: sp.evictions,
+                spill_file_bytes: sp.file_len,
+            },
         }
     }
 
@@ -169,27 +403,41 @@ impl StateArena {
         self.ends.is_empty()
     }
 
-    /// Bytes held by the flat record buffer — the *compressed* payload,
-    /// after page/delta encoding.
+    /// Bytes of the *compressed* record payload, after page/delta
+    /// encoding — resident or spilled.
     #[must_use]
     pub fn data_bytes(&self) -> usize {
-        self.data.len()
+        self.sealed_bytes + self.cur.len()
     }
 
-    /// Resident bytes of the arena proper: record buffer capacity plus
-    /// the offset index (what PR 2's flat arena reported as its
-    /// "data"; the seen-set hash table is accounted separately by
+    /// Logical bytes of the arena proper: compressed record payload
+    /// (resident **and** spilled) plus the offset index (the seen-set
+    /// hash table is accounted separately by
     /// [`table_bytes`](Self::table_bytes)).  Call
     /// [`shrink_to_fit`](Self::shrink_to_fit) first to make capacity
-    /// equal length, so this reports what is actually held, not what
-    /// the growth doubling happened to reserve.
+    /// equal length.  For the RAM-only share see
+    /// [`resident_bytes`](Self::resident_bytes).
     #[must_use]
     pub fn arena_bytes(&self) -> usize {
-        self.data.capacity() + self.ends.capacity() * std::mem::size_of::<u32>()
+        self.sealed_bytes + self.cur.capacity() + self.ends.capacity() * std::mem::size_of::<u32>()
+    }
+
+    /// Resident (in-RAM) bytes of the arena proper: resident page
+    /// payloads, the current page buffer, and the offset index.
+    /// Equals [`arena_bytes`](Self::arena_bytes) without a spill
+    /// backend.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        let resident_payload = match &self.spill {
+            None => self.sealed_bytes,
+            Some(sp) => sp.resident,
+        };
+        resident_payload + self.cur.capacity() + self.ends.capacity() * std::mem::size_of::<u32>()
     }
 
     /// Resident bytes of the open-addressing seen-set table (8 bytes
-    /// per bucket, ≤ 16/7 buckets per state after growth).
+    /// per bucket, ≤ 16/7 buckets per state after growth).  The table
+    /// never spills — probes must stay O(1) in RAM.
     #[must_use]
     pub fn table_bytes(&self) -> usize {
         self.table.len() * std::mem::size_of::<u64>()
@@ -199,35 +447,165 @@ impl StateArena {
     /// hash table is always exactly sized).  Call once exploration is
     /// done and the arena becomes read-mostly.
     pub fn shrink_to_fit(&mut self) {
-        self.data.shrink_to_fit();
+        self.cur.shrink_to_fit();
         self.ends.shrink_to_fit();
         self.page_bases.shrink_to_fit();
+        self.pages.shrink_to_fit();
     }
 
-    /// The record span of state `idx` in `data`.
+    /// The record span of state `idx` in the logical record stream.
     fn span(&self, idx: u32) -> (usize, usize) {
         let i = idx as usize;
         let start = if i == 0 { 0 } else { self.ends[i - 1] as usize };
         (start, self.ends[i] as usize)
     }
 
-    /// Materializes the encoded bytes of state `idx` into `out`
-    /// (cleared first).
+    /// Global record-stream offset where page `p`'s payload begins.
+    fn page_start(&self, p: usize) -> usize {
+        if p == 0 {
+            0
+        } else {
+            self.ends[p * PAGE - 1] as usize
+        }
+    }
+
+    /// Global record-stream offset one past page `p`'s payload.
+    fn page_end(&self, p: usize) -> usize {
+        let last = ((p + 1) * PAGE).min(self.ends.len());
+        self.ends[last - 1] as usize
+    }
+
+    /// The payload of page `p` if it is in RAM (the current page always
+    /// is).
+    fn resident_page(&self, p: usize) -> Option<&[u8]> {
+        if p == self.pages.len() {
+            Some(&self.cur)
+        } else {
+            self.pages[p].bytes.as_deref()
+        }
+    }
+
+    /// Reads the payload of the evicted page `p` from the spill file
+    /// into `buf` and counts one fault.
     ///
     /// # Panics
     ///
-    /// Panics if `idx` is out of range.
-    pub fn get_into(&self, idx: u32, out: &mut Vec<u8>) {
+    /// Panics on spill-file I/O failure — the seen-set is gone, the
+    /// checker cannot meaningfully continue.
+    fn read_spilled_into(&self, p: usize, buf: &mut Vec<u8>) {
+        let slot = &self.pages[p];
+        debug_assert!(slot.bytes.is_none(), "transient read of a resident page");
+        debug_assert_ne!(slot.spill_off, NEVER_SPILLED, "evicted page never written");
+        let len = self.page_end(p) - self.page_start(p);
+        buf.clear();
+        buf.resize(len, 0);
+        let sp = self
+            .spill
+            .as_ref()
+            .expect("non-resident page without a spill backend");
+        sp.file
+            .read_exact_at(buf, slot.spill_off)
+            .expect("spill file read failed");
+        sp.faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Ensures page `p` is resident (intern path), admitting it from
+    /// the spill file and evicting colder pages to stay on budget.
+    fn fault_in(&mut self, p: usize) {
+        if p == self.pages.len() {
+            return;
+        }
+        if self.pages[p].bytes.is_some() {
+            self.pages[p].referenced = true;
+            return;
+        }
+        let len = self.page_end(p) - self.page_start(p);
+        let mut buf = vec![0u8; len];
+        {
+            let slot = &self.pages[p];
+            let sp = self
+                .spill
+                .as_ref()
+                .expect("non-resident page without a spill backend");
+            sp.file
+                .read_exact_at(&mut buf, slot.spill_off)
+                .expect("spill file read failed");
+            sp.faults.fetch_add(1, Ordering::Relaxed);
+        }
+        self.pages[p].bytes = Some(buf.into_boxed_slice());
+        self.pages[p].referenced = true;
+        if let Some(sp) = self.spill.as_mut() {
+            sp.resident += len;
+        }
+        self.evict_to_budget(Some(p));
+    }
+
+    /// CLOCK second-chance eviction until the resident completed-page
+    /// payload fits the budget; `keep` (a just-admitted page) is never
+    /// the victim.  A page's first eviction writes its payload to the
+    /// spill file; later evictions reuse the slot and just drop the
+    /// bytes.
+    fn evict_to_budget(&mut self, keep: Option<usize>) {
+        let Some(sp) = self.spill.as_mut() else {
+            return;
+        };
+        let n = self.pages.len();
+        while sp.resident > sp.budget {
+            let mut spins = 0usize;
+            let victim = loop {
+                spins += 1;
+                if spins > 2 * n + 1 {
+                    // Nothing evictable (budget below one page, or only
+                    // `keep` is resident): stay over budget by design.
+                    return;
+                }
+                if sp.hand >= n {
+                    sp.hand = 0;
+                }
+                let h = sp.hand;
+                sp.hand += 1;
+                if Some(h) == keep {
+                    continue;
+                }
+                let slot = &mut self.pages[h];
+                if slot.bytes.is_none() {
+                    continue;
+                }
+                if slot.referenced {
+                    slot.referenced = false;
+                    continue;
+                }
+                break h;
+            };
+            let slot = &mut self.pages[victim];
+            let bytes = slot.bytes.take().expect("victim page is resident");
+            if slot.spill_off == NEVER_SPILLED {
+                slot.spill_off = sp.file_len;
+                sp.file
+                    .write_all_at(&bytes, slot.spill_off)
+                    .expect("spill file write failed");
+                sp.file_len += bytes.len() as u64;
+            }
+            sp.resident -= bytes.len();
+            sp.evictions += 1;
+        }
+    }
+
+    /// Decodes the record of state `idx` from its page's payload
+    /// (`page`) into `out` (cleared first).  A delta's base is always
+    /// in the same page.
+    fn decode_record(&self, idx: u32, page: &[u8], out: &mut Vec<u8>) {
         out.clear();
+        let poff = self.page_start(idx as usize / PAGE);
         let (start, end) = self.span(idx);
-        let rec = &self.data[start..end];
+        let rec = &page[start - poff..end - poff];
         let back = rec[0];
         if back == 0 {
             out.extend_from_slice(&rec[1..]);
             return;
         }
         let (bstart, bend) = self.span(idx - u32::from(back));
-        let base = &self.data[bstart + 1..bend];
+        let base = &page[bstart + 1 - poff..bend - poff];
         let mask_len = base.len().div_ceil(8);
         let mask = &rec[1..1 + mask_len];
         let changed = &rec[1 + mask_len..];
@@ -235,32 +613,21 @@ impl StateArena {
         patch_slice(out, mask, changed);
     }
 
-    /// The encoded bytes of state `idx`, freshly allocated.  Hot paths
-    /// should prefer [`get_into`](Self::get_into) with a reused buffer.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `idx` is out of range.
-    #[must_use]
-    pub fn get(&self, idx: u32) -> Vec<u8> {
-        let mut out = Vec::new();
-        self.get_into(idx, &mut out);
-        out
-    }
-
-    /// Compares state `idx` against `bytes` without heap traffic: raw
-    /// records memcmp directly; delta records are reconstructed into a
-    /// stack buffer (one memcpy + one patched byte per set mask bit)
-    /// and memcmp'd — far cheaper than a branch per byte position.
-    fn state_eq(&self, idx: u32, bytes: &[u8]) -> bool {
+    /// Compares state `idx` (record in `page`) against `bytes` without
+    /// heap traffic: raw records memcmp directly; delta records are
+    /// reconstructed into a stack buffer (one memcpy + one patched byte
+    /// per set mask bit) and memcmp'd — far cheaper than a branch per
+    /// byte position.
+    fn record_eq(&self, idx: u32, page: &[u8], bytes: &[u8]) -> bool {
+        let poff = self.page_start(idx as usize / PAGE);
         let (start, end) = self.span(idx);
-        let rec = &self.data[start..end];
+        let rec = &page[start - poff..end - poff];
         let back = rec[0];
         if back == 0 {
             return &rec[1..] == bytes;
         }
         let (bstart, bend) = self.span(idx - u32::from(back));
-        let base = &self.data[bstart + 1..bend];
+        let base = &page[bstart + 1 - poff..bend - poff];
         if base.len() != bytes.len() {
             return false;
         }
@@ -279,6 +646,66 @@ impl StateArena {
         buf == bytes
     }
 
+    /// Materializes the encoded bytes of state `idx` into `out`
+    /// (cleared first).  Reads a spilled page transiently; hot readers
+    /// over spilled arenas should prefer
+    /// [`get_into_cached`](Self::get_into_cached).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range, or on spill I/O failure.
+    pub fn get_into(&self, idx: u32, out: &mut Vec<u8>) {
+        let p = idx as usize / PAGE;
+        if let Some(page) = self.resident_page(p) {
+            self.decode_record(idx, page, out);
+        } else {
+            let mut buf = Vec::new();
+            self.read_spilled_into(p, &mut buf);
+            self.decode_record(idx, &buf, out);
+        }
+    }
+
+    /// [`get_into`](Self::get_into) that serves spilled pages through a
+    /// caller-owned [`PageCache`].
+    ///
+    /// # Panics
+    ///
+    /// As for [`get_into`](Self::get_into).
+    pub fn get_into_cached(&self, idx: u32, cache: &mut PageCache, out: &mut Vec<u8>) {
+        let p = idx as usize / PAGE;
+        if let Some(page) = self.resident_page(p) {
+            self.decode_record(idx, page, out);
+        } else {
+            let page = cache.load(self, p);
+            self.decode_record(idx, page, out);
+        }
+    }
+
+    /// The encoded bytes of state `idx`, freshly allocated.  Hot paths
+    /// should prefer [`get_into`](Self::get_into) with a reused buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn get(&self, idx: u32) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.get_into(idx, &mut out);
+        out
+    }
+
+    /// [`record_eq`](Self::record_eq) against a possibly spilled page,
+    /// through the cache.
+    fn state_eq_cached(&self, idx: u32, bytes: &[u8], cache: &mut PageCache) -> bool {
+        let p = idx as usize / PAGE;
+        if let Some(page) = self.resident_page(p) {
+            self.record_eq(idx, page, bytes)
+        } else {
+            let page = cache.load(self, p);
+            self.record_eq(idx, page, bytes)
+        }
+    }
+
     /// Looks up a state without inserting it.
     #[must_use]
     pub fn lookup(&self, bytes: &[u8]) -> Option<u32> {
@@ -290,6 +717,20 @@ impl StateArena {
     /// (shard selection and table probe share the hash).
     #[must_use]
     pub fn lookup_hashed(&self, hash: u64, bytes: &[u8]) -> Option<u32> {
+        let mut cache = PageCache::new();
+        self.lookup_hashed_cached(hash, bytes, &mut cache)
+    }
+
+    /// [`lookup_hashed`](Self::lookup_hashed) that serves spilled pages
+    /// through a caller-owned [`PageCache`] — the form the parallel
+    /// post-exploration passes use.
+    #[must_use]
+    pub fn lookup_hashed_cached(
+        &self,
+        hash: u64,
+        bytes: &[u8],
+        cache: &mut PageCache,
+    ) -> Option<u32> {
         debug_assert_eq!(hash, hash_bytes(bytes), "caller-supplied hash mismatch");
         let mask = self.table.len() - 1;
         let frag = hash as u32;
@@ -301,7 +742,7 @@ impl StateArena {
             }
             if (entry >> 32) as u32 == frag {
                 let idx = entry as u32;
-                if self.state_eq(idx, bytes) {
+                if self.state_eq_cached(idx, bytes, cache) {
                     return Some(idx);
                 }
             }
@@ -321,7 +762,8 @@ impl StateArena {
     }
 
     /// [`intern`](Self::intern) with a caller-computed [`hash_bytes`]
-    /// value.
+    /// value.  Probes against spilled pages fault them back into the
+    /// resident set.
     ///
     /// # Panics
     ///
@@ -345,7 +787,11 @@ impl StateArena {
             }
             if (entry >> 32) as u32 == frag {
                 let idx = entry as u32;
-                if self.state_eq(idx, bytes) {
+                self.fault_in(idx as usize / PAGE);
+                let page = self
+                    .resident_page(idx as usize / PAGE)
+                    .expect("faulted page is resident");
+                if self.record_eq(idx, page, bytes) {
                     return (idx, false);
                 }
             }
@@ -354,7 +800,7 @@ impl StateArena {
         let idx = u32::try_from(self.ends.len()).expect("arena index overflow");
         assert!(idx != u32::MAX, "arena index overflow");
         self.push_record(idx, bytes);
-        let end = u32::try_from(self.data.len()).expect("arena data overflow");
+        let end = u32::try_from(self.sealed_bytes + self.cur.len()).expect("arena data overflow");
         self.ends.push(end);
         self.table[slot] = bucket(frag, idx);
         debug_assert_eq!(
@@ -369,10 +815,14 @@ impl StateArena {
     /// against the current page's base of the same length, or raw
     /// (becoming that base) when no same-length base exists in the
     /// page, or when the delta would not beat storing raw (drift
-    /// re-basing).
+    /// re-basing).  At a page boundary the filled page is sealed first
+    /// (and becomes evictable).
     fn push_record(&mut self, idx: u32, bytes: &[u8]) {
         if (idx as usize).is_multiple_of(PAGE) {
             self.page_bases.clear();
+            if idx != 0 {
+                self.seal_page();
+            }
         }
         let len16 = bytes.len() as u16;
         let base_entry = self.page_bases.iter().position(|&(l, _)| l == len16);
@@ -380,8 +830,9 @@ impl StateArena {
             let base_idx = self.page_bases[entry].1;
             debug_assert!(idx - base_idx <= u32::from(u8::MAX), "base beyond one page");
             let (bstart, bend) = self.span(base_idx);
-            let base_at = bstart + 1;
-            debug_assert_eq!(bend - base_at, bytes.len());
+            let base_at = bstart + 1 - self.sealed_bytes;
+            let base_end = bend - self.sealed_bytes;
+            debug_assert_eq!(base_end - base_at, bytes.len());
             let len = bytes.len();
             let mask_len = len.div_ceil(8);
             // One diff pass into stack buffers (Vecs only for the rare
@@ -397,7 +848,7 @@ impl StateArena {
                 (&mut mask_vec, &mut changed_vec)
             };
             let mut nc = 0usize;
-            for (i, (&b, &bb)) in bytes.iter().zip(&self.data[base_at..bend]).enumerate() {
+            for (i, (&b, &bb)) in bytes.iter().zip(&self.cur[base_at..base_end]).enumerate() {
                 if b != bb {
                     mask[i / 8] |= 1 << (i % 8);
                     changed[nc] = b;
@@ -405,9 +856,9 @@ impl StateArena {
                 }
             }
             if 1 + mask_len + nc < 1 + len {
-                self.data.push((idx - base_idx) as u8);
-                self.data.extend_from_slice(&mask[..mask_len]);
-                self.data.extend_from_slice(&changed[..nc]);
+                self.cur.push((idx - base_idx) as u8);
+                self.cur.extend_from_slice(&mask[..mask_len]);
+                self.cur.extend_from_slice(&changed[..nc]);
                 return;
             }
             // Drifted past the break-even point: store raw and make
@@ -416,8 +867,25 @@ impl StateArena {
         } else {
             self.page_bases.push((len16, idx));
         }
-        self.data.push(0);
-        self.data.extend_from_slice(bytes);
+        self.cur.push(0);
+        self.cur.extend_from_slice(bytes);
+    }
+
+    /// Moves the filled current page into the completed-page list,
+    /// where it becomes a spill candidate, and evicts down to budget.
+    fn seal_page(&mut self) {
+        let payload = std::mem::take(&mut self.cur).into_boxed_slice();
+        let len = payload.len();
+        self.sealed_bytes += len;
+        self.pages.push(PageSlot {
+            bytes: Some(payload),
+            spill_off: NEVER_SPILLED,
+            referenced: true,
+        });
+        if let Some(sp) = self.spill.as_mut() {
+            sp.resident += len;
+        }
+        self.evict_to_budget(None);
     }
 
     /// Doubles the table: a single pre-sized pass over the old buckets,
@@ -440,6 +908,148 @@ impl StateArena {
         }
         self.table = table;
     }
+
+    /// Writes a self-contained snapshot of the arena's logical content
+    /// (offset index, hash table, base directory, every page payload —
+    /// spilled pages are read back transiently) to `w`.  The snapshot
+    /// is independent of the spill state: a budgeted and an unbudgeted
+    /// arena holding the same states serialize bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics on spill-file read failure.
+    pub fn write_snapshot(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(SNAPSHOT_MAGIC)?;
+        write_u64(w, self.ends.len() as u64)?;
+        for &e in &self.ends {
+            w.write_all(&e.to_le_bytes())?;
+        }
+        write_u64(w, self.table.len() as u64)?;
+        for &b in &self.table {
+            w.write_all(&b.to_le_bytes())?;
+        }
+        write_u64(w, self.page_bases.len() as u64)?;
+        for &(l, i) in &self.page_bases {
+            w.write_all(&l.to_le_bytes())?;
+            w.write_all(&i.to_le_bytes())?;
+        }
+        write_u64(w, self.cur.len() as u64)?;
+        w.write_all(&self.cur)?;
+        let mut buf = Vec::new();
+        for p in 0..self.pages.len() {
+            match self.resident_page(p) {
+                Some(page) => w.write_all(page)?,
+                None => {
+                    self.read_spilled_into(p, &mut buf);
+                    w.write_all(&buf)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a snapshot written by
+    /// [`write_snapshot`](Self::write_snapshot).  The arena comes back
+    /// fully resident; attach a backend with
+    /// [`set_spill`](Self::set_spill) afterwards to re-impose a
+    /// budget.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or a malformed snapshot.
+    pub fn read_snapshot(r: &mut impl Read) -> io::Result<StateArena> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if magic != *SNAPSHOT_MAGIC {
+            return Err(bad_data("arena snapshot magic mismatch"));
+        }
+        let n_states = usize::try_from(read_u64(r)?).map_err(|_| bad_data("state count"))?;
+        let mut ends = Vec::with_capacity(n_states);
+        let mut b4 = [0u8; 4];
+        for _ in 0..n_states {
+            r.read_exact(&mut b4)?;
+            ends.push(u32::from_le_bytes(b4));
+        }
+        let table_len = usize::try_from(read_u64(r)?).map_err(|_| bad_data("table length"))?;
+        if table_len < 16 || !table_len.is_power_of_two() {
+            return Err(bad_data("arena snapshot table length"));
+        }
+        let mut table = Vec::with_capacity(table_len);
+        let mut b8 = [0u8; 8];
+        for _ in 0..table_len {
+            r.read_exact(&mut b8)?;
+            table.push(u64::from_le_bytes(b8));
+        }
+        let n_bases = usize::try_from(read_u64(r)?).map_err(|_| bad_data("base count"))?;
+        let mut page_bases = Vec::with_capacity(n_bases);
+        let mut b2 = [0u8; 2];
+        for _ in 0..n_bases {
+            r.read_exact(&mut b2)?;
+            r.read_exact(&mut b4)?;
+            page_bases.push((u16::from_le_bytes(b2), u32::from_le_bytes(b4)));
+        }
+        let cur_len = usize::try_from(read_u64(r)?).map_err(|_| bad_data("cur length"))?;
+        let mut cur = vec![0u8; cur_len];
+        r.read_exact(&mut cur)?;
+        let n_pages = if n_states == 0 {
+            0
+        } else {
+            (n_states - 1) / PAGE
+        };
+        let mut arena = StateArena {
+            id: NEXT_ARENA_ID.fetch_add(1, Ordering::Relaxed),
+            pages: Vec::with_capacity(n_pages),
+            cur,
+            sealed_bytes: 0,
+            ends,
+            table,
+            page_bases,
+            spill: None,
+        };
+        let total: usize = if n_states == 0 {
+            0
+        } else {
+            arena.ends[n_states - 1] as usize
+        };
+        for p in 0..n_pages {
+            let len = arena.page_end(p) - arena.page_start(p);
+            let mut payload = vec![0u8; len];
+            r.read_exact(&mut payload)?;
+            arena.pages.push(PageSlot {
+                bytes: Some(payload.into_boxed_slice()),
+                spill_off: NEVER_SPILLED,
+                referenced: true,
+            });
+            arena.sealed_bytes += len;
+        }
+        if arena.sealed_bytes + arena.cur.len() != total {
+            return Err(bad_data("arena snapshot payload length mismatch"));
+        }
+        Ok(arena)
+    }
+}
+
+/// Magic + version prefix of [`StateArena::write_snapshot`].
+const SNAPSHOT_MAGIC: &[u8; 8] = b"AMXARN1\n";
+
+fn bad_data(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("corrupt {what}"))
+}
+
+/// Writes a little-endian `u64`.
+pub(crate) fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// Reads a little-endian `u64`.
+pub(crate) fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
 }
 
 impl Default for StateArena {
@@ -451,6 +1061,10 @@ impl Default for StateArena {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn spill_file() -> File {
+        anon_spill_file(&std::env::temp_dir()).expect("create spill file")
+    }
 
     #[test]
     fn interning_is_idempotent_and_dense() {
@@ -599,6 +1213,11 @@ mod tests {
             "post-shrink accounting must be exact, not capacity slack"
         );
         assert_eq!(arena.table_bytes(), arena.table.len() * 8);
+        assert_eq!(
+            arena.resident_bytes(),
+            arena.arena_bytes(),
+            "fully resident without a spill backend"
+        );
         // Still fully functional after shrinking.
         assert_eq!(arena.lookup(&123u32.to_le_bytes()), Some(123));
         assert_eq!(arena.intern(&2000u32.to_le_bytes()), (1000, true));
@@ -631,5 +1250,160 @@ mod tests {
             let y = b.intern_hashed(hash_bytes(&bytes), &bytes);
             assert_eq!(x, y);
         }
+    }
+
+    /// 40-byte states with scattered per-index variation — enough per
+    /// page that a tight budget forces real evictions.
+    fn wide_state(i: u32) -> [u8; 40] {
+        let mut s = [0u8; 40];
+        s[3] = i as u8;
+        s[17] = (i >> 8) as u8;
+        s[31] = (i >> 16) as u8;
+        s[39] = (i as u8).wrapping_mul(31);
+        s
+    }
+
+    #[test]
+    fn spilled_arena_round_trips_and_counts() {
+        let mut arena = StateArena::new();
+        arena.set_spill(spill_file(), 4 * 1024);
+        let n = 20_000u32;
+        for i in 0..n {
+            let (idx, fresh) = arena.intern(&wide_state(i));
+            assert_eq!(idx, i);
+            assert!(fresh);
+        }
+        let stats = arena.spill_stats();
+        assert!(stats.evictions > 0, "tight budget must evict");
+        assert!(stats.spilled_bytes > 0);
+        assert!(
+            arena.resident_bytes() < arena.arena_bytes(),
+            "resident share must drop below the logical footprint"
+        );
+        // Every state still reads back — uncached, cached, and by
+        // lookup (which probes through spilled pages).
+        let mut buf = Vec::new();
+        let mut cache = PageCache::new();
+        for i in 0..n {
+            arena.get_into(i, &mut buf);
+            assert_eq!(buf, wide_state(i), "uncached read of state {i}");
+            arena.get_into_cached(i, &mut cache, &mut buf);
+            assert_eq!(buf, wide_state(i), "cached read of state {i}");
+            assert_eq!(arena.lookup(&wide_state(i)), Some(i));
+        }
+        assert!(arena.spill_stats().faults > stats.faults, "reads faulted");
+        let (hits, misses) = cache.stats();
+        assert!(hits > 0 && misses > 0, "sequential scan must hit the LRU");
+        // Re-interning everything faults pages back in through the
+        // intern path and must stay non-fresh.
+        for i in 0..n {
+            assert_eq!(arena.intern(&wide_state(i)), (i, false));
+        }
+    }
+
+    #[test]
+    fn zero_budget_keeps_only_the_current_page() {
+        let mut arena = StateArena::new();
+        arena.set_spill(spill_file(), 0);
+        for i in 0..(PAGE as u32 * 4 + 17) {
+            arena.intern(&wide_state(i));
+        }
+        let stats = arena.spill_stats();
+        assert_eq!(
+            stats.spilled_bytes,
+            arena.data_bytes() - arena_cur_len(&arena)
+        );
+        for i in 0..(PAGE as u32 * 4 + 17) {
+            assert_eq!(arena.get(i), wide_state(i));
+        }
+    }
+
+    fn arena_cur_len(a: &StateArena) -> usize {
+        a.cur.len()
+    }
+
+    #[test]
+    fn reeviction_reuses_the_file_slot() {
+        let mut arena = StateArena::new();
+        arena.set_spill(spill_file(), 0);
+        let n = PAGE as u32 * 3;
+        for i in 0..n {
+            arena.intern(&wide_state(i));
+        }
+        let file_after_fill = arena.spill_stats().spill_file_bytes;
+        // Fault every page back in via re-interning, then keep going so
+        // they are evicted again: the file must not grow (pages are
+        // immutable, their slots are reused).
+        for i in 0..n {
+            assert_eq!(arena.intern(&wide_state(i)), (i, false));
+        }
+        for i in n..n + PAGE as u32 {
+            arena.intern(&wide_state(i));
+        }
+        assert_eq!(
+            arena.spill_stats().spill_file_bytes,
+            file_after_fill + page_payload_len(&arena, 3),
+            "only the newly completed page may be appended"
+        );
+    }
+
+    fn page_payload_len(a: &StateArena, p: usize) -> u64 {
+        (a.page_end(p) - a.page_start(p)) as u64
+    }
+
+    #[test]
+    fn spill_attach_after_filling_evicts_down() {
+        let mut arena = StateArena::new();
+        let n = 10_000u32;
+        for i in 0..n {
+            arena.intern(&wide_state(i));
+        }
+        let logical = arena.arena_bytes();
+        arena.set_spill(spill_file(), 2 * 1024);
+        assert!(arena.resident_bytes() < logical / 2, "attach must evict");
+        for i in 0..n {
+            assert_eq!(arena.get(i), wide_state(i));
+            assert_eq!(arena.lookup(&wide_state(i)), Some(i));
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_is_spill_invariant() {
+        let mut plain = StateArena::new();
+        let mut spilled = StateArena::new();
+        spilled.set_spill(spill_file(), 1024);
+        let n = 5_000u32;
+        for i in 0..n {
+            plain.intern(&wide_state(i));
+            spilled.intern(&wide_state(i));
+        }
+        let mut snap_plain = Vec::new();
+        plain.write_snapshot(&mut snap_plain).unwrap();
+        let mut snap_spilled = Vec::new();
+        spilled.write_snapshot(&mut snap_spilled).unwrap();
+        assert_eq!(
+            snap_plain, snap_spilled,
+            "snapshots must not depend on what happened to be resident"
+        );
+        let mut back = StateArena::read_snapshot(&mut snap_plain.as_slice()).unwrap();
+        assert_eq!(back.len(), n as usize);
+        for i in 0..n {
+            assert_eq!(back.get(i), wide_state(i));
+            assert_eq!(back.lookup(&wide_state(i)), Some(i));
+        }
+        // The restored arena keeps interning exactly where it left off.
+        assert_eq!(back.intern(&wide_state(n)), (n, true));
+        assert_eq!(back.intern(&wide_state(0)), (0, false));
+    }
+
+    #[test]
+    fn snapshot_rejects_garbage() {
+        assert!(StateArena::read_snapshot(&mut &b"not a snapshot"[..]).is_err());
+        let mut arena = StateArena::new();
+        arena.intern(b"abc");
+        let mut snap = Vec::new();
+        arena.write_snapshot(&mut snap).unwrap();
+        let truncated = &snap[..snap.len() - 1];
+        assert!(StateArena::read_snapshot(&mut &truncated[..]).is_err());
     }
 }

@@ -59,6 +59,17 @@
 //!   multi-worker runs, the trimmed forward–backward decomposition of
 //!   [`scc::parallel_sccs`] over it; no transition list is ever
 //!   buffered during exploration.
+//! * **Out-of-core exploration** — the seen set is hash-prefix-sharded
+//!   into worker-owned partitions (parallel levels expand against the
+//!   frozen shards, then each worker exclusively drains its own shards'
+//!   pending inserts — no lock on any intern path, and insertion order
+//!   is deterministic at every thread count), each shard's arena can
+//!   spill cold compressed pages to disk under a resident-byte budget
+//!   ([`mc::ModelChecker::resident_budget`], CLOCK eviction, transparent
+//!   fault-in — the SCC and query passes run unchanged against a
+//!   spilled arena), and completed BFS levels can be checkpointed to
+//!   disk ([`mc::ModelChecker::checkpoint_dir`]) so a killed multi-hour
+//!   sweep resumes bit-identically ([`mc::ModelChecker::resume`]).
 //!
 //! The simulator linearizes each operation (including `snapshot`) at a
 //! single step, which is exactly the atomicity the paper's proofs assume.
@@ -82,6 +93,7 @@
 #![warn(missing_docs)]
 
 pub mod automaton;
+mod checkpoint;
 pub mod encode;
 pub mod intern;
 pub mod mc;

@@ -101,6 +101,7 @@
 //! default and is exact.
 
 use std::collections::VecDeque;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -111,8 +112,9 @@ use amx_ids::codec::{PidMap, RegMap};
 use amx_ids::Slot;
 
 use crate::automaton::{Automaton, Outcome, Phase};
+use crate::checkpoint;
 use crate::encode::{self, EncodeState};
-use crate::intern::{hash_bytes, StateArena};
+use crate::intern::{anon_spill_file, hash_bytes, PageCache, SpillStats, StateArena};
 use crate::mem::SimMemory;
 use crate::scc;
 
@@ -152,6 +154,18 @@ pub enum Verdict {
         /// the hit state from the initial state (empty when the initial
         /// state itself hits).
         schedule: Vec<usize>,
+    },
+    /// Exploration stopped voluntarily at a level boundary after
+    /// writing the number of checkpoints requested via
+    /// [`ModelChecker::halt_after_checkpoints`].  Not a property
+    /// verdict: re-run with [`ModelChecker::resume`] against the same
+    /// checkpoint directory to continue bit-identically.
+    Interrupted {
+        /// Completed breadth-first levels at the halt (the level the
+        /// resumed run continues from).
+        level: u32,
+        /// Checkpoints this run wrote before halting.
+        checkpoints: u32,
     },
 }
 
@@ -379,12 +393,33 @@ pub struct McReport {
     /// CSR build + SCC decomposition + component scan); zero when the
     /// pass did not run (mutual-exclusion violation or overflow).
     pub scc_wall_time: Duration,
-    /// Resident bytes of the interned state arenas after exploration:
+    /// *Logical* bytes of the interned state arenas after exploration:
     /// compressed records plus the offset index, shrunk to fit (the
-    /// like-for-like successor of PR 2's flat-data figure; a
-    /// peak-memory proxy).  The seen-set hash tables are reported
-    /// separately in [`McReport::seen_table_bytes`].
+    /// like-for-like successor of PR 2's flat-data figure), counting
+    /// spilled pages as if resident.  With spill disabled this is also
+    /// the resident figure; with a [`ModelChecker::resident_budget`]
+    /// the RAM split is [`McReport::arena_resident_bytes`] vs.
+    /// [`McReport::arena_spilled_bytes`].  The seen-set hash tables are
+    /// reported separately in [`McReport::seen_table_bytes`].
     pub arena_bytes: usize,
+    /// Bytes of arena payload resident in RAM at report time (hot
+    /// pages plus the open page and the offset index).  Equals
+    /// [`McReport::arena_bytes`] when nothing spilled.
+    pub arena_resident_bytes: usize,
+    /// Bytes of arena payload evicted to the spill files at report
+    /// time (zero without a [`ModelChecker::resident_budget`]).
+    pub arena_spilled_bytes: usize,
+    /// Page fault-ins served from the spill files across the whole run
+    /// (exploration, checkpointing *and* the SCC/query passes).
+    pub spill_faults: u64,
+    /// Page evictions to the spill files across the whole run.
+    pub spill_evictions: u64,
+    /// Checkpoints written to [`ModelChecker::checkpoint_dir`] by this
+    /// run (zero when checkpointing is off).
+    pub checkpoints_written: u32,
+    /// The completed-level count this run resumed from, when it was
+    /// started via [`ModelChecker::resume`] and a checkpoint existed.
+    pub resumed_from_level: Option<u32>,
     /// Resident bytes of the seen-set hash tables (8 bytes per bucket).
     pub seen_table_bytes: usize,
     /// How many times an idle frontier worker stole work from a peer
@@ -488,6 +523,12 @@ pub struct ModelChecker<A: Automaton> {
     progress: Option<Arc<ProgressFn>>,
     monitors: Vec<Monitor<A::State>>,
     scc_queries: Vec<SccQuery<A::State>>,
+    resident_budget: Option<usize>,
+    spill_dir: Option<PathBuf>,
+    checkpoint_dir: Option<PathBuf>,
+    checkpoint_every: u32,
+    resume: bool,
+    halt_after_checkpoints: Option<u32>,
 }
 
 impl<A: Automaton + std::fmt::Debug> std::fmt::Debug for ModelChecker<A> {
@@ -504,6 +545,12 @@ impl<A: Automaton + std::fmt::Debug> std::fmt::Debug for ModelChecker<A> {
             .field("progress", &self.progress.as_ref().map(|_| "<callback>"))
             .field("monitors", &self.monitors)
             .field("scc_queries", &self.scc_queries)
+            .field("resident_budget", &self.resident_budget)
+            .field("spill_dir", &self.spill_dir)
+            .field("checkpoint_dir", &self.checkpoint_dir)
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("resume", &self.resume)
+            .field("halt_after_checkpoints", &self.halt_after_checkpoints)
             .finish()
     }
 }
@@ -580,6 +627,12 @@ impl<A: Automaton> ModelChecker<A> {
             progress: None,
             monitors: Vec::new(),
             scc_queries: Vec::new(),
+            resident_budget: None,
+            spill_dir: None,
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            resume: false,
+            halt_after_checkpoints: None,
         })
     }
 
@@ -681,6 +734,70 @@ impl<A: Automaton> ModelChecker<A> {
         self
     }
 
+    /// Caps the *resident* bytes of the interned-state arenas: once the
+    /// per-shard compressed page payload exceeds its share of the
+    /// budget, cold pages are evicted (CLOCK second-chance) to
+    /// anonymous spill files and faulted back transparently on access.
+    /// The budget covers compressed state records only — hash tables,
+    /// offset indices and BFS metadata stay resident (they are a small
+    /// fraction of state bytes).  Off by default (everything resident).
+    #[must_use]
+    pub fn resident_budget(mut self, bytes: usize) -> Self {
+        self.resident_budget = Some(bytes);
+        self
+    }
+
+    /// Directory the spill files are created in (default:
+    /// [`std::env::temp_dir`]).  Files are unlinked immediately after
+    /// creation, so nothing survives the process whatever happens.
+    #[must_use]
+    pub fn spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Enables checkpointing: after each completed breadth-first level
+    /// (subject to [`checkpoint_every`](Self::checkpoint_every)) the
+    /// full exploration state — arenas, seen tables, BFS metadata,
+    /// frontier and monitor accumulators — is written atomically to
+    /// `<dir>/mc.ckpt`, and [`resume`](Self::resume) continues a killed
+    /// run from there bit-identically.
+    #[must_use]
+    pub fn checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Writes a checkpoint every `levels` completed levels instead of
+    /// every level (default 1).  Zero is treated as 1.
+    #[must_use]
+    pub fn checkpoint_every(mut self, levels: u32) -> Self {
+        self.checkpoint_every = levels.max(1);
+        self
+    }
+
+    /// Resume from the checkpoint in
+    /// [`checkpoint_dir`](Self::checkpoint_dir) when one exists (a
+    /// missing checkpoint starts from scratch).  The checkpoint records
+    /// a fingerprint of the full configuration — automaton type,
+    /// process/register counts, memory model, adversary, symmetry mode,
+    /// monitors, shard layout — and resuming under any other
+    /// configuration panics rather than silently mixing state spaces.
+    #[must_use]
+    pub fn resume(mut self, on: bool) -> Self {
+        self.resume = on;
+        self
+    }
+
+    /// Halt exploration (verdict [`Verdict::Interrupted`]) after this
+    /// many checkpoints have been written — the test/CI hook that
+    /// simulates killing a long sweep at a level boundary.
+    #[must_use]
+    pub fn halt_after_checkpoints(mut self, checkpoints: u32) -> Self {
+        self.halt_after_checkpoints = Some(checkpoints);
+        self
+    }
+
     /// The requested thread cap (explicit, `AMX_MC_THREADS`, or 1).
     fn effective_threads(&self) -> usize {
         if let Some(t) = self.threads {
@@ -744,15 +861,17 @@ where
             self.max_states < (u32::MAX >> shard_bits) as usize,
             "max_states too large for the id encoding"
         );
+        assert!(
+            self.monitors.len() <= 64,
+            "at most 64 monitors (the sharded intern path buffers hits in a u64 bitmask)"
+        );
+        let n_shards = 1usize << shard_bits;
         let (group, class_of) = build_group(&self.automata, &self.mem0, symmetry);
         let shared = EngineShared {
             automata: &self.automata,
             mem0: &self.mem0,
             group: &group,
             monitors: &self.monitors,
-            shards: (0..1usize << shard_bits)
-                .map(|_| Mutex::new(Shard::default()))
-                .collect(),
             shard_bits,
             max_states: self.max_states,
             stored: AtomicUsize::new(0),
@@ -760,37 +879,15 @@ where
             overflow: AtomicBool::new(false),
             steals: AtomicUsize::new(0),
         };
+        // Checkpointing binds to the *configured* run: the symmetry-off
+        // cross-check re-exploration must not touch the directory.
+        let ckpt_dir = self
+            .checkpoint_dir
+            .as_deref()
+            .filter(|_| symmetry == self.symmetry);
+        let fingerprint = self.fingerprint(symmetry, shard_bits);
 
-        // Seed the frontier with the (group-invariant) initial state.
         let mut scratch: Scratch<A::State> = Scratch::new(self.mem0.clone());
-        scratch.slots = vec![Slot::BOTTOM; m];
-        scratch.procs = self
-            .automata
-            .iter()
-            .map(|a| (Phase::Remainder, a.init_state()))
-            .collect();
-        let (sigma0, orbit0) = canonicalize(
-            &group,
-            &scratch.slots,
-            &scratch.procs,
-            &mut scratch.enc,
-            &mut scratch.best,
-            &mut scratch.first,
-        );
-        debug_assert_eq!(
-            (sigma0, orbit0),
-            (0, 1),
-            "the initial state must be fixed by the symmetry group \
-             (is a symmetry_class contract violated?)"
-        );
-        let meta0 = NodeMeta {
-            parent: u32::MAX,
-            actor: 0,
-            sigma: sigma0,
-        };
-        let (root, _) = shared.intern(&scratch.best, meta0, orbit0);
-        let mut frontier: Vec<(u32, Box<[u8]>)> = vec![(root, scratch.best.as_slice().into())];
-
         let mut peak_frontier = 0usize;
         let mut acquisitions = 0usize;
         let mut transitions = 0usize;
@@ -801,60 +898,152 @@ where
         // levels; see the witness-shortest-ness note in the loop).
         let mut level_best: Vec<Option<((usize, usize), u32)>> = vec![None; self.monitors.len()];
         let mut last_progress = Instant::now();
+        let mut completed_levels: u32 = 0;
+        let mut checkpoints_written: u32 = 0;
+        let mut resumed_from_level: Option<u32> = None;
 
-        // The initial state is reachable too: monitors see it first.
-        for (mi, mon) in self.monitors.iter().enumerate() {
-            if (mon.eval)(&scratch.slots, &scratch.procs) {
-                monitor_hits[mi].record((0, 0), root);
-                if mon.fatal && prop_violation.is_none() {
-                    prop_violation = Some(PropViolation {
-                        order: (0, 0),
-                        node: root,
-                        monitor: mi as u32,
-                    });
+        let restored = if self.resume {
+            let dir = ckpt_dir.expect("resume(true) requires checkpoint_dir");
+            checkpoint::load(dir, fingerprint)
+                .unwrap_or_else(|e| panic!("cannot resume from {}: {e}", dir.display()))
+        } else {
+            None
+        };
+        let mut shards: Vec<Shard>;
+        let mut frontier: Vec<(u32, Box<[u8]>)>;
+        if let Some(ck) = restored {
+            assert_eq!(
+                ck.shards.len(),
+                n_shards,
+                "checkpoint shard layout mismatch"
+            );
+            shards = ck.shards;
+            let states: usize = shards.iter().map(|s| s.arena.len()).sum();
+            shared.stored.store(states, Ordering::Relaxed);
+            shared
+                .orbit_sum
+                .store(ck.orbit_sum as usize, Ordering::Relaxed);
+            transitions = ck.transitions as usize;
+            acquisitions = ck.acquisitions as usize;
+            peak_frontier = ck.peak_frontier as usize;
+            monitor_hits = ck.monitor_hits;
+            completed_levels = ck.level;
+            resumed_from_level = Some(ck.level);
+            // The checkpoint stores frontier *ids*; the bytes come back
+            // out of the restored arenas.
+            frontier = ck
+                .frontier
+                .iter()
+                .map(|&gid| {
+                    let si = (gid as usize) & (n_shards - 1);
+                    let mut bytes = Vec::new();
+                    shards[si].arena.get_into(gid >> shard_bits, &mut bytes);
+                    (gid, bytes.into_boxed_slice())
+                })
+                .collect();
+        } else {
+            shards = (0..n_shards).map(|_| Shard::default()).collect();
+            // Seed the frontier with the (group-invariant) initial state.
+            scratch.slots = vec![Slot::BOTTOM; m];
+            scratch.procs = self
+                .automata
+                .iter()
+                .map(|a| (Phase::Remainder, a.init_state()))
+                .collect();
+            let (sigma0, orbit0) = canonicalize(
+                &group,
+                &scratch.slots,
+                &scratch.procs,
+                &mut scratch.enc,
+                &mut scratch.best,
+                &mut scratch.first,
+            );
+            debug_assert_eq!(
+                (sigma0, orbit0),
+                (0, 1),
+                "the initial state must be fixed by the symmetry group \
+                 (is a symmetry_class contract violated?)"
+            );
+            let meta0 = NodeMeta {
+                parent: u32::MAX,
+                actor: 0,
+                sigma: sigma0,
+            };
+            let hash0 = hash_bytes(&scratch.best);
+            let si0 = shard_index(hash0, shard_bits);
+            let (root, _) = intern_into(
+                &shared,
+                si0,
+                &mut shards[si0],
+                hash0,
+                &scratch.best,
+                meta0,
+                orbit0,
+            );
+            frontier = vec![(root, scratch.best.as_slice().into())];
+
+            // The initial state is reachable too: monitors see it first.
+            for (mi, mon) in self.monitors.iter().enumerate() {
+                if (mon.eval)(&scratch.slots, &scratch.procs) {
+                    monitor_hits[mi].record((0, 0), root);
+                    if mon.fatal && prop_violation.is_none() {
+                        prop_violation = Some(PropViolation {
+                            order: (0, 0),
+                            node: root,
+                            monitor: mi as u32,
+                        });
+                    }
                 }
             }
         }
+        if let Some(budget) = self.resident_budget {
+            let dir = self.spill_dir.clone().unwrap_or_else(std::env::temp_dir);
+            let per_shard = budget / n_shards;
+            for shard in &mut shards {
+                let file = anon_spill_file(&dir).unwrap_or_else(|e| {
+                    panic!("cannot create a spill file in {}: {e}", dir.display())
+                });
+                shard.arena.set_spill(file, per_shard);
+            }
+        }
 
+        let mut halted = false;
         while !frontier.is_empty()
             && violation.is_none()
             && prop_violation.is_none()
             && !shared.overflow.load(Ordering::Relaxed)
+            && !halted
         {
             peak_frontier = peak_frontier.max(frontier.len());
-            let outs: Vec<WorkerOut> = if workers == 1 {
-                vec![process_chunk(&shared, &frontier, 0, &mut scratch)]
+            let out = if workers == 1 {
+                process_chunk(&shared, &mut shards, &frontier, 0, &mut scratch)
             } else {
-                run_level_stealing(&shared, std::mem::take(&mut frontier), workers)
+                run_level_sharded(&shared, &mut shards, &frontier, workers)
             };
-            let mut next = Vec::new();
-            for out in outs {
-                acquisitions += out.acquisitions;
-                transitions += out.transitions;
-                if let Some(v) = out.violation {
-                    if violation.as_ref().is_none_or(|best| v.order < best.order) {
-                        violation = Some(v);
+            acquisitions += out.acquisitions;
+            transitions += out.transitions;
+            if let Some(v) = out.violation {
+                if violation.as_ref().is_none_or(|best| v.order < best.order) {
+                    violation = Some(v);
+                }
+            }
+            if let Some(p) = out.prop_violation {
+                if prop_violation
+                    .as_ref()
+                    .is_none_or(|best| (p.order, p.monitor) < (best.order, best.monitor))
+                {
+                    prop_violation = Some(p);
+                }
+            }
+            for (lb, hit) in level_best.iter_mut().zip(&out.monitor_hits) {
+                if let Some(b) = hit.best {
+                    if lb.is_none_or(|(order, _)| b.0 < order) {
+                        *lb = Some(b);
                     }
                 }
-                if let Some(p) = out.prop_violation {
-                    if prop_violation
-                        .as_ref()
-                        .is_none_or(|best| (p.order, p.monitor) < (best.order, best.monitor))
-                    {
-                        prop_violation = Some(p);
-                    }
-                }
-                for (lb, hit) in level_best.iter_mut().zip(&out.monitor_hits) {
-                    if let Some(b) = hit.best {
-                        if lb.is_none_or(|(order, _)| b.0 < order) {
-                            *lb = Some(b);
-                        }
-                    }
-                }
-                for (acc, hit) in monitor_hits.iter_mut().zip(&out.monitor_hits) {
-                    acc.count += hit.count;
-                }
-                next.extend(out.next);
+            }
+            for (acc, hit) in monitor_hits.iter_mut().zip(&out.monitor_hits) {
+                acc.count += hit.count;
             }
             // Witness shortest-ness: the `(position, actor)` order only
             // ranks hits of ONE level, so the first level with a hit
@@ -865,7 +1054,38 @@ where
                 }
                 *lb = None;
             }
-            frontier = next;
+            frontier = out.next;
+            completed_levels += 1;
+            if let Some(dir) = ckpt_dir {
+                if !frontier.is_empty()
+                    && violation.is_none()
+                    && prop_violation.is_none()
+                    && !shared.overflow.load(Ordering::Relaxed)
+                    && completed_levels.is_multiple_of(self.checkpoint_every)
+                {
+                    let snap = checkpoint::Snapshot {
+                        fingerprint,
+                        level: completed_levels,
+                        transitions: transitions as u64,
+                        acquisitions: acquisitions as u64,
+                        peak_frontier: peak_frontier as u64,
+                        orbit_sum: shared.orbit_sum.load(Ordering::Relaxed) as u64,
+                        monitor_hits: &monitor_hits,
+                        frontier: &frontier,
+                        shards: &shards,
+                    };
+                    checkpoint::write(dir, &snap).unwrap_or_else(|e| {
+                        panic!("cannot write checkpoint to {}: {e}", dir.display())
+                    });
+                    checkpoints_written += 1;
+                    if self
+                        .halt_after_checkpoints
+                        .is_some_and(|k| checkpoints_written >= k)
+                    {
+                        halted = true;
+                    }
+                }
+            }
             if let Some(cb) = &self.progress {
                 if last_progress.elapsed() >= Duration::from_millis(200) {
                     last_progress = Instant::now();
@@ -883,10 +1103,7 @@ where
         let full_states_estimate = shared.orbit_sum.load(Ordering::Relaxed);
         let overflowed = shared.overflow.load(Ordering::Relaxed);
         let steal_count = shared.steals.load(Ordering::Relaxed);
-        let store = Store::new(
-            shared.shards.into_iter().map(Mutex::into_inner).collect(),
-            shard_bits,
-        );
+        let store = Store::new(shards, shard_bits);
         let mut report = McReport {
             verdict: Verdict::Ok,
             states,
@@ -898,6 +1115,12 @@ where
             wall_time: start.elapsed(),
             scc_wall_time: Duration::ZERO,
             arena_bytes: store.arena_bytes(),
+            arena_resident_bytes: 0,
+            arena_spilled_bytes: 0,
+            spill_faults: 0,
+            spill_evictions: 0,
+            checkpoints_written,
+            resumed_from_level,
             seen_table_bytes: store.table_bytes(),
             steal_count,
             threads,
@@ -916,8 +1139,7 @@ where
                 schedule,
                 procs: (tau_inv[v.other], tau_inv[v.actor]),
             };
-            report.wall_time = start.elapsed();
-            return Ok(report);
+            return Ok(finish_report(report, &store, start));
         }
         if let Some(p) = prop_violation {
             let chain = chain_from_root(&store, p.node);
@@ -926,13 +1148,19 @@ where
                 property: self.monitors[p.monitor as usize].name.clone(),
                 schedule,
             };
-            report.wall_time = start.elapsed();
-            return Ok(report);
+            return Ok(finish_report(report, &store, start));
         }
         if overflowed {
             return Err(StateSpaceExceeded {
                 limit: self.max_states,
             });
+        }
+        if halted {
+            report.verdict = Verdict::Interrupted {
+                level: completed_levels,
+                checkpoints: checkpoints_written,
+            };
+            return Ok(finish_report(report, &store, start));
         }
 
         report.max_pending_depth =
@@ -946,8 +1174,37 @@ where
             report.scc_queries = queries;
         }
         report.scc_wall_time = scc_start.elapsed();
-        report.wall_time = start.elapsed();
-        Ok(report)
+        Ok(finish_report(report, &store, start))
+    }
+
+    /// A configuration fingerprint for checkpoint compatibility:
+    /// automaton type, process/register counts, memory model, adversary
+    /// permutations, symmetry mode, state bound, monitor set and shard
+    /// layout.  Two runs with equal fingerprints explore the same state
+    /// space in the same order, so a checkpoint from one continues
+    /// bit-identically under the other.
+    fn fingerprint(&self, symmetry: Symmetry, shard_bits: u32) -> u64 {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "AMXCKPT|v1|{}|n={}|m={}|model={:?}|sym={:?}|max={}|bits={}|page={}",
+            std::any::type_name::<A>(),
+            self.automata.len(),
+            self.mem0.m(),
+            self.mem0.model(),
+            symmetry,
+            self.max_states,
+            shard_bits,
+            crate::intern::PAGE,
+        );
+        for i in 0..self.automata.len() {
+            let _ = write!(s, "|perm{i}={:?}", self.mem0.permutation(i));
+        }
+        for mon in &self.monitors {
+            let _ = write!(s, "|mon={}|fatal={}", mon.name, mon.fatal);
+        }
+        hash_bytes(s.as_bytes())
     }
 
     /// Turns the accumulated [`MonitorHit`]s into reportable results,
@@ -1014,7 +1271,7 @@ where
         let fill_rows =
             |rows: &mut [u32], sigs: &mut [u16], base: usize, sc: &mut Scratch<A::State>| {
                 for (row, entries) in rows.chunks_mut(n).enumerate() {
-                    store.bytes_into(store.gid_of_dense(base + row), &mut sc.node);
+                    store.bytes_into(store.gid_of_dense(base + row), &mut sc.cache, &mut sc.node);
                     decode_node(&sc.node, m, n, &mut sc.slots, &mut sc.procs);
                     for (k, entry) in entries.iter_mut().enumerate() {
                         sc.mem.restore(&sc.slots);
@@ -1030,7 +1287,7 @@ where
                                 &mut sc.best,
                             );
                             let child = store
-                                .lookup(&sc.best)
+                                .lookup(&sc.best, &mut sc.cache)
                                 .expect("successor of a stored state must itself be stored");
                             *entry = store.dense(child) as u32;
                             if let Some(se) = sigs.get_mut(row * n + k) {
@@ -1107,7 +1364,11 @@ where
             // constant up to within-class permutation (phase changes
             // other than via completions cannot be undone without a
             // completion); read phases off any member.
-            store.bytes_into(store.gid_of_dense(members[0] as usize), &mut scratch.node);
+            store.bytes_into(
+                store.gid_of_dense(members[0] as usize),
+                &mut scratch.cache,
+                &mut scratch.node,
+            );
             decode_node(&scratch.node, m, n, &mut scratch.slots, &mut scratch.procs);
             let phases: Vec<Phase> = scratch.procs.iter().map(|(p, _)| *p).collect();
             if phases.contains(&Phase::Cs) {
@@ -1131,7 +1392,11 @@ where
             let mut pending_steppers = vec![false; n_classes];
             let mut has_edge = false;
             for &v in members {
-                store.bytes_into(store.gid_of_dense(v as usize), &mut scratch.node);
+                store.bytes_into(
+                    store.gid_of_dense(v as usize),
+                    &mut scratch.cache,
+                    &mut scratch.node,
+                );
                 decode_node(&scratch.node, m, n, &mut scratch.slots, &mut scratch.procs);
                 for k in 0..n {
                     let w = csr[v as usize * n + k];
@@ -1234,7 +1499,11 @@ where
             .collect();
         let mut phases_q: Vec<Phase> = Vec::with_capacity(members.len() * n);
         for &v in members {
-            store.bytes_into(store.gid_of_dense(v as usize), &mut scratch.node);
+            store.bytes_into(
+                store.gid_of_dense(v as usize),
+                &mut scratch.cache,
+                &mut scratch.node,
+            );
             decode_node(&scratch.node, m, n, &mut scratch.slots, &mut scratch.procs);
             phases_q.extend(scratch.procs.iter().map(|(p, _)| *p));
         }
@@ -1316,7 +1585,11 @@ where
             let mut distinct: std::collections::HashSet<Vec<u8>> = std::collections::HashSet::new();
             for &x in sub {
                 let (xvi, xgi) = (x as usize / gl, x as usize % gl);
-                store.bytes_into(store.gid_of_dense(members[xvi] as usize), &mut scratch.node);
+                store.bytes_into(
+                    store.gid_of_dense(members[xvi] as usize),
+                    &mut scratch.cache,
+                    &mut scratch.node,
+                );
                 decode_node(&scratch.node, m, n, &mut scratch.slots, &mut scratch.procs);
                 encode_node_with(
                     &group[xgi],
@@ -1362,7 +1635,11 @@ where
         let mut hits = vec![0usize; self.scc_queries.len()];
         let mut first: Vec<Option<(u32, String)>> = vec![None; self.scc_queries.len()];
         for &v in &sorted {
-            store.bytes_into(store.gid_of_dense(v as usize), &mut scratch.node);
+            store.bytes_into(
+                store.gid_of_dense(v as usize),
+                &mut scratch.cache,
+                &mut scratch.node,
+            );
             decode_node(&scratch.node, m, n, &mut scratch.slots, &mut scratch.procs);
             for (qi, q) in self.scc_queries.iter().enumerate() {
                 if (q.eval)(&scratch.slots, &scratch.procs) {
@@ -1429,6 +1706,7 @@ where
                 for &vi in &canon {
                     store.bytes_into(
                         store.gid_of_dense(members[vi as usize] as usize),
+                        &mut scratch.cache,
                         &mut scratch.node,
                     );
                     decode_node(&scratch.node, m, n, &mut scratch.slots, &mut scratch.procs);
@@ -1450,7 +1728,11 @@ where
                 let mut procs_img: Vec<(Phase, A::State)> = Vec::new();
                 for &x in &sorted {
                     let (vi, gi) = (x as usize / gl, x as usize % gl);
-                    store.bytes_into(store.gid_of_dense(members[vi] as usize), &mut scratch.node);
+                    store.bytes_into(
+                        store.gid_of_dense(members[vi] as usize),
+                        &mut scratch.cache,
+                        &mut scratch.node,
+                    );
                     decode_node(&scratch.node, m, n, &mut scratch.slots, &mut scratch.procs);
                     encode_node_with(&group[gi], &scratch.slots, &scratch.procs, &mut scratch.enc);
                     if !seen.insert(scratch.enc.clone()) {
@@ -1525,7 +1807,21 @@ fn verdict_kind(v: &Verdict) -> &'static str {
         Verdict::MutualExclusionViolation { .. } => "mutual-exclusion violation",
         Verdict::FairLivelock { .. } => "fair livelock",
         Verdict::PropertyViolation { .. } => "property violation",
+        Verdict::Interrupted { .. } => "interrupted",
     }
+}
+
+/// Stamps the final wall clock and the spill accounting — the
+/// resident/spilled split and the fault/eviction totals, which keep
+/// advancing through the SCC and query passes — onto a finished report.
+fn finish_report(mut report: McReport, store: &Store, start: Instant) -> McReport {
+    let spill = store.spill_stats();
+    report.arena_resident_bytes = store.resident_bytes();
+    report.arena_spilled_bytes = spill.spilled_bytes;
+    report.spill_faults = spill.faults;
+    report.spill_evictions = spill.evictions;
+    report.wall_time = start.elapsed();
+    report
 }
 
 /// One element of the symmetry group: a role permutation plus the
@@ -1737,29 +2033,36 @@ fn build_wreath_group<A: Automaton>(
     (elems, class_of)
 }
 
+/// BFS-tree metadata of one stored state.
 #[derive(Debug, Clone, Copy)]
-struct NodeMeta {
+pub(crate) struct NodeMeta {
     /// Global id of the BFS-tree parent (`u32::MAX` for the root).
-    parent: u32,
+    pub(crate) parent: u32,
     /// Actor of the tree edge (a *quotient* process index).
-    actor: u8,
+    pub(crate) actor: u8,
     /// Group element that canonicalized the concrete successor.
-    sigma: u16,
+    pub(crate) sigma: u16,
 }
 
+/// One hash-prefix partition of the seen set: an interned-state arena
+/// plus the parallel BFS-tree metadata table.  Shards are owned by the
+/// exploration loop and handed `&mut` to exactly one worker during the
+/// insert phase — never locked.
 #[derive(Debug, Default)]
-struct Shard {
-    arena: StateArena,
-    meta: Vec<NodeMeta>,
+pub(crate) struct Shard {
+    pub(crate) arena: StateArena,
+    pub(crate) meta: Vec<NodeMeta>,
 }
 
-/// Everything the BFS workers share.
+/// Everything the BFS workers share read-only, plus the global
+/// counters.  The shards themselves deliberately live *outside* this
+/// struct (on the exploration loop's stack) so ownership — not a
+/// lock — arbitrates every intern.
 struct EngineShared<'a, A: Automaton> {
     automata: &'a [A],
     mem0: &'a SimMemory,
     group: &'a [SymElem],
     monitors: &'a [Monitor<A::State>],
-    shards: Vec<Mutex<Shard>>,
     shard_bits: u32,
     max_states: usize,
     stored: AtomicUsize,
@@ -1768,39 +2071,48 @@ struct EngineShared<'a, A: Automaton> {
     steals: AtomicUsize,
 }
 
-impl<A: Automaton> EngineShared<'_, A> {
-    fn shard_of(&self, hash: u64) -> usize {
-        ((hash >> 48) as usize) & ((1usize << self.shard_bits) - 1)
-    }
+/// Which shard a state hash routes to.  The route reads the *top* hash
+/// bits; the arena's open-addressing probe uses the low bits, so the
+/// two never alias.
+fn shard_index(hash: u64, shard_bits: u32) -> usize {
+    ((hash >> 48) as usize) & ((1usize << shard_bits) - 1)
+}
 
-    /// Interns canonical bytes; on a fresh insert the parent metadata is
-    /// recorded and the global state/orbit counters advance.  The hash
-    /// is computed once and shared between shard selection and the
-    /// arena's table probe.
-    fn intern(&self, bytes: &[u8], meta: NodeMeta, orbit: u32) -> (u32, bool) {
-        let hash = hash_bytes(bytes);
-        let si = self.shard_of(hash);
-        let mut shard = self.shards[si].lock();
-        let (local, fresh) = shard.arena.intern_hashed(hash, bytes);
-        if fresh {
-            shard.meta.push(meta);
-            debug_assert_eq!(
-                shard.arena.len(),
-                shard.meta.len(),
-                "arena and meta table out of sync"
-            );
-            let now = self.stored.fetch_add(1, Ordering::Relaxed) + 1;
-            self.orbit_sum.fetch_add(orbit as usize, Ordering::Relaxed);
-            if now > self.max_states {
-                self.overflow.store(true, Ordering::Relaxed);
-            }
+/// Interns canonical bytes into `shard` (which must be `shards[si]`
+/// with `si = shard_index(hash, ..)`; the caller routes).  On a fresh
+/// insert the parent metadata is recorded and the global state/orbit
+/// counters advance.
+fn intern_into<A: Automaton>(
+    shared: &EngineShared<'_, A>,
+    si: usize,
+    shard: &mut Shard,
+    hash: u64,
+    bytes: &[u8],
+    meta: NodeMeta,
+    orbit: u32,
+) -> (u32, bool) {
+    let (local, fresh) = shard.arena.intern_hashed(hash, bytes);
+    if fresh {
+        shard.meta.push(meta);
+        debug_assert_eq!(
+            shard.arena.len(),
+            shard.meta.len(),
+            "arena and meta table out of sync"
+        );
+        let now = shared.stored.fetch_add(1, Ordering::Relaxed) + 1;
+        shared
+            .orbit_sum
+            .fetch_add(orbit as usize, Ordering::Relaxed);
+        if now > shared.max_states {
+            shared.overflow.store(true, Ordering::Relaxed);
         }
-        ((local << self.shard_bits) | si as u32, fresh)
     }
+    ((local << shared.shard_bits) | si as u32, fresh)
 }
 
 /// Worker-local reusable buffers: one memory clone, decoded node
-/// scratch, and encoding buffers — nothing is allocated per step.
+/// scratch, encoding buffers and a spilled-page read cache — nothing is
+/// allocated per step.
 struct Scratch<S> {
     mem: SimMemory,
     slots: Vec<Slot>,
@@ -1809,6 +2121,7 @@ struct Scratch<S> {
     best: Vec<u8>,
     first: Vec<u8>,
     node: Vec<u8>,
+    cache: PageCache,
 }
 
 impl<S> Scratch<S> {
@@ -1821,6 +2134,7 @@ impl<S> Scratch<S> {
             best: Vec::new(),
             first: Vec::new(),
             node: Vec::new(),
+            cache: PageCache::new(),
         }
     }
 }
@@ -1867,11 +2181,11 @@ struct PropViolation {
 
 /// Accumulator for one non-fatal [`Monitor`].
 #[derive(Debug, Clone, Copy, Default)]
-struct MonitorHit {
+pub(crate) struct MonitorHit {
     /// Stored states on which the predicate held.
-    count: usize,
+    pub(crate) count: usize,
     /// Least `(order, node)` hit — the shortest-witness candidate.
-    best: Option<((usize, usize), u32)>,
+    pub(crate) best: Option<((usize, usize), u32)>,
 }
 
 impl MonitorHit {
@@ -1879,6 +2193,17 @@ impl MonitorHit {
         self.count += 1;
         if self.best.is_none_or(|(b, _)| order < b) {
             self.best = Some((order, node));
+        }
+    }
+
+    /// Folds another accumulator in: counts add, witness candidates
+    /// take the minimum order.
+    fn merge(&mut self, other: &MonitorHit) {
+        self.count += other.count;
+        if let Some((order, node)) = other.best {
+            if self.best.is_none_or(|(b, _)| order < b) {
+                self.best = Some((order, node));
+            }
         }
     }
 }
@@ -2069,12 +2394,13 @@ fn group_tables(group: &[SymElem]) -> GroupTables {
 }
 
 /// Expands every node of one frontier chunk, interning fresh
-/// successors.  The single-threaded engine path: iterates in frontier
-/// order and stops at the first violating node (later positions cannot
-/// beat its `(position, actor)` order), which keeps the sequential run
-/// byte-for-byte deterministic.
+/// successors directly.  The single-threaded engine path: iterates in
+/// frontier order and stops at the first violating node (later
+/// positions cannot beat its `(position, actor)` order), which keeps
+/// the sequential run byte-for-byte deterministic.
 fn process_chunk<A: Automaton>(
     shared: &EngineShared<'_, A>,
+    shards: &mut [Shard],
     chunk: &[(u32, Box<[u8]>)],
     base: usize,
     scratch: &mut Scratch<A::State>,
@@ -2087,7 +2413,15 @@ where
         if shared.overflow.load(Ordering::Relaxed) {
             break;
         }
-        process_item(shared, (base + pos) as u32, *gid, bytes, scratch, &mut out);
+        process_item(
+            shared,
+            shards,
+            (base + pos) as u32,
+            *gid,
+            bytes,
+            scratch,
+            &mut out,
+        );
         if out.found_stop() {
             break;
         }
@@ -2095,12 +2429,13 @@ where
     out
 }
 
-/// One frontier node in a stealable level queue; `pos` is its index in
-/// the level (the violation tiebreak).
-struct LevelItem {
+/// One frontier node in a stealable expansion queue; `pos` is its
+/// global index in the level (the violation tiebreak).  The bytes
+/// borrow the frontier — expansion never consumes the level.
+struct LevelItem<'f> {
     pos: u32,
     gid: u32,
-    bytes: Box<[u8]>,
+    bytes: &'f [u8],
 }
 
 /// Items an owner claims from its own deque per lock acquisition.
@@ -2108,62 +2443,184 @@ struct LevelItem {
 /// that a straggler's leftover work stays stealable.
 const STEAL_BATCH: usize = 32;
 
-/// Expands one breadth-first level across `threads` workers with
-/// per-worker deques plus work stealing.
-///
-/// The level is block-partitioned like the old `chunks(chunk_size)`
-/// split, but a worker that drains its deque steals the back half of a
-/// peer's — so when orbit canonicalization makes node costs uneven, the
-/// end-of-level barrier waits for the *work*, not for the unluckiest
-/// initial chunk.  Levels stay synchronized (that is what keeps witness
-/// schedules shortest); only the stall inside each level is removed.
-fn run_level_stealing<A: Automaton + Sync>(
-    shared: &EngineShared<'_, A>,
-    frontier: Vec<(u32, Box<[u8]>)>,
-    threads: usize,
-) -> Vec<WorkerOut>
-where
-    A::State: EncodeState + Send,
-{
-    let level_len = frontier.len();
-    let mut qs: Vec<VecDeque<LevelItem>> = (0..threads).map(|_| VecDeque::new()).collect();
-    for (pos, (gid, bytes)) in frontier.into_iter().enumerate() {
-        qs[pos * threads / level_len].push_back(LevelItem {
-            pos: pos as u32,
-            gid,
-            bytes,
-        });
-    }
-    let queues: Vec<Mutex<VecDeque<LevelItem>>> = qs.into_iter().map(Mutex::new).collect();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|w| {
-                let queues = &queues;
-                s.spawn(move || steal_worker(shared, queues, w))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("model-checker worker panicked"))
-            .collect()
-    })
+/// Frontier slice expanded per two-phase round of the sharded parallel
+/// level: bounds the buffered pending-insert memory to
+/// `O(LEVEL_CHUNK · n)` regardless of level width, and bounds how much
+/// work can run after a violation is found (later rounds have strictly
+/// larger positions, so they can never improve the witness order).
+const LEVEL_CHUNK: usize = 16 * 1024;
+
+/// A canonical successor waiting for its owning shard's insert phase:
+/// everything the insert needs, with the monitor verdicts already
+/// evaluated on the concrete frame (as a bitmask, applied only if the
+/// insert turns out fresh — monitor predicates are orbit-invariant by
+/// contract, so evaluating on whichever concrete image a worker
+/// happened to generate is exact).
+struct PendingInsert {
+    hash: u64,
+    pos: u32,
+    parent: u32,
+    actor: u8,
+    sigma: u16,
+    orbit: u32,
+    mon_mask: u64,
+    bytes: Box<[u8]>,
 }
 
-/// One stealing worker: drain the own deque front in batches; when dry,
-/// steal the back half of the first non-empty victim deque.
-fn steal_worker<A: Automaton + Sync>(
+/// Expands one breadth-first level with worker-owned shard partitions.
+///
+/// The level runs in bounded rounds of [`LEVEL_CHUNK`] nodes, each
+/// round two phases with a barrier between:
+///
+/// 1. **Expand** (shards frozen, shared read-only): the round's nodes
+///    are block-partitioned over per-worker deques with back-half
+///    stealing (uneven orbit-canonicalization costs get rebalanced);
+///    each worker decodes, steps and canonicalizes successors, drops
+///    the ones already interned by a previous round or level (a
+///    lock-free probe of the frozen shard tables), evaluates monitors
+///    on the survivors' concrete frames, and routes them as
+///    [`PendingInsert`]s into per-shard outboxes.
+/// 2. **Insert** (shards partitioned): worker `w` exclusively owns the
+///    shards `si ≡ w (mod workers)` and drains their merged outboxes,
+///    sorted by `(pos, actor)` — so shard-local insertion order (and
+///    with it id numbering, BFS parents and monitor witnesses) is
+///    deterministic at every thread count and matches the order the
+///    sequential engine would pick.
+///
+/// No lock is held on any intern path — the striped-lock contention of
+/// the previous engine is gone by construction, and each shard's arena
+/// grows (and spills) independently.  The fresh children of all rounds
+/// are merged and sorted by `(pos, actor)` into the next frontier,
+/// again matching sequential order.
+fn run_level_sharded<A: Automaton + Sync>(
     shared: &EngineShared<'_, A>,
-    queues: &[Mutex<VecDeque<LevelItem>>],
-    w: usize,
+    shards: &mut [Shard],
+    frontier: &[(u32, Box<[u8]>)],
+    workers: usize,
 ) -> WorkerOut
 where
     A::State: EncodeState + Send,
 {
-    let threads = queues.len();
+    let n_shards = shards.len();
+    let mut out = WorkerOut::new(shared.monitors.len());
+    let mut fresh: Vec<(u32, u8, u32, Box<[u8]>)> = Vec::new();
+    for (ci, chunk) in frontier.chunks(LEVEL_CHUNK).enumerate() {
+        if shared.overflow.load(Ordering::Relaxed) || out.found_stop() {
+            break;
+        }
+        // Phase 1: expand the round against the frozen shards.
+        let results = expand_chunk_stealing(shared, &*shards, chunk, ci * LEVEL_CHUNK, workers);
+        let mut pending: Vec<Vec<PendingInsert>> = (0..n_shards).map(|_| Vec::new()).collect();
+        for (wout, boxes) in results {
+            out.acquisitions += wout.acquisitions;
+            out.transitions += wout.transitions;
+            if let Some(v) = wout.violation {
+                if out.violation.is_none_or(|best| v.order < best.order) {
+                    out.violation = Some(v);
+                }
+            }
+            for (acc, mut b) in pending.iter_mut().zip(boxes) {
+                acc.append(&mut b);
+            }
+        }
+        for p in &mut pending {
+            p.sort_unstable_by_key(|x| (x.pos, x.actor));
+        }
+        // Phase 2: each owner drains its shards' outboxes exclusively.
+        let mut owned: Vec<Vec<(usize, &mut Shard, Vec<PendingInsert>)>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for ((si, shard), pend) in shards.iter_mut().enumerate().zip(pending) {
+            owned[si % workers].push((si, shard, pend));
+        }
+        let drained: Vec<OwnerOut> = std::thread::scope(|s| {
+            let handles: Vec<_> = owned
+                .into_iter()
+                .map(|work| s.spawn(move || drain_owner(shared, work)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("model-checker insert worker panicked"))
+                .collect()
+        });
+        for oo in drained {
+            for (acc, hit) in out.monitor_hits.iter_mut().zip(&oo.monitor_hits) {
+                acc.merge(hit);
+            }
+            if let Some(p) = oo.prop_violation {
+                if out
+                    .prop_violation
+                    .is_none_or(|best| (p.order, p.monitor) < (best.order, best.monitor))
+                {
+                    out.prop_violation = Some(p);
+                }
+            }
+            fresh.extend(oo.fresh);
+        }
+    }
+    fresh.sort_unstable_by_key(|&(pos, actor, _, _)| (pos, actor));
+    out.next = fresh
+        .into_iter()
+        .map(|(_, _, gid, bytes)| (gid, bytes))
+        .collect();
+    out
+}
+
+/// Phase-1 worker pool of [`run_level_sharded`]: the round's nodes go
+/// into per-worker deques (same block partition and back-half stealing
+/// as the pre-sharding level engine); every worker returns its
+/// [`WorkerOut`] (transitions and violation candidates — nothing is
+/// interned here) plus its per-shard pending-insert outboxes.
+fn expand_chunk_stealing<'f, A: Automaton + Sync>(
+    shared: &EngineShared<'_, A>,
+    shards: &[Shard],
+    chunk: &'f [(u32, Box<[u8]>)],
+    base: usize,
+    workers: usize,
+) -> Vec<(WorkerOut, Vec<Vec<PendingInsert>>)>
+where
+    A::State: EncodeState + Send,
+{
+    let chunk_len = chunk.len();
+    let mut qs: Vec<VecDeque<LevelItem<'f>>> = (0..workers).map(|_| VecDeque::new()).collect();
+    for (idx, (gid, bytes)) in chunk.iter().enumerate() {
+        qs[idx * workers / chunk_len].push_back(LevelItem {
+            pos: (base + idx) as u32,
+            gid: *gid,
+            bytes,
+        });
+    }
+    let queues: Vec<Mutex<VecDeque<LevelItem<'f>>>> = qs.into_iter().map(Mutex::new).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let queues = &queues;
+                s.spawn(move || expand_worker(shared, shards, queues, w))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("model-checker expand worker panicked"))
+            .collect()
+    })
+}
+
+/// One phase-1 stealing worker: drain the own deque front in batches;
+/// when dry, steal the back half of the first non-empty victim deque.
+fn expand_worker<'f, A: Automaton + Sync>(
+    shared: &EngineShared<'_, A>,
+    shards: &[Shard],
+    queues: &[Mutex<VecDeque<LevelItem<'f>>>],
+    w: usize,
+) -> (WorkerOut, Vec<Vec<PendingInsert>>)
+where
+    A::State: EncodeState + Send,
+{
+    let workers = queues.len();
     let mut sc: Scratch<A::State> = Scratch::new(shared.mem0.clone());
     let mut out = WorkerOut::new(shared.monitors.len());
-    let mut batch: Vec<LevelItem> = Vec::with_capacity(STEAL_BATCH);
-    'level: loop {
+    let mut boxes: Vec<Vec<PendingInsert>> = (0..shards.len()).map(|_| Vec::new()).collect();
+    let mut batch: Vec<LevelItem<'f>> = Vec::with_capacity(STEAL_BATCH);
+    'round: loop {
         if shared.overflow.load(Ordering::Relaxed) {
             break;
         }
@@ -2179,8 +2636,8 @@ where
         }
         if batch.is_empty() {
             let mut stolen = false;
-            for off in 1..threads {
-                let victim = (w + off) % threads;
+            for off in 1..workers {
+                let victim = (w + off) % workers;
                 let mut q = queues[victim].lock();
                 let take = q.len().div_ceil(2);
                 if take == 0 {
@@ -2200,32 +2657,141 @@ where
                 break;
             }
             if !stolen {
-                // Every deque is dry: level items never respawn (fresh
-                // children go to the next level), so the level is done.
-                break 'level;
+                // Every deque is dry: round items never respawn (fresh
+                // children go to the next level), so the round is done.
+                break 'round;
             }
-            continue 'level;
+            continue 'round;
         }
         for item in batch.drain(..) {
-            process_item(shared, item.pos, item.gid, &item.bytes, &mut sc, &mut out);
+            let (pos, gid) = (item.pos, item.gid);
+            expand_node(
+                shared,
+                pos,
+                gid,
+                item.bytes,
+                &mut sc,
+                &mut out,
+                |sc, _out, actor, sigma, orbit| {
+                    let hash = hash_bytes(&sc.best);
+                    let si = shard_index(hash, shared.shard_bits);
+                    if shards[si]
+                        .arena
+                        .lookup_hashed_cached(hash, &sc.best, &mut sc.cache)
+                        .is_some()
+                    {
+                        // Interned by a previous round or level: the
+                        // frozen probe is exact for those, so nothing
+                        // to buffer.  Intra-round duplicates fall
+                        // through and lose in the insert phase.
+                        return;
+                    }
+                    let mut mon_mask = 0u64;
+                    for (mi, mon) in shared.monitors.iter().enumerate() {
+                        if (mon.eval)(sc.mem.slots(), &sc.procs) {
+                            mon_mask |= 1 << mi;
+                        }
+                    }
+                    boxes[si].push(PendingInsert {
+                        hash,
+                        pos,
+                        parent: gid,
+                        actor: actor as u8,
+                        sigma,
+                        orbit,
+                        mon_mask,
+                        bytes: sc.best.as_slice().into(),
+                    });
+                },
+            );
         }
     }
-    out
+    (out, boxes)
 }
 
-/// Expands one frontier node, interning fresh successors — the one
-/// expansion body both engine paths share.  A found violation never
-/// aborts mid-node: the candidate is merged by minimum `(pos, actor)`
-/// into `out` and the node's remaining actors still run (stolen items
+/// Phase-2 accumulator of one owner worker.
+struct OwnerOut {
+    /// Freshly interned children as `(pos, actor, gid, bytes)`; the
+    /// caller sorts them into the next frontier.
+    fresh: Vec<(u32, u8, u32, Box<[u8]>)>,
+    monitor_hits: Vec<MonitorHit>,
+    prop_violation: Option<PropViolation>,
+}
+
+/// Phase 2 for one owner: drains the pending inserts of every shard it
+/// owns (each pre-sorted by `(pos, actor)`), interning the survivors.
+/// Exclusive `&mut Shard` access replaces any locking.
+fn drain_owner<A: Automaton>(
+    shared: &EngineShared<'_, A>,
+    work: Vec<(usize, &mut Shard, Vec<PendingInsert>)>,
+) -> OwnerOut {
+    let mut oo = OwnerOut {
+        fresh: Vec::new(),
+        monitor_hits: vec![MonitorHit::default(); shared.monitors.len()],
+        prop_violation: None,
+    };
+    for (si, shard, pending) in work {
+        for p in pending {
+            if shared.overflow.load(Ordering::Relaxed) {
+                return oo;
+            }
+            let meta = NodeMeta {
+                parent: p.parent,
+                actor: p.actor,
+                sigma: p.sigma,
+            };
+            let (gid, fresh) = intern_into(shared, si, shard, p.hash, &p.bytes, meta, p.orbit);
+            if !fresh {
+                // An intra-round duplicate that lost the sorted
+                // `(pos, actor)` race — exactly the copy the
+                // sequential engine would have dropped too.
+                continue;
+            }
+            let order = (p.pos as usize, p.actor as usize);
+            let mut mask = p.mon_mask;
+            while mask != 0 {
+                let mi = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                oo.monitor_hits[mi].record(order, gid);
+                if shared.monitors[mi].fatal {
+                    let cand = PropViolation {
+                        order,
+                        node: gid,
+                        monitor: mi as u32,
+                    };
+                    if oo
+                        .prop_violation
+                        .is_none_or(|best| (cand.order, cand.monitor) < (best.order, best.monitor))
+                    {
+                        oo.prop_violation = Some(cand);
+                    }
+                }
+            }
+            oo.fresh.push((p.pos, p.actor, gid, p.bytes));
+        }
+    }
+    oo
+}
+
+/// Expands one frontier node — the successor-generation skeleton both
+/// engine paths share.  For every `Progress` step the successor is
+/// canonicalized into `scratch.best` (concrete frame left in
+/// `scratch.mem`/`scratch.procs`) and handed to `sink` as
+/// `(scratch, out, actor, sigma, orbit)`; the sink either interns it
+/// immediately (sequential path) or routes it to the owning shard's
+/// outbox (sharded parallel path).  A found violation never aborts
+/// mid-node: the candidate is merged by minimum `(pos, actor)` into
+/// `out` and the node's remaining actors still run (stolen items
 /// arrive out of position order on the stealing path, and the caller
 /// decides whether to continue with further nodes).
-fn process_item<A: Automaton>(
+fn expand_node<A: Automaton>(
     shared: &EngineShared<'_, A>,
     pos: u32,
     gid: u32,
     bytes: &[u8],
     scratch: &mut Scratch<A::State>,
     out: &mut WorkerOut,
+    mut sink: impl FnMut(&mut Scratch<A::State>, &mut WorkerOut, usize, u16, u32),
 ) where
     A::State: EncodeState,
 {
@@ -2268,39 +2834,68 @@ fn process_item<A: Automaton>(
             &mut scratch.best,
             &mut scratch.first,
         );
-        let meta = NodeMeta {
-            parent: gid,
-            actor: i as u8,
-            sigma,
-        };
-        let (child, fresh) = shared.intern(&scratch.best, meta, orbit);
-        if fresh {
-            out.next.push((child, scratch.best.as_slice().into()));
-            // Monitors run once per stored state, on the concrete
-            // successor as generated (same frame the mutual-exclusion
-            // check saw); under symmetry they must be orbit-invariant,
-            // so any image is as good as any other.
-            for (mi, mon) in shared.monitors.iter().enumerate() {
-                if (mon.eval)(scratch.mem.slots(), &scratch.procs) {
-                    let order = (pos as usize, i);
-                    out.monitor_hits[mi].record(order, child);
-                    if mon.fatal {
-                        let cand = PropViolation {
-                            order,
-                            node: child,
-                            monitor: mi as u32,
-                        };
-                        if out.prop_violation.is_none_or(|best| {
-                            (cand.order, cand.monitor) < (best.order, best.monitor)
-                        }) {
-                            out.prop_violation = Some(cand);
+        sink(scratch, out, i, sigma, orbit);
+        scratch.procs[i] = saved;
+    }
+}
+
+/// The sequential intern sink over [`expand_node`]: interns fresh
+/// successors immediately and evaluates monitors on the spot.
+/// Monitors run once per stored state, on the concrete successor as
+/// generated (same frame the mutual-exclusion check saw); under
+/// symmetry they must be orbit-invariant, so any image is as good as
+/// any other.
+fn process_item<A: Automaton>(
+    shared: &EngineShared<'_, A>,
+    shards: &mut [Shard],
+    pos: u32,
+    gid: u32,
+    bytes: &[u8],
+    scratch: &mut Scratch<A::State>,
+    out: &mut WorkerOut,
+) where
+    A::State: EncodeState,
+{
+    expand_node(
+        shared,
+        pos,
+        gid,
+        bytes,
+        scratch,
+        out,
+        |sc, out, actor, sigma, orbit| {
+            let hash = hash_bytes(&sc.best);
+            let si = shard_index(hash, shared.shard_bits);
+            let meta = NodeMeta {
+                parent: gid,
+                actor: actor as u8,
+                sigma,
+            };
+            let (child, fresh) =
+                intern_into(shared, si, &mut shards[si], hash, &sc.best, meta, orbit);
+            if fresh {
+                out.next.push((child, sc.best.as_slice().into()));
+                let order = (pos as usize, actor);
+                for (mi, mon) in shared.monitors.iter().enumerate() {
+                    if (mon.eval)(sc.mem.slots(), &sc.procs) {
+                        out.monitor_hits[mi].record(order, child);
+                        if mon.fatal {
+                            let cand = PropViolation {
+                                order,
+                                node: child,
+                                monitor: mi as u32,
+                            };
+                            if out.prop_violation.is_none_or(|best| {
+                                (cand.order, cand.monitor) < (best.order, best.monitor)
+                            }) {
+                                out.prop_violation = Some(cand);
+                            }
                         }
                     }
                 }
             }
-        }
-        scratch.procs[i] = saved;
-    }
+        },
+    );
 }
 
 /// Read-only view of the interned shards after exploration.
@@ -2335,8 +2930,28 @@ impl Store {
         *self.prefix.last().expect("nonempty prefix") as usize
     }
 
+    /// Logical (uncompressed-page-inclusive) arena bytes across all
+    /// shards, whether resident or spilled.
     fn arena_bytes(&self) -> usize {
         self.shards.iter().map(|s| s.arena.arena_bytes()).sum()
+    }
+
+    /// Arena bytes currently held in memory (excludes spilled pages).
+    fn resident_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.arena.resident_bytes()).sum()
+    }
+
+    /// Spill counters folded across all shards.
+    fn spill_stats(&self) -> SpillStats {
+        let mut acc = SpillStats::default();
+        for s in &self.shards {
+            let st = s.arena.spill_stats();
+            acc.spilled_bytes += st.spilled_bytes;
+            acc.faults += st.faults;
+            acc.evictions += st.evictions;
+            acc.spill_file_bytes += st.spill_file_bytes;
+        }
+        acc
     }
 
     fn table_bytes(&self) -> usize {
@@ -2348,10 +2963,11 @@ impl Store {
         (si, gid >> self.shard_bits)
     }
 
-    /// Materializes the encoded bytes of `gid` into `out`.
-    fn bytes_into(&self, gid: u32, out: &mut Vec<u8>) {
+    /// Materializes the encoded bytes of `gid` into `out`, faulting
+    /// the page in from spill through the caller's cache if evicted.
+    fn bytes_into(&self, gid: u32, cache: &mut PageCache, out: &mut Vec<u8>) {
         let (si, local) = self.split(gid);
-        self.shards[si].arena.get_into(local, out);
+        self.shards[si].arena.get_into_cached(local, cache, out);
     }
 
     fn meta(&self, gid: u32) -> NodeMeta {
@@ -2359,10 +2975,12 @@ impl Store {
         self.shards[si].meta[local as usize]
     }
 
-    fn lookup(&self, bytes: &[u8]) -> Option<u32> {
+    fn lookup(&self, bytes: &[u8], cache: &mut PageCache) -> Option<u32> {
         let hash = hash_bytes(bytes);
-        let si = ((hash >> 48) as usize) & ((1usize << self.shard_bits) - 1);
-        let local = self.shards[si].arena.lookup_hashed(hash, bytes)?;
+        let si = shard_index(hash, self.shard_bits);
+        let local = self.shards[si]
+            .arena
+            .lookup_hashed_cached(hash, bytes, cache)?;
         Some((local << self.shard_bits) | si as u32)
     }
 
@@ -2462,6 +3080,7 @@ fn max_pending_depth<S: EncodeState>(
     let mut slots: Vec<Slot> = Vec::new();
     let mut procs: Vec<(Phase, S)> = Vec::new();
     let mut node: Vec<u8> = Vec::new();
+    let mut cache = PageCache::new();
     let mut queue: VecDeque<u32> = VecDeque::new();
     queue.push_back(root as u32);
     while let Some(v) = queue.pop_front() {
@@ -2469,7 +3088,7 @@ fn max_pending_depth<S: EncodeState>(
         for &c in &children[start[v] as usize..start[v + 1] as usize] {
             let c = c as usize;
             let meta = store.meta(store.gid_of_dense(c));
-            store.bytes_into(store.gid_of_dense(c), &mut node);
+            store.bytes_into(store.gid_of_dense(c), &mut cache, &mut node);
             decode_node::<S>(&node, m, n, &mut slots, &mut procs);
             let pi_inv = &group[meta.sigma as usize].pi_inv;
             for j in 0..n {

@@ -85,6 +85,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("verdict: PROPERTY VIOLATED — monitor \"{property}\" hit a reachable");
             println!("state after the schedule {schedule:?}");
         }
+        Verdict::Interrupted { level, checkpoints } => {
+            println!("verdict: INTERRUPTED — halted at level {level} after {checkpoints}");
+            println!("checkpoint(s); rerun with resume(true) to continue.");
+        }
     }
     Ok(())
 }

@@ -8,7 +8,9 @@
 //! contract (`intern` of a seen string returns the original index,
 //! fresh = false) survives table growth and drift re-basing.
 
-use amx_sim::intern::{hash_bytes, hash_bytes_bytewise, StateArena, PAGE};
+use amx_sim::intern::{
+    anon_spill_file, hash_bytes, hash_bytes_bytewise, PageCache, StateArena, PAGE,
+};
 use proptest::prelude::*;
 
 /// Builds a batch of byte strings shaped like the model checker's
@@ -134,5 +136,86 @@ proptest! {
         );
         // The byte-wise reference stays available for the bench delta.
         prop_assert_eq!(hash_bytes_bytewise(&base), hash_bytes_bytewise(&base));
+    }
+
+    /// Out-of-core identity: attaching a spill file mid-stream (with a
+    /// budget small enough to evict every sealed page) must be fully
+    /// transparent.  Every state interned before or after the attach
+    /// still round-trips through both the uncached fault path and the
+    /// caller-owned page cache, membership probes still find exactly
+    /// the interned strings, and a snapshot of the spilled arena reads
+    /// back as an equivalent (fully resident) arena.
+    #[test]
+    fn spill_evict_fault_in_round_trip(
+        extra in 0usize..(PAGE / 2),
+        post in 1usize..(PAGE + 17),
+        tail in any::<u8>(),
+    ) {
+        let pre = 2 * PAGE + extra + 1; // at least two sealed pages to evict
+        let mk = |i: usize| -> Vec<u8> {
+            let mut s = vec![0x3Cu8; 44];
+            s[5] = (i % 251) as u8;
+            s[19] = (i / 251) as u8;
+            s[31] = (i % 7) as u8;
+            s[43] = tail;
+            s
+        };
+        let mut arena = StateArena::new();
+        for i in 0..pre {
+            let (idx, fresh) = arena.intern(&mk(i));
+            prop_assert!(fresh);
+            prop_assert_eq!(idx as usize, i);
+        }
+        let full = arena.arena_bytes();
+        let spill = anon_spill_file(&std::env::temp_dir()).expect("spill file");
+        arena.set_spill(spill, 0); // evict everything evictable right away
+        let stats = arena.spill_stats();
+        prop_assert!(stats.spilled_bytes > 0, "two sealed pages must evict");
+        prop_assert!(stats.evictions > 0);
+        prop_assert!(
+            arena.resident_bytes() < full,
+            "resident ({}) must drop below the logical size ({})",
+            arena.resident_bytes(),
+            full
+        );
+        // Keep interning across further page boundaries with the spill
+        // active: eviction churn must never disturb earlier indices.
+        for i in 0..post {
+            let (idx, fresh) = arena.intern(&mk(pre + i));
+            prop_assert!(fresh);
+            prop_assert_eq!(idx as usize, pre + i);
+        }
+        let n = pre + post;
+        let mut buf = Vec::new();
+        let mut cache = PageCache::new();
+        for i in 0..n {
+            arena.get_into(i as u32, &mut buf); // uncached fault path
+            prop_assert_eq!(&buf, &mk(i), "uncached fault-in of state {}", i);
+            arena.get_into_cached(i as u32, &mut cache, &mut buf);
+            prop_assert_eq!(&buf, &mk(i), "cached fault-in of state {}", i);
+            let bytes = mk(i);
+            prop_assert_eq!(
+                arena.lookup_hashed_cached(hash_bytes(&bytes), &bytes, &mut cache),
+                Some(i as u32)
+            );
+        }
+        prop_assert!(arena.spill_stats().faults > 0, "reads above faulted pages in");
+        // Membership stays exact: an absent state is absent on the
+        // spilled probe path too.
+        let absent = vec![0xEEu8; 44];
+        prop_assert_eq!(
+            arena.lookup_hashed_cached(hash_bytes(&absent), &absent, &mut cache),
+            None
+        );
+        // Snapshots are spill-invariant: a spilled arena serialises to
+        // the same logical content as a resident one.
+        let mut snap = Vec::new();
+        arena.write_snapshot(&mut snap).expect("snapshot write");
+        let restored = StateArena::read_snapshot(&mut snap.as_slice()).expect("snapshot read");
+        prop_assert_eq!(restored.len(), n);
+        for i in 0..n {
+            restored.get_into(i as u32, &mut buf);
+            prop_assert_eq!(&buf, &mk(i), "restored state {}", i);
+        }
     }
 }
