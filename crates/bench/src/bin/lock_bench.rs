@@ -25,6 +25,9 @@
 //!                    200 full)
 //!   --out PATH       where to write the JSON report (default
 //!                    BENCH_lock.json)
+//!   --backoff NAME   contention backoff policy every participant uses:
+//!                    spin | spin-yield | spin-yield-park (default
+//!                    spin-yield, the runtime default)
 //!   --baseline PATH  regression gate: fail if this run's wall time
 //!                    exceeds 3× the `total_wall_ms` recorded in PATH
 //!                    (same budget rule as `mc_sweep --baseline`), or if
@@ -43,7 +46,7 @@ use std::time::Instant;
 use amx_baselines::{BurnsStepLock, PetersonTreeLock, TasStepLock};
 use amx_core::lock::AmxLock;
 use amx_core::spec::Model;
-use amx_core::{MutexSpec, RmwAnonLock, RwAnonLock};
+use amx_core::{Backoff, MutexSpec, RmwAnonLock, RwAnonLock};
 use amx_registers::{Adversary, OpCounters, OpSnapshot};
 
 /// Latency histogram: bucket `i` counts acquires in `[2^(i-1), 2^i)` ns
@@ -60,6 +63,7 @@ struct Options {
     ops: u64,
     out: String,
     baseline: Option<String>,
+    backoff: Backoff,
 }
 
 fn parse_args() -> Options {
@@ -67,6 +71,7 @@ fn parse_args() -> Options {
     let mut ops = None;
     let mut out = "BENCH_lock.json".to_string();
     let mut baseline = None;
+    let mut backoff = Backoff::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -80,6 +85,18 @@ fn parse_args() -> Options {
             }
             "--out" => out = args.next().expect("--out needs a path"),
             "--baseline" => baseline = Some(args.next().expect("--baseline needs a path")),
+            "--backoff" => {
+                let name = args.next().expect("--backoff needs a policy name");
+                backoff = Backoff::all()
+                    .into_iter()
+                    .find(|b| b.name() == name)
+                    .unwrap_or_else(|| {
+                        eprintln!(
+                            "unknown backoff policy: {name} (spin | spin-yield | spin-yield-park)"
+                        );
+                        std::process::exit(2);
+                    });
+            }
             other => {
                 eprintln!("unknown flag: {other}");
                 std::process::exit(2);
@@ -91,6 +108,7 @@ fn parse_args() -> Options {
         ops: ops.unwrap_or(if smoke { 150 } else { 200 }),
         out,
         baseline,
+        backoff,
     }
 }
 
@@ -176,15 +194,18 @@ fn quantile_ns(hist: &[u64; HIST_BUCKETS], q: f64) -> u64 {
 
 /// Runs one grid point: every participant on its own thread, `ops`
 /// lock/unlock cycles each, all through the `dyn AmxLock` object.
-fn run_point(family: &'static str, lock: &dyn AmxLock, ops: u64) -> Point {
+fn run_point(family: &'static str, lock: &dyn AmxLock, ops: u64, backoff: Backoff) -> Point {
     let spec = lock.spec();
     let threads = spec.n();
     // Seed differs per (family, threads) so the anonymous families see
     // fresh permutations at every point.
     let seed = 0xA11C_E5ED ^ ((threads as u64) << 8) ^ family.len() as u64;
-    let participants = lock
+    let participants: Vec<_> = lock
         .participants(&Adversary::Random(seed))
-        .expect("adversary materialization");
+        .expect("adversary materialization")
+        .into_iter()
+        .map(|p| p.with_backoff(backoff))
+        .collect();
     let aggregate = OpCounters::new();
     for p in &participants {
         aggregate.merge(p.counters()); // all zero; registers the clones' shape
@@ -339,11 +360,13 @@ fn render_json(points: &[Point], skipped: &[(String, usize, String)], opts: &Opt
     let total_entries: u64 = points.iter().map(|p| p.total_entries).sum();
     let total_wall_ms: f64 = points.iter().map(|p| p.wall_secs * 1e3).sum();
     format!(
-        "{{\n  \"bench\": \"lock_bench\",\n  \"smoke\": {},\n  \"available_parallelism\": {},\n  \
+        "{{\n  \"bench\": \"lock_bench\",\n  \"smoke\": {},\n  \"backoff\": \"{}\",\n  \
+         \"available_parallelism\": {},\n  \
          \"ops_per_thread\": {},\n  \"points\": [{}\n  ],\n  \"skipped\": [{}\n  ],\n  \
          \"totals\": {{\n    \"points\": {},\n    \"total_entries\": {},\n    \
          \"total_wall_ms\": {:.3}\n  }}\n}}\n",
         opts.smoke,
+        opts.backoff.name(),
         // Disambiguates serialized-by-the-container from a real fairness
         // or throughput regression when CI reads the report.
         std::thread::available_parallelism().map_or(1, |p| p.get()),
@@ -409,10 +432,11 @@ fn main() {
         &FULL_THREADS
     };
     println!(
-        "lock contention rig — {} families × {:?} threads, {} ops/thread ({})",
+        "lock contention rig — {} families × {:?} threads, {} ops/thread, {} backoff ({})",
         FAMILIES.len(),
         thread_counts,
         opts.ops,
+        opts.backoff.name(),
         if opts.smoke { "smoke" } else { "full" },
     );
 
@@ -422,7 +446,7 @@ fn main() {
         for &threads in thread_counts {
             match make_lock(family, threads) {
                 Ok(lock) => {
-                    let p = run_point(family, lock.as_ref(), opts.ops);
+                    let p = run_point(family, lock.as_ref(), opts.ops, opts.backoff);
                     println!(
                         "  {family:<12} t={threads:<3} n={} m={:<3} {:>9.0} entries/s  \
                          p50 {:>8} ns  p99 {:>9} ns  max pending {}",

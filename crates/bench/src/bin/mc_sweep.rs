@@ -25,6 +25,13 @@
 //!   --threads N      worker-thread cap (also honours AMX_MC_THREADS;
 //!                    default 1; the engine clamps to available cores)
 //!   --max-states N   canonical-state bound per point
+//!   --crashes K      add the crash-survival points: each algorithm's
+//!                    (3, m) configuration re-checked with a total
+//!                    crash budget of K under both crash modes
+//!                    (wipe-registers and stale-claims; the full grid
+//!                    adds the alg1 (4, 5) frontier under crashes).
+//!                    The verdicts land in the JSON and are gated
+//!                    exactly by --baseline
 //!   --out PATH       where to write the JSON report (default BENCH_mc.json)
 //!   --no-progress    disable the throttled live-progress lines on stderr
 //!   --property NAME  (repeatable) attach the named `amx-props` built-in
@@ -97,7 +104,9 @@ use amx_props::predicate::{by_name, StatePredicate};
 use amx_props::property::{monitor_for, scc_query_for};
 use amx_registers::orbit::adversary_orbits;
 use amx_registers::Adversary;
-use amx_sim::mc::{McProgress, McReport, ModelChecker, StateSpaceExceeded, Symmetry, Verdict};
+use amx_sim::mc::{
+    CrashBudget, CrashMode, McError, McProgress, McReport, ModelChecker, Symmetry, Verdict,
+};
 use amx_sim::{EncodeState, MemoryModel};
 
 #[derive(Debug, Clone, Copy)]
@@ -107,6 +116,10 @@ struct Options {
     threads: Option<usize>,
     max_states: usize,
     progress: bool,
+    /// `--crashes k`: adds the crash-survival points (each algorithm's
+    /// `(3, m)` configuration under both [`CrashMode`]s with a total
+    /// crash budget of `k`) to the grid.
+    crashes: Option<u8>,
 }
 
 /// Predicates attached to every grid point, parsed from `--property`
@@ -174,6 +187,7 @@ fn parse_args() -> CliArgs {
         threads: None,
         max_states: 4_000_000,
         progress: true,
+        crashes: None,
     };
     let mut props = Props::default();
     let mut ooc = OutOfCore::inactive();
@@ -198,6 +212,10 @@ fn parse_args() -> CliArgs {
             "--max-states" => {
                 let v = args.next().expect("--max-states needs a value");
                 opts.max_states = v.parse().expect("--max-states needs an integer");
+            }
+            "--crashes" => {
+                let v = args.next().expect("--crashes needs a value");
+                opts.crashes = Some(v.parse().expect("--crashes needs a small integer"));
             }
             "--property" => {
                 let name = args.next().expect("--property needs a predicate name");
@@ -260,7 +278,9 @@ struct Point {
     /// rotation/ring assignments, the wreath-reduction showcases).
     adv: &'static str,
     valid_m: bool,
-    report: Result<McReport, StateSpaceExceeded>,
+    /// Total crash budget of this point (0 = the crash-free model).
+    crashes: u8,
+    report: Result<McReport, McError>,
 }
 
 /// Compiles the CLI-selected predicates onto one checker: monitors
@@ -406,11 +426,7 @@ fn configure<A: amx_sim::Automaton>(mut mc: ModelChecker<A>, opts: Options) -> M
 /// runs it.  Each point checkpoints into its own subdirectory of
 /// `--checkpoint-dir` (the directory tag is the stable point key), so
 /// a killed sweep resumes every point from its own level boundary.
-fn run_point<A>(
-    mut mc: ModelChecker<A>,
-    ooc: &OutOfCore,
-    tag: &str,
-) -> Result<McReport, StateSpaceExceeded>
+fn run_point<A>(mut mc: ModelChecker<A>, ooc: &OutOfCore, tag: &str) -> Result<McReport, McError>
 where
     A: amx_sim::Automaton + Sync,
     A::State: EncodeState + Send,
@@ -439,7 +455,7 @@ fn point_dir_tag(alg: &str, n: usize, m: usize, orbit: usize, adv: &str) -> Stri
     format!("alg{alg}-n{n}-m{m}-o{orbit}-{adv}")
 }
 
-fn verdict_tag(r: &Result<McReport, StateSpaceExceeded>) -> &'static str {
+fn verdict_tag(r: &Result<McReport, McError>) -> &'static str {
     match r {
         Ok(rep) => match rep.verdict {
             Verdict::Ok => "ok",
@@ -448,7 +464,9 @@ fn verdict_tag(r: &Result<McReport, StateSpaceExceeded>) -> &'static str {
             Verdict::PropertyViolation { .. } => "property-violation",
             Verdict::Interrupted { .. } => "interrupted",
         },
-        Err(_) => "state-bound-exceeded",
+        Err(McError::StateSpaceExceeded(_)) => "state-bound-exceeded",
+        Err(McError::Spill(_)) => "spill-error",
+        Err(McError::Checkpoint(_)) => "checkpoint-error",
     }
 }
 
@@ -487,6 +505,9 @@ fn print_point(p: &Point) {
             }
             if let Some(lvl) = rep.resumed_from_level {
                 println!("        resumed from checkpoint at level {lvl}");
+            }
+            for note in &rep.degraded {
+                println!("        degraded: {note}");
             }
             for mon in &rep.monitors {
                 println!(
@@ -567,6 +588,7 @@ fn main() {
                 orbit: oi,
                 adv: "orbit",
                 valid_m: is_valid_m(m as u64, n as u64),
+                crashes: 0,
                 report,
             });
             print_point(points.last().expect("just pushed"));
@@ -589,6 +611,7 @@ fn main() {
             orbit: oi,
             adv: "orbit",
             valid_m: false,
+            crashes: 0,
             report,
         });
         print_point(points.last().expect("just pushed"));
@@ -623,6 +646,7 @@ fn main() {
                 orbit: oi,
                 adv: "orbit",
                 valid_m: is_valid_m(m as u64, n as u64),
+                crashes: 0,
                 report,
             });
             print_point(points.last().expect("just pushed"));
@@ -647,6 +671,7 @@ fn main() {
             orbit: 0,
             adv: "identity",
             valid_m: true,
+            crashes: 0,
             report,
         });
         print_point(points.last().expect("just pushed"));
@@ -662,6 +687,7 @@ fn main() {
             orbit: 0,
             adv: "identity",
             valid_m: true,
+            crashes: 0,
             report,
         });
         print_point(points.last().expect("just pushed"));
@@ -679,6 +705,7 @@ fn main() {
             orbit: 0,
             adv: "identity",
             valid_m: true,
+            crashes: 0,
             report,
         });
         print_point(points.last().expect("just pushed"));
@@ -717,6 +744,7 @@ fn main() {
             orbit: 0,
             adv: "ring",
             valid_m: false,
+            crashes: 0,
             report,
         });
         print_point(points.last().expect("just pushed"));
@@ -744,6 +772,7 @@ fn main() {
             orbit: 0,
             adv: "ring",
             valid_m: true,
+            crashes: 0,
             report,
         });
         print_point(points.last().expect("just pushed"));
@@ -771,9 +800,95 @@ fn main() {
             orbit: 0,
             adv: "identity",
             valid_m: true,
+            crashes: 0,
             report,
         });
         print_point(points.last().expect("just pushed"));
+    }
+
+    // Crash-survival points (--crashes K): does deadlock-freedom
+    // survive an adversary that may crash up to K mid-invocation
+    // processes?  A crashed process reboots with no local memory
+    // (`Automaton::crash_state`); under `WipeRegisters` its shared
+    // claims evaporate with it, under `StaleClaims` they linger — the
+    // paper-relevant question for anonymous memory, where a rebooted
+    // process cannot remember which registers it owned.  Both
+    // algorithms run their (3, m) configuration (alg1 at its smallest
+    // valid 3-process RW point m = 5, alg2 at the degenerate m = 1)
+    // under both modes; verdicts are recorded, not asserted — they ARE
+    // the datapoint — and gated exactly against the baseline.
+    if let Some(k) = opts.crashes {
+        println!("\ncrash-survival points (total crash budget {k}):");
+        let crash_opts = Options {
+            max_states: opts.max_states.max(2_000_000),
+            ..opts
+        };
+        for (mode, tag) in [
+            (CrashMode::WipeRegisters, "crash-wipe"),
+            (CrashMode::StaleClaims, "crash-stale"),
+        ] {
+            let report = run_point(
+                checker_alg1(3, 5, &Adversary::Identity, crash_opts, &props)
+                    .crashes(CrashBudget::total(k), mode),
+                &ooc,
+                &point_dir_tag("1", 3, 5, 0, tag),
+            );
+            points.push(Point {
+                alg: "1",
+                n: 3,
+                m: 5,
+                orbit: 0,
+                adv: tag,
+                valid_m: true,
+                crashes: k,
+                report,
+            });
+            print_point(points.last().expect("just pushed"));
+            let report = run_point(
+                checker_alg2(3, 1, &Adversary::Identity, crash_opts, &props)
+                    .crashes(CrashBudget::total(k), mode),
+                &ooc,
+                &point_dir_tag("2", 3, 1, 0, tag),
+            );
+            points.push(Point {
+                alg: "2",
+                n: 3,
+                m: 1,
+                orbit: 0,
+                adv: tag,
+                valid_m: true,
+                crashes: k,
+                report,
+            });
+            print_point(points.last().expect("just pushed"));
+        }
+        // The (4, 5) crash frontier rides only on the full/deep grids:
+        // the crash-free point is already 5.2M canonical states, and
+        // crash counts multiply that.  A bound overflow here is
+        // reported, not fatal (the point is exploratory).
+        if opts.deep || !opts.smoke {
+            let frontier_opts = Options {
+                max_states: opts.max_states.max(32_000_000),
+                ..opts
+            };
+            let report = run_point(
+                checker_alg1(4, 5, &Adversary::Identity, frontier_opts, &props)
+                    .crashes(CrashBudget::total(k), CrashMode::WipeRegisters),
+                &ooc,
+                &point_dir_tag("1", 4, 5, 0, "crash-wipe"),
+            );
+            points.push(Point {
+                alg: "1",
+                n: 4,
+                m: 5,
+                orbit: 0,
+                adv: "crash-wipe",
+                valid_m: true,
+                crashes: k,
+                report,
+            });
+            print_point(points.last().expect("just pushed"));
+        }
     }
 
     // The n = 4 frontier point: Algorithm 1 at its smallest valid
@@ -798,6 +913,7 @@ fn main() {
             orbit: 0,
             adv: "identity",
             valid_m: true,
+            crashes: 0,
             report,
         });
         print_point(points.last().expect("just pushed"));
@@ -828,6 +944,7 @@ fn main() {
             orbit: 0,
             adv: "identity",
             valid_m: true,
+            crashes: 0,
             report,
         });
         print_point(points.last().expect("just pushed"));
@@ -846,6 +963,20 @@ fn main() {
     // engine regression (and would otherwise silently shrink the
     // wall-time sum the perf budget below gates on), so Err is fatal.
     for p in &points {
+        if p.crashes > 0 {
+            // Crash-survival verdicts are the *measurement*, not an
+            // invariant: whether deadlock-freedom survives crashes is
+            // exactly what the sweep records (and the baseline gate
+            // then pins).  A bound overflow on the exploratory crash
+            // frontier is reported in the JSON rather than fatal.
+            if let Err(e) = &p.report {
+                println!(
+                    "  note: crash point alg{} n={} m={} ({}) incomplete: {e}",
+                    p.alg, p.n, p.m, p.adv
+                );
+            }
+            continue;
+        }
         if let Err(e) = &p.report {
             panic!(
                 "alg{} n={} m={} orbit {} failed to complete: {e}",
@@ -937,6 +1068,18 @@ fn main() {
                 continue;
             };
             matched += 1;
+            // Verdict gate: verdicts are deterministic per point, so
+            // any change — an Ok point livelocking, a crash-survival
+            // flip — is a regression, exact with no slack.
+            if !base.verdict.is_empty() && verdict_tag(&p.report) != base.verdict {
+                eprintln!(
+                    "VERDICT REGRESSION: {key} is now \"{}\", baseline {path} \
+                     recorded \"{}\"",
+                    verdict_tag(&p.report),
+                    base.verdict
+                );
+                regressed = true;
+            }
             if rep.canonical_states as u64 > base.canonical_states {
                 eprintln!(
                     "REDUCTION REGRESSION: {key} stores {} canonical states, \
@@ -1020,6 +1163,10 @@ fn point_key(alg: &str, n: usize, m: usize, orbit: usize, adv: &str) -> String {
 struct BaselinePoint {
     key: String,
     canonical_states: u64,
+    /// The recorded verdict tag; deterministic, so any change on a
+    /// grid-matched point (crash-survival flips included) is a
+    /// regression.
+    verdict: String,
     /// `"name" → hit count` pairs from the `properties` object.
     properties: Vec<(String, u64)>,
     /// `"name" → verdict` pairs from the `scc_queries` object.
@@ -1082,6 +1229,7 @@ fn extract_points(json: &str) -> Vec<BaselinePoint> {
             out.push(BaselinePoint {
                 key: point_key(alg, n as usize, m as usize, orbit as usize, adv),
                 canonical_states: canon,
+                verdict: string("verdict").unwrap_or_default().to_string(),
                 properties: extract_object(line, "properties")
                     .into_iter()
                     .filter_map(|(k, v)| Some((k, v.parse().ok()?)))
@@ -1169,6 +1317,12 @@ fn render_json(points: &[Point], opts: Options) -> String {
             );
             if let Some(lvl) = rep.resumed_from_level {
                 let _ = write!(body, ", \"resumed_from_level\": {lvl}");
+            }
+            if p.crashes > 0 {
+                let _ = write!(body, ", \"crashes\": {}", p.crashes);
+            }
+            if !rep.degraded.is_empty() {
+                let _ = write!(body, ", \"degraded\": {}", rep.degraded.len());
             }
             // Per-process longest observed wait (quantitative
             // starvation data; canonical positions under reduction).

@@ -175,6 +175,17 @@ impl Automaton for Alg1Automaton {
         Alg1State::Idle
     }
 
+    /// A crashed process reboots with no memory of its invocation: all
+    /// of `Alg1State` (snapshot view, write cursor, shrink position) is
+    /// private, so the reset is total.  Note the asymmetry the model
+    /// checker finds: under `CrashMode::StaleClaims` the registers this
+    /// process claimed stay claimed forever, and Algorithm 1's averaging
+    /// argument counts the ghost as a competitor that never withdraws —
+    /// deadlock-freedom does *not* survive stale crashes here.
+    fn crash_state(&self) -> Alg1State {
+        Alg1State::Idle
+    }
+
     fn start_lock(&self, state: &mut Alg1State) {
         debug_assert_eq!(
             *state,

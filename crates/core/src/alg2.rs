@@ -141,6 +141,16 @@ impl Automaton for Alg2Automaton {
         Alg2State::Idle
     }
 
+    /// A crashed process reboots with no memory of its invocation — all
+    /// of `Alg2State` (sweep cursors, ownership tallies) is private, so
+    /// the reset is total.  Under `CrashMode::StaleClaims` the CAS
+    /// claims it left behind stay claimed; whether survivors still
+    /// assemble a majority depends on how much the ghost held, which is
+    /// exactly what the `--crashes` sweep points measure.
+    fn crash_state(&self) -> Alg2State {
+        Alg2State::Idle
+    }
+
     fn start_lock(&self, state: &mut Alg2State) {
         debug_assert_eq!(
             *state,

@@ -81,6 +81,6 @@ pub mod threaded;
 pub use alg1::Alg1Automaton;
 pub use alg2::Alg2Automaton;
 pub use lock::{AmxLock, BuildLock, Guard, Participant, RawEndpoint};
-pub use policy::FreeSlotPolicy;
+pub use policy::{Backoff, FreeSlotPolicy};
 pub use spec::{MutexSpec, SpecError};
 pub use threaded::{RmwAnonLock, RwAnonLock};

@@ -27,6 +27,20 @@
 //! observable through [`Guard::poisoned`], [`Participant::is_poisoned`]
 //! and [`AmxLock::is_poisoned`]; clear it with [`AmxLock::clear_poison`].
 //!
+//! # Crash semantics
+//!
+//! A participant dropped **outside** its critical section — even
+//! mid-doorway, with claims in shared memory — withdraws automatically:
+//! `Drop` runs [`abandon`](RawEndpoint::abandon) on any pending
+//! invocation, so the handle leaves memory clean and never poisons the
+//! lock (poisoning means a *critical section* was interrupted; a doorway
+//! has no application state to corrupt).  To simulate a real process
+//! crash instead — stale claims left behind, exactly the model checker's
+//! `CrashMode::StaleClaims` — call [`Participant::hard_crash`], which
+//! skips the cleanup.  How waiters burn the time between protocol steps
+//! is the pluggable [`Backoff`] ladder
+//! ([`Participant::with_backoff`]).
+//!
 //! Lock families implement the trait by wrapping a [`RawEndpoint`] — the
 //! minimal per-process driver SPI — so harnesses like the contention rig
 //! drive Algorithm 1, Algorithm 2, TAS, Burns–Lynch and Peterson through
@@ -41,7 +55,7 @@ use amx_ids::Pid;
 use amx_registers::adversary::AdversaryError;
 use amx_registers::{Adversary, OpCounters};
 
-use crate::policy::FreeSlotPolicy;
+use crate::policy::{Backoff, FreeSlotPolicy};
 use crate::spec::MutexSpec;
 
 /// Steps granted to a single [`Participant::try_lock`] attempt — ample
@@ -159,6 +173,13 @@ pub struct Participant {
     spec: MutexSpec,
     poison: Arc<AtomicBool>,
     entries: u64,
+    backoff: Backoff,
+    /// Whether an entry invocation is mid-doorway (this process may own
+    /// registers but holds no guard).  Drives the `Drop` auto-withdraw.
+    pending: bool,
+    /// Set by [`hard_crash`](Participant::hard_crash): `Drop` must leave
+    /// shared memory exactly as the crash found it.
+    crashed: bool,
 }
 
 impl Participant {
@@ -181,6 +202,9 @@ impl Participant {
             spec,
             poison,
             entries: 0,
+            backoff: Backoff::default(),
+            pending: false,
+            crashed: false,
         }
     }
 
@@ -228,13 +252,41 @@ impl Participant {
         self
     }
 
-    /// Acquires the lock, spinning until this process wins; returns the
-    /// critical-section guard.
+    /// Sets the contention [`Backoff`] ladder this handle climbs between
+    /// bounded protocol slices (default: [`Backoff::SpinYield`]).
+    #[must_use]
+    pub fn with_backoff(mut self, backoff: Backoff) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// The contention backoff policy in effect on this handle.
+    #[must_use]
+    pub fn backoff(&self) -> Backoff {
+        self.backoff
+    }
+
+    /// Whether an entry invocation is pending: a bounded probe ran out of
+    /// steps and this process is still competing (it may own registers).
+    /// `Drop` withdraws a pending invocation automatically.
+    #[must_use]
+    pub fn has_pending(&self) -> bool {
+        self.pending
+    }
+
+    /// Acquires the lock, running the entry protocol in bounded slices
+    /// and climbing the [`Backoff`] ladder between them until this
+    /// process wins; returns the critical-section guard.
     ///
     /// Resumes a competition left pending by an exhausted
     /// [`try_lock_steps`](Self::try_lock_steps).
     pub fn lock(&mut self) -> Guard<'_> {
-        self.raw.acquire();
+        let mut attempt = 0u32;
+        while !self.raw.try_acquire(TRY_SLICE_STEPS) {
+            self.pending = true;
+            self.backoff.wait(attempt);
+            attempt = attempt.saturating_add(1);
+        }
         self.enter()
     }
 
@@ -246,34 +298,42 @@ impl Participant {
             Some(self.enter())
         } else {
             self.raw.abandon();
+            self.pending = false;
             None
         }
     }
 
     /// Keeps attempting until `timeout` has elapsed, then withdraws and
-    /// returns `None`.  At least one bounded attempt is always made.
+    /// returns `None`.  At least one bounded attempt is always made; the
+    /// waits between slices follow this handle's [`Backoff`] policy.
     pub fn try_lock_for(&mut self, timeout: Duration) -> Option<Guard<'_>> {
         let deadline = Instant::now() + timeout;
+        let mut attempt = 0u32;
         loop {
             if self.raw.try_acquire(TRY_SLICE_STEPS) {
                 return Some(self.enter());
             }
+            self.pending = true;
             if Instant::now() >= deadline {
                 self.raw.abandon();
+                self.pending = false;
                 return None;
             }
-            std::thread::yield_now();
+            self.backoff.wait(attempt);
+            attempt = attempt.saturating_add(1);
         }
     }
 
     /// Low-level bounded probe: runs at most `max_steps` protocol steps
     /// (≙ shared-memory operations).  On `None` the process is **still
     /// competing** — it may own registers; call [`lock`](Self::lock) to
-    /// finish or [`withdraw`](Self::withdraw) to leave cleanly.
+    /// finish or [`withdraw`](Self::withdraw) to leave cleanly (dropping
+    /// the handle withdraws too).
     pub fn try_lock_steps(&mut self, max_steps: u64) -> Option<Guard<'_>> {
         if self.raw.try_acquire(max_steps) {
             Some(self.enter())
         } else {
+            self.pending = true;
             None
         }
     }
@@ -282,14 +342,43 @@ impl Participant {
     /// from shared memory.
     pub fn withdraw(&mut self) {
         self.raw.abandon();
+        self.pending = false;
+    }
+
+    /// Simulates a hard process crash: consumes the handle **without**
+    /// withdrawing, leaving every claim this process held in shared
+    /// memory exactly as the crash found it — the threaded twin of the
+    /// model checker's `CrashMode::StaleClaims`.
+    ///
+    /// The lock is *not* poisoned (the crash happened outside any
+    /// critical section — a guard borrows the handle, so one cannot
+    /// exist here).  Whether survivors keep making progress past the
+    /// stale claims is a property of the lock family; the chaos tests
+    /// pin down which families do.
+    pub fn hard_crash(mut self) {
+        self.crashed = true;
     }
 
     fn enter(&mut self) -> Guard<'_> {
+        self.pending = false;
         self.entries += 1;
         let poisoned = self.poison.load(Ordering::Acquire);
         Guard {
             participant: self,
             poisoned,
+        }
+    }
+}
+
+impl Drop for Participant {
+    /// A handle dropped mid-doorway withdraws its pending invocation so
+    /// shared memory ends clean — unless [`hard_crash`]
+    /// (Participant::hard_crash) asked for the claims to stay.  Never
+    /// poisons: a doorway holds no application state.
+    fn drop(&mut self) {
+        if self.pending && !self.crashed {
+            self.raw.abandon();
+            self.pending = false;
         }
     }
 }

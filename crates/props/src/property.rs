@@ -27,7 +27,7 @@
 
 use amx_registers::adversary::AdversaryError;
 use amx_registers::{Adversary, Permutation};
-use amx_sim::mc::{McReport, ModelChecker, Monitor, SccQuery, StateSpaceExceeded, Verdict};
+use amx_sim::mc::{McError, McReport, ModelChecker, Monitor, SccQuery, Verdict};
 use amx_sim::{EncodeState, MemoryModel, Symmetry};
 
 use crate::graph;
@@ -274,15 +274,17 @@ where
     ///
     /// # Errors
     ///
-    /// Returns [`StateSpaceExceeded`] when the engine exploration
-    /// overflows its bound.
+    /// Returns [`McError::StateSpaceExceeded`] when the engine
+    /// exploration overflows its bound, and the other [`McError`]
+    /// variants when an out-of-core run loses spilled state or cannot
+    /// resume from its checkpoints.
     ///
     /// # Panics
     ///
     /// Panics if the starvation analysis was requested and its (naive,
     /// separately bounded) exploration overflows — raise the bound via
     /// [`PropertySuite::check_starvation`].
-    pub fn run(self) -> Result<SuiteReport, StateSpaceExceeded> {
+    pub fn run(self) -> Result<SuiteReport, McError> {
         let mut mc =
             ModelChecker::with_automata(self.automata.clone(), self.model, self.m, &self.adversary)
                 .expect("permutations already materialized for this adversary")

@@ -86,6 +86,19 @@ pub trait Automaton {
         None
     }
 
+    /// State a process restarts from after a *crash*: the model
+    /// checker's crash–recovery mode ([`crate::mc::ModelChecker::crashes`])
+    /// resets a crashed process to its remainder section with this
+    /// state.  The default — a fresh [`init_state`](Self::init_state) —
+    /// models a process that reboots with no local memory, which is the
+    /// paper-relevant semantics for anonymous-memory algorithms (a
+    /// recovering process cannot even remember *which* registers it
+    /// claimed).  Whether its shared-memory claims survive the crash is
+    /// the checker's [`crate::mc::CrashMode`] knob, not the automaton's.
+    fn crash_state(&self) -> Self::State {
+        self.init_state()
+    }
+
     /// Symmetry handshake: a token identifying this automaton's
     /// configuration *with the process identity erased*.
     ///

@@ -7,23 +7,69 @@
 //! frontier (as global ids — the bytes are rematerialized from the
 //! arenas on load), the global counters, and the monitor accumulators.
 //!
-//! The file is written atomically (`mc.ckpt.tmp` + rename) so a crash
-//! mid-write leaves the previous checkpoint intact, and it is keyed by
-//! a configuration fingerprint: resuming under a different automaton,
-//! parameter set, symmetry mode, or shard count is refused instead of
-//! silently producing garbage.
+//! Each completed level is written to its own file
+//! (`mc-<level:08>.ckpt`) atomically (`.tmp` + rename), and the newest
+//! [`RETAIN`] level files are kept on disk.  Resume scans the directory
+//! newest-first: a torn, truncated, or otherwise corrupt newest file is
+//! *skipped* (with a note the caller surfaces as a degradation event)
+//! and the previous valid level is restored instead, so a crash at the
+//! worst possible moment costs one level of progress, never the run.
+//! Files are keyed by a configuration fingerprint: resuming under a
+//! different automaton, parameter set, symmetry mode, or shard count is
+//! refused instead of silently producing garbage — a fingerprint
+//! mismatch on a structurally valid file is a hard error, not a
+//! fallback.
+//!
+//! Writes consult an optional [`FaultPlan`]: the checkpoint-write point
+//! fails the whole write before any byte is produced, and the
+//! torn-rename point truncates the finished temporary file to half its
+//! length before renaming it into place and then *reports success* —
+//! the on-disk outcome of a power cut before the data became durable.
 
 use std::fs::{self, File};
 use std::io::{self, BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
+use crate::fault::FaultPlan;
 use crate::intern::{read_u64, write_u64, StateArena};
 use crate::mc::{MonitorHit, NodeMeta, Shard};
 
-/// Checkpoint file name inside the checkpoint directory.
-const FILE: &str = "mc.ckpt";
 /// Format magic; bump the trailing digit on layout changes.
 const MAGIC: &[u8; 8] = b"AMXCKPT1";
+/// How many newest per-level checkpoint files survive a write.
+const RETAIN: usize = 2;
+
+/// File name for the checkpoint of a completed `level`.
+fn file_name(level: u32) -> String {
+    format!("mc-{level:08}.ckpt")
+}
+
+/// Parses a `mc-<level:08>.ckpt` file name back to its level.
+fn parse_level(name: &str) -> Option<u32> {
+    let digits = name.strip_prefix("mc-")?.strip_suffix(".ckpt")?;
+    if digits.len() != 8 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// All per-level checkpoint files in `dir`, sorted newest level first.
+fn level_files(dir: &Path) -> io::Result<Vec<(u32, PathBuf)>> {
+    let mut out = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        if let Some(level) = entry.file_name().to_str().and_then(parse_level) {
+            out.push((level, entry.path()));
+        }
+    }
+    out.sort_by_key(|e| std::cmp::Reverse(e.0));
+    Ok(out)
+}
 
 /// Borrowed view of the exploration state written at a level boundary.
 pub(crate) struct Snapshot<'a> {
@@ -54,11 +100,20 @@ pub(crate) struct Restored {
     pub(crate) shards: Vec<Shard>,
 }
 
-/// Writes `snap` to `<dir>/mc.ckpt`, atomically replacing any previous
-/// checkpoint.
-pub(crate) fn write(dir: &Path, snap: &Snapshot<'_>) -> io::Result<()> {
+/// Writes `snap` to `<dir>/mc-<level>.ckpt` atomically, then prunes
+/// all but the newest [`RETAIN`] level files.
+///
+/// When `plan` arms the checkpoint-write point this fails cleanly
+/// before creating any file; when it arms the torn-rename point the
+/// file is truncated mid-payload but still renamed into place and the
+/// write *reports success* (the resume path is what must cope).
+pub(crate) fn write(dir: &Path, snap: &Snapshot<'_>, plan: Option<&FaultPlan>) -> io::Result<()> {
+    if let Some(err) = plan.and_then(FaultPlan::on_checkpoint_write) {
+        return Err(err);
+    }
     fs::create_dir_all(dir)?;
-    let tmp = dir.join(format!("{FILE}.tmp"));
+    let name = file_name(snap.level);
+    let tmp = dir.join(format!("{name}.tmp"));
     let mut w = BufWriter::new(File::create(&tmp)?);
     w.write_all(MAGIC)?;
     write_u64(&mut w, snap.fingerprint)?;
@@ -98,72 +153,120 @@ pub(crate) fn write(dir: &Path, snap: &Snapshot<'_>) -> io::Result<()> {
     w.flush()?;
     let file = w.into_inner().map_err(|e| e.into_error())?;
     file.sync_all()?;
-    fs::rename(&tmp, dir.join(FILE))
+    if plan.and_then(FaultPlan::on_checkpoint_rename).is_some() {
+        // Torn rename: half the payload never became durable, but the
+        // rename itself did.  The caller still sees success.
+        let len = file.metadata()?.len();
+        file.set_len(len / 2)?;
+        file.sync_all()?;
+    }
+    drop(file);
+    fs::rename(&tmp, dir.join(&name))?;
+    // Prune older levels, newest RETAIN survive.  A failed unlink is
+    // not worth failing the run over.
+    if let Ok(files) = level_files(dir) {
+        for (_, path) in files.into_iter().skip(RETAIN) {
+            let _ = fs::remove_file(path);
+        }
+    }
+    Ok(())
 }
 
-/// Loads the checkpoint from `<dir>/mc.ckpt`.
+/// Why a specific checkpoint file could not be restored.
+enum LoadFail {
+    /// Structurally valid but written by a different configuration —
+    /// never fall back past this, it is a user error.
+    Incompatible(io::Error),
+    /// Torn, truncated, or corrupt — skip to an older level.
+    Corrupt(io::Error),
+}
+
+/// Loads the newest restorable checkpoint from `dir`.
 ///
-/// Returns `Ok(None)` when no checkpoint exists yet (a fresh run) and
-/// an `InvalidData` error when one exists but was written by an
-/// incompatible configuration (different automaton, parameters,
-/// symmetry mode, or shard count).
-pub(crate) fn load(dir: &Path, fingerprint: u64) -> io::Result<Option<Restored>> {
-    let file = match File::open(dir.join(FILE)) {
-        Ok(f) => f,
-        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
-        Err(e) => return Err(e),
-    };
+/// Scans per-level files newest-first, skipping torn or corrupt files
+/// (each skip is reported in the second tuple slot so the caller can
+/// surface it as a degradation event) and restoring the first valid
+/// one.  Returns `Ok((None, skips))` when nothing restorable exists (a
+/// fresh run), and a hard `InvalidData` error when a structurally
+/// valid file carries the wrong configuration fingerprint.
+pub(crate) fn load_latest(
+    dir: &Path,
+    fingerprint: u64,
+) -> io::Result<(Option<Restored>, Vec<String>)> {
+    let mut skipped = Vec::new();
+    for (level, path) in level_files(dir)? {
+        match parse_file(&path, fingerprint) {
+            Ok(restored) => return Ok((Some(restored), skipped)),
+            Err(LoadFail::Incompatible(e)) => return Err(e),
+            Err(LoadFail::Corrupt(e)) => {
+                skipped.push(format!(
+                    "checkpoint level {level} unusable ({e}); falling back to an earlier level"
+                ));
+            }
+        }
+    }
+    Ok((None, skipped))
+}
+
+/// Parses one checkpoint file, classifying failures.
+fn parse_file(path: &Path, fingerprint: u64) -> Result<Restored, LoadFail> {
+    let corrupt = LoadFail::Corrupt;
+    let file = File::open(path).map_err(corrupt)?;
     let mut r = BufReader::new(file);
     let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
+    r.read_exact(&mut magic).map_err(corrupt)?;
     if magic != *MAGIC {
-        return Err(bad_data("checkpoint magic mismatch"));
+        return Err(corrupt(bad_data("checkpoint magic mismatch")));
     }
-    if read_u64(&mut r)? != fingerprint {
-        return Err(bad_data(
+    if read_u64(&mut r).map_err(corrupt)? != fingerprint {
+        return Err(LoadFail::Incompatible(bad_data(
             "checkpoint was written by an incompatible configuration",
-        ));
+        )));
     }
-    let level = read_u32_checked(&mut r, "level")?;
-    let transitions = read_u64(&mut r)?;
-    let acquisitions = read_u64(&mut r)?;
-    let peak_frontier = read_u64(&mut r)?;
-    let orbit_sum = read_u64(&mut r)?;
-    let n_monitors = read_len(&mut r, "monitor count")?;
+    parse_payload(&mut r).map_err(corrupt)
+}
+
+/// Parses everything after the magic + fingerprint header.
+fn parse_payload(r: &mut impl Read) -> io::Result<Restored> {
+    let level = read_u32_checked(r, "level")?;
+    let transitions = read_u64(r)?;
+    let acquisitions = read_u64(r)?;
+    let peak_frontier = read_u64(r)?;
+    let orbit_sum = read_u64(r)?;
+    let n_monitors = read_len(r, "monitor count")?;
     let mut monitor_hits = Vec::with_capacity(n_monitors);
     for _ in 0..n_monitors {
-        let count = usize::try_from(read_u64(&mut r)?).map_err(|_| bad_data("monitor count"))?;
-        let best = match read_u64(&mut r)? {
+        let count = usize::try_from(read_u64(r)?).map_err(|_| bad_data("monitor count"))?;
+        let best = match read_u64(r)? {
             0 => None,
             1 => {
-                let pos = usize::try_from(read_u64(&mut r)?).map_err(|_| bad_data("hit pos"))?;
-                let actor =
-                    usize::try_from(read_u64(&mut r)?).map_err(|_| bad_data("hit actor"))?;
-                let node = read_u32_checked(&mut r, "hit node")?;
+                let pos = usize::try_from(read_u64(r)?).map_err(|_| bad_data("hit pos"))?;
+                let actor = usize::try_from(read_u64(r)?).map_err(|_| bad_data("hit actor"))?;
+                let node = read_u32_checked(r, "hit node")?;
                 Some(((pos, actor), node))
             }
             _ => return Err(bad_data("monitor hit flag")),
         };
         monitor_hits.push(MonitorHit { count, best });
     }
-    let n_frontier = read_len(&mut r, "frontier length")?;
+    let n_frontier = read_len(r, "frontier length")?;
     let mut frontier = Vec::with_capacity(n_frontier);
     let mut b4 = [0u8; 4];
     for _ in 0..n_frontier {
         r.read_exact(&mut b4)?;
         frontier.push(u32::from_le_bytes(b4));
     }
-    let n_shards = read_len(&mut r, "shard count")?;
+    let n_shards = read_len(r, "shard count")?;
     let mut shards = Vec::with_capacity(n_shards);
     for _ in 0..n_shards {
-        let arena = StateArena::read_snapshot(&mut r)?;
-        let n_meta = read_len(&mut r, "meta length")?;
+        let arena = StateArena::read_snapshot(r)?;
+        let n_meta = read_len(r, "meta length")?;
         if n_meta != arena.len() {
             return Err(bad_data("meta table length disagrees with arena"));
         }
         let mut meta = Vec::with_capacity(n_meta);
         for _ in 0..n_meta {
-            let packed = read_u64(&mut r)?;
+            let packed = read_u64(r)?;
             meta.push(NodeMeta {
                 parent: (packed >> 32) as u32,
                 actor: packed as u8,
@@ -176,7 +279,7 @@ pub(crate) fn load(dir: &Path, fingerprint: u64) -> io::Result<Option<Restored>>
     if r.read(&mut [0u8; 1])? != 0 {
         return Err(bad_data("trailing bytes after checkpoint payload"));
     }
-    Ok(Some(Restored {
+    Ok(Restored {
         level,
         transitions,
         acquisitions,
@@ -185,7 +288,7 @@ pub(crate) fn load(dir: &Path, fingerprint: u64) -> io::Result<Option<Restored>>
         monitor_hits,
         frontier,
         shards,
-    }))
+    })
 }
 
 fn read_u32_checked(r: &mut impl Read, what: &str) -> io::Result<u32> {

@@ -62,11 +62,70 @@
 //! queries) run against a spilled arena from many threads without
 //! locks.  Every page read from the spill file, on either path, counts
 //! one *fault*.
+//!
+//! # Failure semantics
+//!
+//! No spill I/O result panics.  A failed page *write* during eviction
+//! degrades the arena gracefully: the victim's bytes stay resident, the
+//! arena marks itself [`degraded`](StateArena::degraded) and stops
+//! evicting — it falls back to fully-resident operation over budget,
+//! with every already-interned state intact.  A failed page *read* is
+//! unrecoverable data loss (the only copy of those states was on disk)
+//! and surfaces as a typed [`SpillError`] through every read-path
+//! `Result`.  Deterministic failures can be injected for testing via
+//! [`StateArena::set_fault_plan`].
 
 use std::fs::File;
 use std::io::{self, Read, Write};
 use std::os::unix::fs::FileExt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::fault::FaultPlan;
+
+/// Which spill-file operation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpillOp {
+    /// Reading an evicted page's payload back (`pread`).
+    Read,
+    /// Writing a victim page's payload out (`pwrite`).
+    Write,
+}
+
+/// A spill-file I/O failure, carrying the page and the OS error.
+///
+/// Read failures propagate out of the arena's fallible API; write
+/// failures are absorbed by graceful degradation (see the module docs)
+/// and surface only as the [`degraded`](StateArena::degraded) reason.
+#[derive(Debug)]
+pub struct SpillError {
+    /// The failed operation.
+    pub op: SpillOp,
+    /// The page whose payload was being transferred.
+    pub page: usize,
+    /// The underlying I/O error.
+    pub source: io::Error,
+}
+
+impl std::fmt::Display for SpillError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let op = match self.op {
+            SpillOp::Read => "read",
+            SpillOp::Write => "write",
+        };
+        write!(
+            f,
+            "spill {op} of page {} failed: {}",
+            self.page, self.source
+        )
+    }
+}
+
+impl std::error::Error for SpillError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
 
 /// States per compression page.  A delta record's back-distance to its
 /// base must fit one byte, so pages hold 256 states; page boundaries
@@ -211,6 +270,9 @@ struct SpillBackend {
     /// plus read-side ([`PageCache`] / uncached) misses.  Atomic so the
     /// lock-free shared read paths can count.
     faults: AtomicU64,
+    /// Set when a spill write failed: the arena has fallen back to
+    /// fully-resident operation (no further evictions).
+    degraded: Option<String>,
 }
 
 /// A small caller-owned LRU of decompressed page payloads, enabling
@@ -255,7 +317,12 @@ impl PageCache {
 
     /// The payload of `arena`'s spilled page `p`, faulting it into the
     /// cache from the spill file if absent.
-    fn load(&mut self, arena: &StateArena, p: usize) -> &[u8] {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`SpillError`] of a failed page read; the cache
+    /// is left unchanged.
+    fn load(&mut self, arena: &StateArena, p: usize) -> Result<&[u8], SpillError> {
         let key = (arena.id, p as u32);
         if let Some(i) = self.slots.iter().position(|s| (s.arena, s.page) == key) {
             self.hits += 1;
@@ -271,12 +338,12 @@ impl PageCache {
                     bytes: Vec::new(),
                 }
             };
-            arena.read_spilled_into(p, &mut slot.bytes);
+            arena.read_spilled_into(p, &mut slot.bytes)?;
             slot.arena = key.0;
             slot.page = key.1;
             self.slots.insert(0, slot);
         }
-        &self.slots[0].bytes
+        Ok(&self.slots[0].bytes)
     }
 }
 
@@ -294,6 +361,9 @@ pub struct SpillStats {
     /// once, so this is the high-water footprint of ever-evicted
     /// pages).
     pub spill_file_bytes: u64,
+    /// Whether the arena degraded to fully-resident operation after a
+    /// failed spill write (see [`StateArena::degraded`]).
+    pub degraded: bool,
 }
 
 /// An append-only set of byte strings with dense `u32` indices,
@@ -305,13 +375,13 @@ pub struct SpillStats {
 /// ```
 /// use amx_sim::intern::StateArena;
 /// let mut arena = StateArena::new();
-/// let (a, fresh_a) = arena.intern(b"state-a");
-/// let (b, fresh_b) = arena.intern(b"state-b");
-/// let (a2, fresh_a2) = arena.intern(b"state-a");
+/// let (a, fresh_a) = arena.intern(b"state-a").unwrap();
+/// let (b, fresh_b) = arena.intern(b"state-b").unwrap();
+/// let (a2, fresh_a2) = arena.intern(b"state-a").unwrap();
 /// assert!(fresh_a && fresh_b && !fresh_a2);
 /// assert_eq!(a, a2);
 /// assert_ne!(a, b);
-/// assert_eq!(arena.get(a), b"state-a");
+/// assert_eq!(arena.get(a).unwrap(), b"state-a");
 /// assert_eq!(arena.len(), 2);
 /// ```
 #[derive(Debug)]
@@ -334,6 +404,8 @@ pub struct StateArena {
     /// their own back-distance).
     page_bases: Vec<(u16, u32)>,
     spill: Option<SpillBackend>,
+    /// Deterministic fault injection for tests; `None` in production.
+    fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl StateArena {
@@ -350,6 +422,7 @@ impl StateArena {
             table: vec![EMPTY; 16],
             page_bases: Vec::new(),
             spill: None,
+            fault_plan: None,
         }
     }
 
@@ -367,14 +440,30 @@ impl StateArena {
             hand: 0,
             evictions: 0,
             faults: AtomicU64::new(0),
+            degraded: None,
         });
         self.evict_to_budget(None);
+    }
+
+    /// Installs a deterministic [`FaultPlan`]: subsequent spill reads
+    /// and writes consult it and fail on the armed occurrences, as if
+    /// the OS had returned the injected error.
+    pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.fault_plan = Some(plan);
     }
 
     /// Whether a spill backend is attached.
     #[must_use]
     pub fn has_spill(&self) -> bool {
         self.spill.is_some()
+    }
+
+    /// The degradation reason, if a failed spill write has forced the
+    /// arena back to fully-resident operation (no further evictions;
+    /// all states remain intact and readable).
+    #[must_use]
+    pub fn degraded(&self) -> Option<&str> {
+        self.spill.as_ref()?.degraded.as_deref()
     }
 
     /// Current spill counters (all zero without a backend).
@@ -387,6 +476,7 @@ impl StateArena {
                 faults: sp.faults.load(Ordering::Relaxed),
                 evictions: sp.evictions,
                 spill_file_bytes: sp.file_len,
+                degraded: sp.degraded.is_some(),
             },
         }
     }
@@ -488,11 +578,11 @@ impl StateArena {
     /// Reads the payload of the evicted page `p` from the spill file
     /// into `buf` and counts one fault.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on spill-file I/O failure — the seen-set is gone, the
-    /// checker cannot meaningfully continue.
-    fn read_spilled_into(&self, p: usize, buf: &mut Vec<u8>) {
+    /// Returns a [`SpillError`] on spill-file I/O failure (including an
+    /// injected one) — the only copy of those states is unreadable.
+    fn read_spilled_into(&self, p: usize, buf: &mut Vec<u8>) -> Result<(), SpillError> {
         let slot = &self.pages[p];
         debug_assert!(slot.bytes.is_none(), "transient read of a resident page");
         debug_assert_ne!(slot.spill_off, NEVER_SPILLED, "evicted page never written");
@@ -503,41 +593,46 @@ impl StateArena {
             .spill
             .as_ref()
             .expect("non-resident page without a spill backend");
+        let read_err = |source| SpillError {
+            op: SpillOp::Read,
+            page: p,
+            source,
+        };
+        if let Some(e) = self.fault_plan.as_ref().and_then(|fp| fp.on_spill_read()) {
+            return Err(read_err(e));
+        }
         sp.file
             .read_exact_at(buf, slot.spill_off)
-            .expect("spill file read failed");
+            .map_err(read_err)?;
         sp.faults.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Ensures page `p` is resident (intern path), admitting it from
     /// the spill file and evicting colder pages to stay on budget.
-    fn fault_in(&mut self, p: usize) {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpillError`] when reading the evicted page fails;
+    /// the arena is left unchanged.
+    fn fault_in(&mut self, p: usize) -> Result<(), SpillError> {
         if p == self.pages.len() {
-            return;
+            return Ok(());
         }
         if self.pages[p].bytes.is_some() {
             self.pages[p].referenced = true;
-            return;
+            return Ok(());
         }
-        let len = self.page_end(p) - self.page_start(p);
-        let mut buf = vec![0u8; len];
-        {
-            let slot = &self.pages[p];
-            let sp = self
-                .spill
-                .as_ref()
-                .expect("non-resident page without a spill backend");
-            sp.file
-                .read_exact_at(&mut buf, slot.spill_off)
-                .expect("spill file read failed");
-            sp.faults.fetch_add(1, Ordering::Relaxed);
-        }
+        let mut buf = Vec::new();
+        self.read_spilled_into(p, &mut buf)?;
+        let len = buf.len();
         self.pages[p].bytes = Some(buf.into_boxed_slice());
         self.pages[p].referenced = true;
         if let Some(sp) = self.spill.as_mut() {
             sp.resident += len;
         }
         self.evict_to_budget(Some(p));
+        Ok(())
     }
 
     /// CLOCK second-chance eviction until the resident completed-page
@@ -545,10 +640,18 @@ impl StateArena {
     /// the victim.  A page's first eviction writes its payload to the
     /// spill file; later evictions reuse the slot and just drop the
     /// bytes.
+    ///
+    /// A failed spill write (`ENOSPC`, an injected fault, …) does not
+    /// propagate: the victim's bytes are put back, the arena records a
+    /// [`degraded`](Self::degraded) reason and performs no further
+    /// evictions — graceful fallback to fully-resident operation.
     fn evict_to_budget(&mut self, keep: Option<usize>) {
         let Some(sp) = self.spill.as_mut() else {
             return;
         };
+        if sp.degraded.is_some() {
+            return;
+        }
         let n = self.pages.len();
         while sp.resident > sp.budget {
             let mut spins = 0usize;
@@ -580,11 +683,35 @@ impl StateArena {
             let slot = &mut self.pages[victim];
             let bytes = slot.bytes.take().expect("victim page is resident");
             if slot.spill_off == NEVER_SPILLED {
-                slot.spill_off = sp.file_len;
-                sp.file
-                    .write_all_at(&bytes, slot.spill_off)
-                    .expect("spill file write failed");
-                sp.file_len += bytes.len() as u64;
+                let injected = self
+                    .fault_plan
+                    .as_ref()
+                    .and_then(|fp| fp.on_spill_write())
+                    .map(Err::<(), _>);
+                let wrote = match injected {
+                    Some(err) => err,
+                    None => sp.file.write_all_at(&bytes, sp.file_len),
+                };
+                match wrote {
+                    Ok(()) => {
+                        slot.spill_off = sp.file_len;
+                        sp.file_len += bytes.len() as u64;
+                    }
+                    Err(e) => {
+                        // Keep the victim resident; the on-disk file may
+                        // hold a partial write at the failed offset, but
+                        // nothing ever points at it.
+                        let reason = SpillError {
+                            op: SpillOp::Write,
+                            page: victim,
+                            source: e,
+                        }
+                        .to_string();
+                        slot.bytes = Some(bytes);
+                        sp.degraded = Some(reason);
+                        return;
+                    }
+                }
             }
             sp.resident -= bytes.len();
             sp.evictions += 1;
@@ -651,72 +778,97 @@ impl StateArena {
     /// over spilled arenas should prefer
     /// [`get_into_cached`](Self::get_into_cached).
     ///
+    /// # Errors
+    ///
+    /// Returns a [`SpillError`] on spill-file read failure.
+    ///
     /// # Panics
     ///
-    /// Panics if `idx` is out of range, or on spill I/O failure.
-    pub fn get_into(&self, idx: u32, out: &mut Vec<u8>) {
+    /// Panics if `idx` is out of range.
+    pub fn get_into(&self, idx: u32, out: &mut Vec<u8>) -> Result<(), SpillError> {
         let p = idx as usize / PAGE;
         if let Some(page) = self.resident_page(p) {
             self.decode_record(idx, page, out);
         } else {
             let mut buf = Vec::new();
-            self.read_spilled_into(p, &mut buf);
+            self.read_spilled_into(p, &mut buf)?;
             self.decode_record(idx, &buf, out);
         }
+        Ok(())
     }
 
     /// [`get_into`](Self::get_into) that serves spilled pages through a
     /// caller-owned [`PageCache`].
     ///
-    /// # Panics
+    /// # Errors
     ///
     /// As for [`get_into`](Self::get_into).
-    pub fn get_into_cached(&self, idx: u32, cache: &mut PageCache, out: &mut Vec<u8>) {
+    pub fn get_into_cached(
+        &self,
+        idx: u32,
+        cache: &mut PageCache,
+        out: &mut Vec<u8>,
+    ) -> Result<(), SpillError> {
         let p = idx as usize / PAGE;
         if let Some(page) = self.resident_page(p) {
             self.decode_record(idx, page, out);
         } else {
-            let page = cache.load(self, p);
+            let page = cache.load(self, p)?;
             self.decode_record(idx, page, out);
         }
+        Ok(())
     }
 
     /// The encoded bytes of state `idx`, freshly allocated.  Hot paths
     /// should prefer [`get_into`](Self::get_into) with a reused buffer.
     ///
+    /// # Errors
+    ///
+    /// As for [`get_into`](Self::get_into).
+    ///
     /// # Panics
     ///
     /// Panics if `idx` is out of range.
-    #[must_use]
-    pub fn get(&self, idx: u32) -> Vec<u8> {
+    pub fn get(&self, idx: u32) -> Result<Vec<u8>, SpillError> {
         let mut out = Vec::new();
-        self.get_into(idx, &mut out);
-        out
+        self.get_into(idx, &mut out)?;
+        Ok(out)
     }
 
     /// [`record_eq`](Self::record_eq) against a possibly spilled page,
     /// through the cache.
-    fn state_eq_cached(&self, idx: u32, bytes: &[u8], cache: &mut PageCache) -> bool {
+    fn state_eq_cached(
+        &self,
+        idx: u32,
+        bytes: &[u8],
+        cache: &mut PageCache,
+    ) -> Result<bool, SpillError> {
         let p = idx as usize / PAGE;
         if let Some(page) = self.resident_page(p) {
-            self.record_eq(idx, page, bytes)
+            Ok(self.record_eq(idx, page, bytes))
         } else {
-            let page = cache.load(self, p);
-            self.record_eq(idx, page, bytes)
+            let page = cache.load(self, p)?;
+            Ok(self.record_eq(idx, page, bytes))
         }
     }
 
     /// Looks up a state without inserting it.
-    #[must_use]
-    pub fn lookup(&self, bytes: &[u8]) -> Option<u32> {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpillError`] on spill-file read failure.
+    pub fn lookup(&self, bytes: &[u8]) -> Result<Option<u32>, SpillError> {
         self.lookup_hashed(hash_bytes(bytes), bytes)
     }
 
     /// [`lookup`](Self::lookup) with a caller-computed [`hash_bytes`]
     /// value — the engine hashes each canonical encoding exactly once
     /// (shard selection and table probe share the hash).
-    #[must_use]
-    pub fn lookup_hashed(&self, hash: u64, bytes: &[u8]) -> Option<u32> {
+    ///
+    /// # Errors
+    ///
+    /// As for [`lookup`](Self::lookup).
+    pub fn lookup_hashed(&self, hash: u64, bytes: &[u8]) -> Result<Option<u32>, SpillError> {
         let mut cache = PageCache::new();
         self.lookup_hashed_cached(hash, bytes, &mut cache)
     }
@@ -724,13 +876,16 @@ impl StateArena {
     /// [`lookup_hashed`](Self::lookup_hashed) that serves spilled pages
     /// through a caller-owned [`PageCache`] — the form the parallel
     /// post-exploration passes use.
-    #[must_use]
+    ///
+    /// # Errors
+    ///
+    /// As for [`lookup`](Self::lookup).
     pub fn lookup_hashed_cached(
         &self,
         hash: u64,
         bytes: &[u8],
         cache: &mut PageCache,
-    ) -> Option<u32> {
+    ) -> Result<Option<u32>, SpillError> {
         debug_assert_eq!(hash, hash_bytes(bytes), "caller-supplied hash mismatch");
         let mask = self.table.len() - 1;
         let frag = hash as u32;
@@ -738,12 +893,12 @@ impl StateArena {
         loop {
             let entry = self.table[slot];
             if entry == EMPTY {
-                return None;
+                return Ok(None);
             }
             if (entry >> 32) as u32 == frag {
                 let idx = entry as u32;
-                if self.state_eq_cached(idx, bytes, cache) {
-                    return Some(idx);
+                if self.state_eq_cached(idx, bytes, cache)? {
+                    return Ok(Some(idx));
                 }
             }
             slot = (slot + 1) & mask;
@@ -752,12 +907,17 @@ impl StateArena {
 
     /// Interns `bytes`, returning `(index, freshly_inserted)`.
     ///
+    /// # Errors
+    ///
+    /// Returns a [`SpillError`] when a dedup probe requires a spilled
+    /// page that cannot be read back; the arena is unchanged.
+    ///
     /// # Panics
     ///
     /// Panics if the arena outgrows `u32` indexing (> 4 GiB of encoded
     /// state data or ≥ `u32::MAX` states) or a state exceeds 64 KiB —
     /// far beyond any state space the checker's bounds admit.
-    pub fn intern(&mut self, bytes: &[u8]) -> (u32, bool) {
+    pub fn intern(&mut self, bytes: &[u8]) -> Result<(u32, bool), SpillError> {
         self.intern_hashed(hash_bytes(bytes), bytes)
     }
 
@@ -765,10 +925,14 @@ impl StateArena {
     /// value.  Probes against spilled pages fault them back into the
     /// resident set.
     ///
+    /// # Errors
+    ///
+    /// As for [`intern`](Self::intern).
+    ///
     /// # Panics
     ///
     /// As for [`intern`](Self::intern).
-    pub fn intern_hashed(&mut self, hash: u64, bytes: &[u8]) -> (u32, bool) {
+    pub fn intern_hashed(&mut self, hash: u64, bytes: &[u8]) -> Result<(u32, bool), SpillError> {
         debug_assert_eq!(hash, hash_bytes(bytes), "caller-supplied hash mismatch");
         assert!(
             bytes.len() <= usize::from(u16::MAX),
@@ -787,12 +951,12 @@ impl StateArena {
             }
             if (entry >> 32) as u32 == frag {
                 let idx = entry as u32;
-                self.fault_in(idx as usize / PAGE);
+                self.fault_in(idx as usize / PAGE)?;
                 let page = self
                     .resident_page(idx as usize / PAGE)
                     .expect("faulted page is resident");
                 if self.record_eq(idx, page, bytes) {
-                    return (idx, false);
+                    return Ok((idx, false));
                 }
             }
             slot = (slot + 1) & mask;
@@ -804,11 +968,11 @@ impl StateArena {
         self.ends.push(end);
         self.table[slot] = bucket(frag, idx);
         debug_assert_eq!(
-            self.lookup(bytes),
-            Some(idx),
+            self.lookup(bytes).ok(),
+            Some(Some(idx)),
             "arena index and id-table out of sync after insert"
         );
-        (idx, true)
+        Ok((idx, true))
     }
 
     /// Appends the record of the fresh state `idx`: a byte-mask delta
@@ -917,11 +1081,8 @@ impl StateArena {
     ///
     /// # Errors
     ///
-    /// Propagates write failures.
-    ///
-    /// # Panics
-    ///
-    /// Panics on spill-file read failure.
+    /// Propagates write failures, and spill-file read failures (as
+    /// `io::Error`s wrapping the [`SpillError`]).
     pub fn write_snapshot(&self, w: &mut impl Write) -> io::Result<()> {
         w.write_all(SNAPSHOT_MAGIC)?;
         write_u64(w, self.ends.len() as u64)?;
@@ -944,7 +1105,8 @@ impl StateArena {
             match self.resident_page(p) {
                 Some(page) => w.write_all(page)?,
                 None => {
-                    self.read_spilled_into(p, &mut buf);
+                    self.read_spilled_into(p, &mut buf)
+                        .map_err(|e| io::Error::new(e.source.kind(), e.to_string()))?;
                     w.write_all(&buf)?;
                 }
             }
@@ -1009,6 +1171,7 @@ impl StateArena {
             table,
             page_bases,
             spill: None,
+            fault_plan: None,
         };
         let total: usize = if n_states == 0 {
             0
@@ -1072,29 +1235,29 @@ mod tests {
         for round in 0..3 {
             for i in 0..1000u32 {
                 let bytes = i.to_le_bytes();
-                let (idx, fresh) = arena.intern(&bytes);
+                let (idx, fresh) = arena.intern(&bytes).unwrap();
                 assert_eq!(idx, i, "dense insertion-order indices");
                 assert_eq!(fresh, round == 0);
             }
         }
         assert_eq!(arena.len(), 1000);
         for i in 0..1000u32 {
-            assert_eq!(arena.get(i), i.to_le_bytes());
-            assert_eq!(arena.lookup(&i.to_le_bytes()), Some(i));
+            assert_eq!(arena.get(i).unwrap(), i.to_le_bytes());
+            assert_eq!(arena.lookup(&i.to_le_bytes()).unwrap(), Some(i));
         }
-        assert_eq!(arena.lookup(&2000u32.to_le_bytes()), None);
+        assert_eq!(arena.lookup(&2000u32.to_le_bytes()).unwrap(), None);
     }
 
     #[test]
     fn variable_length_states_do_not_collide() {
         let mut arena = StateArena::new();
-        let (a, _) = arena.intern(b"");
-        let (b, _) = arena.intern(b"x");
-        let (c, _) = arena.intern(b"xx");
-        assert_eq!(arena.get(a), b"");
-        assert_eq!(arena.get(b), b"x");
-        assert_eq!(arena.get(c), b"xx");
-        assert_eq!(arena.intern(b"x"), (b, false));
+        let (a, _) = arena.intern(b"").unwrap();
+        let (b, _) = arena.intern(b"x").unwrap();
+        let (c, _) = arena.intern(b"xx").unwrap();
+        assert_eq!(arena.get(a).unwrap(), b"");
+        assert_eq!(arena.get(b).unwrap(), b"x");
+        assert_eq!(arena.get(c).unwrap(), b"xx");
+        assert_eq!(arena.intern(b"x").unwrap(), (b, false));
     }
 
     #[test]
@@ -1102,12 +1265,12 @@ mod tests {
         let mut arena = StateArena::new();
         let n = 10_000u32;
         for i in 0..n {
-            arena.intern(&i.to_le_bytes());
+            arena.intern(&i.to_le_bytes()).unwrap();
         }
         assert_eq!(arena.len(), n as usize);
         for i in (0..n).rev() {
-            assert_eq!(arena.lookup(&i.to_le_bytes()), Some(i));
-            assert_eq!(arena.get(i), i.to_le_bytes());
+            assert_eq!(arena.lookup(&i.to_le_bytes()).unwrap(), Some(i));
+            assert_eq!(arena.get(i).unwrap(), i.to_le_bytes());
         }
     }
 
@@ -1129,7 +1292,7 @@ mod tests {
         for i in 0..10_000u64 {
             let state = mk(i);
             raw += state.len();
-            let (idx, fresh) = arena.intern(&state);
+            let (idx, fresh) = arena.intern(&state).unwrap();
             assert!(fresh);
             assert_eq!(idx as u64, i);
         }
@@ -1141,9 +1304,9 @@ mod tests {
         );
         let mut buf = Vec::new();
         for i in 0..10_000u64 {
-            arena.get_into(i as u32, &mut buf);
+            arena.get_into(i as u32, &mut buf).unwrap();
             assert_eq!(buf, mk(i));
-            assert_eq!(arena.lookup(&mk(i)), Some(i as u32));
+            assert_eq!(arena.lookup(&mk(i)).unwrap(), Some(i as u32));
         }
     }
 
@@ -1159,10 +1322,10 @@ mod tests {
                 v
             })
             .collect();
-        let ids: Vec<u32> = inputs.iter().map(|b| arena.intern(b).0).collect();
+        let ids: Vec<u32> = inputs.iter().map(|b| arena.intern(b).unwrap().0).collect();
         for (id, input) in ids.iter().zip(&inputs) {
-            assert_eq!(&arena.get(*id), input);
-            assert_eq!(arena.lookup(input), Some(*id));
+            assert_eq!(&arena.get(*id).unwrap(), input);
+            assert_eq!(arena.lookup(input).unwrap(), Some(*id));
         }
     }
 
@@ -1181,7 +1344,7 @@ mod tests {
         let mut arena = StateArena::new();
         let mut raw = 0usize;
         for i in 0..2048u32 {
-            arena.intern(&mk(i));
+            arena.intern(&mk(i)).unwrap();
             raw += 48;
         }
         assert!(
@@ -1192,7 +1355,7 @@ mod tests {
         );
         let mut buf = Vec::new();
         for i in 0..2048u32 {
-            arena.get_into(i, &mut buf);
+            arena.get_into(i, &mut buf).unwrap();
             assert_eq!(buf, mk(i), "state {i}");
         }
     }
@@ -1201,7 +1364,7 @@ mod tests {
     fn shrink_to_fit_tightens_arena_bytes() {
         let mut arena = StateArena::new();
         for i in 0..1000u32 {
-            arena.intern(&i.to_le_bytes());
+            arena.intern(&i.to_le_bytes()).unwrap();
         }
         let before = arena.arena_bytes();
         arena.shrink_to_fit();
@@ -1219,8 +1382,8 @@ mod tests {
             "fully resident without a spill backend"
         );
         // Still fully functional after shrinking.
-        assert_eq!(arena.lookup(&123u32.to_le_bytes()), Some(123));
-        assert_eq!(arena.intern(&2000u32.to_le_bytes()), (1000, true));
+        assert_eq!(arena.lookup(&123u32.to_le_bytes()).unwrap(), Some(123));
+        assert_eq!(arena.intern(&2000u32.to_le_bytes()).unwrap(), (1000, true));
     }
 
     #[test]
@@ -1246,8 +1409,8 @@ mod tests {
         let mut b = StateArena::new();
         for i in 0..500u32 {
             let bytes = (i * 17).to_le_bytes();
-            let x = a.intern(&bytes);
-            let y = b.intern_hashed(hash_bytes(&bytes), &bytes);
+            let x = a.intern(&bytes).unwrap();
+            let y = b.intern_hashed(hash_bytes(&bytes), &bytes).unwrap();
             assert_eq!(x, y);
         }
     }
@@ -1269,7 +1432,7 @@ mod tests {
         arena.set_spill(spill_file(), 4 * 1024);
         let n = 20_000u32;
         for i in 0..n {
-            let (idx, fresh) = arena.intern(&wide_state(i));
+            let (idx, fresh) = arena.intern(&wide_state(i)).unwrap();
             assert_eq!(idx, i);
             assert!(fresh);
         }
@@ -1285,11 +1448,11 @@ mod tests {
         let mut buf = Vec::new();
         let mut cache = PageCache::new();
         for i in 0..n {
-            arena.get_into(i, &mut buf);
+            arena.get_into(i, &mut buf).unwrap();
             assert_eq!(buf, wide_state(i), "uncached read of state {i}");
-            arena.get_into_cached(i, &mut cache, &mut buf);
+            arena.get_into_cached(i, &mut cache, &mut buf).unwrap();
             assert_eq!(buf, wide_state(i), "cached read of state {i}");
-            assert_eq!(arena.lookup(&wide_state(i)), Some(i));
+            assert_eq!(arena.lookup(&wide_state(i)).unwrap(), Some(i));
         }
         assert!(arena.spill_stats().faults > stats.faults, "reads faulted");
         let (hits, misses) = cache.stats();
@@ -1297,7 +1460,7 @@ mod tests {
         // Re-interning everything faults pages back in through the
         // intern path and must stay non-fresh.
         for i in 0..n {
-            assert_eq!(arena.intern(&wide_state(i)), (i, false));
+            assert_eq!(arena.intern(&wide_state(i)).unwrap(), (i, false));
         }
     }
 
@@ -1306,7 +1469,7 @@ mod tests {
         let mut arena = StateArena::new();
         arena.set_spill(spill_file(), 0);
         for i in 0..(PAGE as u32 * 4 + 17) {
-            arena.intern(&wide_state(i));
+            arena.intern(&wide_state(i)).unwrap();
         }
         let stats = arena.spill_stats();
         assert_eq!(
@@ -1314,7 +1477,7 @@ mod tests {
             arena.data_bytes() - arena_cur_len(&arena)
         );
         for i in 0..(PAGE as u32 * 4 + 17) {
-            assert_eq!(arena.get(i), wide_state(i));
+            assert_eq!(arena.get(i).unwrap(), wide_state(i));
         }
     }
 
@@ -1328,17 +1491,17 @@ mod tests {
         arena.set_spill(spill_file(), 0);
         let n = PAGE as u32 * 3;
         for i in 0..n {
-            arena.intern(&wide_state(i));
+            arena.intern(&wide_state(i)).unwrap();
         }
         let file_after_fill = arena.spill_stats().spill_file_bytes;
         // Fault every page back in via re-interning, then keep going so
         // they are evicted again: the file must not grow (pages are
         // immutable, their slots are reused).
         for i in 0..n {
-            assert_eq!(arena.intern(&wide_state(i)), (i, false));
+            assert_eq!(arena.intern(&wide_state(i)).unwrap(), (i, false));
         }
         for i in n..n + PAGE as u32 {
-            arena.intern(&wide_state(i));
+            arena.intern(&wide_state(i)).unwrap();
         }
         assert_eq!(
             arena.spill_stats().spill_file_bytes,
@@ -1356,14 +1519,14 @@ mod tests {
         let mut arena = StateArena::new();
         let n = 10_000u32;
         for i in 0..n {
-            arena.intern(&wide_state(i));
+            arena.intern(&wide_state(i)).unwrap();
         }
         let logical = arena.arena_bytes();
         arena.set_spill(spill_file(), 2 * 1024);
         assert!(arena.resident_bytes() < logical / 2, "attach must evict");
         for i in 0..n {
-            assert_eq!(arena.get(i), wide_state(i));
-            assert_eq!(arena.lookup(&wide_state(i)), Some(i));
+            assert_eq!(arena.get(i).unwrap(), wide_state(i));
+            assert_eq!(arena.lookup(&wide_state(i)).unwrap(), Some(i));
         }
     }
 
@@ -1374,8 +1537,8 @@ mod tests {
         spilled.set_spill(spill_file(), 1024);
         let n = 5_000u32;
         for i in 0..n {
-            plain.intern(&wide_state(i));
-            spilled.intern(&wide_state(i));
+            plain.intern(&wide_state(i)).unwrap();
+            spilled.intern(&wide_state(i)).unwrap();
         }
         let mut snap_plain = Vec::new();
         plain.write_snapshot(&mut snap_plain).unwrap();
@@ -1388,22 +1551,105 @@ mod tests {
         let mut back = StateArena::read_snapshot(&mut snap_plain.as_slice()).unwrap();
         assert_eq!(back.len(), n as usize);
         for i in 0..n {
-            assert_eq!(back.get(i), wide_state(i));
-            assert_eq!(back.lookup(&wide_state(i)), Some(i));
+            assert_eq!(back.get(i).unwrap(), wide_state(i));
+            assert_eq!(back.lookup(&wide_state(i)).unwrap(), Some(i));
         }
         // The restored arena keeps interning exactly where it left off.
-        assert_eq!(back.intern(&wide_state(n)), (n, true));
-        assert_eq!(back.intern(&wide_state(0)), (0, false));
+        assert_eq!(back.intern(&wide_state(n)).unwrap(), (n, true));
+        assert_eq!(back.intern(&wide_state(0)).unwrap(), (0, false));
     }
 
     #[test]
     fn snapshot_rejects_garbage() {
         assert!(StateArena::read_snapshot(&mut &b"not a snapshot"[..]).is_err());
         let mut arena = StateArena::new();
-        arena.intern(b"abc");
+        arena.intern(b"abc").unwrap();
         let mut snap = Vec::new();
         arena.write_snapshot(&mut snap).unwrap();
         let truncated = &snap[..snap.len() - 1];
         assert!(StateArena::read_snapshot(&mut &truncated[..]).is_err());
+    }
+
+    #[test]
+    fn injected_write_fault_degrades_to_fully_resident() {
+        let mut arena = StateArena::new();
+        arena.set_fault_plan(Arc::new(
+            FaultPlan::new().fail_spill_write(1, io::ErrorKind::StorageFull),
+        ));
+        arena.set_spill(spill_file(), 0);
+        let n = PAGE as u32 * 4;
+        for i in 0..n {
+            arena.intern(&wide_state(i)).unwrap();
+        }
+        let reason = arena.degraded().expect("first eviction write must degrade");
+        assert!(reason.contains("injected fault"), "reason: {reason}");
+        let stats = arena.spill_stats();
+        assert!(stats.degraded);
+        assert_eq!(stats.evictions, 0, "degraded arena must stop evicting");
+        assert_eq!(stats.spilled_bytes, 0, "everything stays resident");
+        // Every state remains intact and readable, and interning keeps
+        // working — over budget by design.
+        for i in 0..n {
+            assert_eq!(arena.get(i).unwrap(), wide_state(i), "state {i}");
+            assert_eq!(arena.intern(&wide_state(i)).unwrap(), (i, false));
+        }
+    }
+
+    #[test]
+    fn injected_write_fault_after_real_evictions_keeps_spilled_pages_readable() {
+        let mut arena = StateArena::new();
+        // Let a few pages spill for real, then fail the 4th write: the
+        // earlier spilled pages must stay readable from disk.
+        arena.set_fault_plan(Arc::new(
+            FaultPlan::new().fail_spill_write(4, io::ErrorKind::StorageFull),
+        ));
+        arena.set_spill(spill_file(), 0);
+        let n = PAGE as u32 * 8;
+        for i in 0..n {
+            arena.intern(&wide_state(i)).unwrap();
+        }
+        assert!(arena.degraded().is_some());
+        let stats = arena.spill_stats();
+        assert!(
+            stats.evictions >= 3,
+            "three pages must have spilled before the fault, saw {}",
+            stats.evictions
+        );
+        for i in 0..n {
+            assert_eq!(arena.get(i).unwrap(), wide_state(i), "state {i}");
+        }
+    }
+
+    #[test]
+    fn injected_read_fault_is_a_typed_error_not_a_panic() {
+        let mut arena = StateArena::new();
+        arena.set_fault_plan(Arc::new(
+            FaultPlan::new().fail_spill_read(1, io::ErrorKind::UnexpectedEof),
+        ));
+        arena.set_spill(spill_file(), 0);
+        let n = PAGE as u32 * 3;
+        for i in 0..n {
+            arena.intern(&wide_state(i)).unwrap();
+        }
+        // Most pages are evicted: scanning forward, the first spilled
+        // read hits the armed fault and must surface as a SpillError —
+        // never a panic.  The fault is one-shot (a transient medium
+        // error), so a rescan succeeds.
+        let mut first_err = None;
+        for i in 0..n {
+            match arena.get(i) {
+                Ok(v) => assert_eq!(v, wide_state(i), "state {i}"),
+                Err(e) => {
+                    first_err = Some(e);
+                    break;
+                }
+            }
+        }
+        let err = first_err.expect("a zero budget must leave spilled pages");
+        assert_eq!(err.op, SpillOp::Read);
+        assert_eq!(err.source.kind(), io::ErrorKind::UnexpectedEof);
+        for i in 0..n {
+            assert_eq!(arena.get(i).unwrap(), wide_state(i), "one-shot fault");
+        }
     }
 }

@@ -95,6 +95,7 @@
 pub mod automaton;
 mod checkpoint;
 pub mod encode;
+pub mod fault;
 pub mod intern;
 pub mod mc;
 pub mod mem;
@@ -106,7 +107,11 @@ pub mod trace;
 
 pub use automaton::{closed_loop_step, Automaton, Outcome, Phase};
 pub use encode::EncodeState;
-pub use mc::{McReport, ModelChecker, Monitor, SccQuery, Symmetry, Verdict};
+pub use fault::FaultPlan;
+pub use intern::SpillError;
+pub use mc::{
+    CrashBudget, CrashMode, McError, McReport, ModelChecker, Monitor, SccQuery, Symmetry, Verdict,
+};
 pub use mem::{MemoryModel, MemoryOps, SimMemory};
 pub use runner::{RunReport, Runner, Stop, TraceEvent, Workload};
 pub use schedule::Scheduler;

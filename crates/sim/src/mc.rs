@@ -101,6 +101,7 @@
 //! default and is exact.
 
 use std::collections::VecDeque;
+use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -114,11 +115,26 @@ use amx_ids::Slot;
 use crate::automaton::{Automaton, Outcome, Phase};
 use crate::checkpoint;
 use crate::encode::{self, EncodeState};
-use crate::intern::{anon_spill_file, hash_bytes, PageCache, SpillStats, StateArena};
+use crate::fault::FaultPlan;
+use crate::intern::{anon_spill_file, hash_bytes, PageCache, SpillError, SpillStats, StateArena};
 use crate::mem::SimMemory;
 use crate::scc;
 
+/// Actor-byte flag marking a BFS-tree edge as a *crash* of process
+/// `actor & !CRASH_ACTOR` (process indices are capped at 64, so the
+/// high bit is free).  In reported witness schedules a crash of process
+/// `i` appears as the entry `n + i` (`n` the process count) — see
+/// [`Verdict`].
+const CRASH_ACTOR: u8 = 0x80;
+
 /// Final verdict of a model-checking run.
+///
+/// **Witness schedules under crash–recovery:** when the run enabled
+/// [`ModelChecker::crashes`], schedule entries `< n` (the process
+/// count) schedule a normal step of that process, and an entry `n + i`
+/// means "process `i` crashes here" (resets to its remainder section
+/// per the configured [`CrashMode`]).  Runs without crashes only ever
+/// report entries `< n`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Verdict {
     /// Both properties hold on the full reachable state space.
@@ -452,6 +468,15 @@ pub struct McReport {
     /// symmetry reduction active, positions within one symmetry class
     /// are interchangeable, so read per-class maxima.
     pub max_pending_depth: Vec<usize>,
+    /// Degradation events of this run, in occurrence order: spill
+    /// writes that failed (arena fell back to fully resident),
+    /// checkpoint writes that failed (checkpointing disabled), corrupt
+    /// checkpoints skipped on resume (fell back to an earlier level),
+    /// spill files that could not be created (ran fully resident).
+    /// Empty on a clean run; a non-empty list means the verdict is
+    /// still exact but the run did not get the out-of-core behavior it
+    /// asked for.
+    pub degraded: Vec<String>,
 }
 
 /// Live snapshot handed to a [`ModelChecker::progress`] callback while
@@ -486,6 +511,105 @@ impl std::fmt::Display for StateSpaceExceeded {
 }
 
 impl std::error::Error for StateSpaceExceeded {}
+
+/// What happens to a crashed process's shared-memory claims.
+///
+/// Both modes reset the process itself to its remainder section with
+/// [`Automaton::crash_state`]; they differ only in what the *memory*
+/// remembers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashMode {
+    /// The crash atomically erases every register owned by the crashed
+    /// process (its identity disappears from the array).  Models a
+    /// runtime that cleans up after a dead participant — the friendly
+    /// case.
+    WipeRegisters,
+    /// Registers keep whatever the process wrote: stale claims survive
+    /// in the anonymous memory.  This is the adversarial,
+    /// anonymous-memory-relevant case — survivors cannot distinguish a
+    /// dead process's claim from a live slow one's.
+    StaleClaims,
+}
+
+/// Adversary budget for crash edges: how many crashes the exploration
+/// may schedule in one execution.
+///
+/// Crash counts are part of the explored state, so the state space
+/// grows with the budget; small budgets (1 or 2) answer the
+/// paper-level question "does the verdict survive `k` crashes?".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CrashBudget {
+    /// Crashes allowed across all processes in one execution.
+    pub total: u8,
+    /// Crashes allowed per individual process.
+    pub per_process: u8,
+}
+
+impl CrashBudget {
+    /// Budget of `k` crashes total, with no tighter per-process bound.
+    #[must_use]
+    pub fn total(k: u8) -> Self {
+        CrashBudget {
+            total: k,
+            per_process: k,
+        }
+    }
+}
+
+/// Error of a [`ModelChecker::run`]: either the state space outgrew
+/// the configured bound, or the out-of-core engine hit an I/O failure
+/// it could not degrade around (spilled state became unreadable, or a
+/// resume found no compatible checkpoint).
+///
+/// Recoverable I/O failures — a spill *write* failing, a checkpoint
+/// write failing, a corrupt newest checkpoint with an older valid one
+/// behind it — do **not** surface here: the engine degrades (fully
+/// resident arena, checkpointing disabled, fall back a level) and
+/// records what happened in [`McReport::degraded`].
+#[derive(Debug)]
+pub enum McError {
+    /// More states are reachable than [`ModelChecker::max_states`].
+    StateSpaceExceeded(StateSpaceExceeded),
+    /// A spilled arena page could not be read back — interned state
+    /// was lost, so no sound verdict exists.
+    Spill(SpillError),
+    /// [`ModelChecker::resume`] could not restore any checkpoint (I/O
+    /// error on the directory, or a fingerprint from an incompatible
+    /// configuration).
+    Checkpoint(io::Error),
+}
+
+impl std::fmt::Display for McError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            McError::StateSpaceExceeded(e) => e.fmt(f),
+            McError::Spill(e) => write!(f, "spilled state lost: {e}"),
+            McError::Checkpoint(e) => write!(f, "cannot resume: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for McError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            McError::StateSpaceExceeded(e) => Some(e),
+            McError::Spill(e) => Some(e),
+            McError::Checkpoint(e) => Some(e),
+        }
+    }
+}
+
+impl From<StateSpaceExceeded> for McError {
+    fn from(e: StateSpaceExceeded) -> Self {
+        McError::StateSpaceExceeded(e)
+    }
+}
+
+impl From<SpillError> for McError {
+    fn from(e: SpillError) -> Self {
+        McError::Spill(e)
+    }
+}
 
 /// Exhaustive explorer; see the module docs.
 ///
@@ -529,6 +653,8 @@ pub struct ModelChecker<A: Automaton> {
     checkpoint_every: u32,
     resume: bool,
     halt_after_checkpoints: Option<u32>,
+    crashes: Option<(CrashBudget, CrashMode)>,
+    fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl<A: Automaton + std::fmt::Debug> std::fmt::Debug for ModelChecker<A> {
@@ -551,6 +677,8 @@ impl<A: Automaton + std::fmt::Debug> std::fmt::Debug for ModelChecker<A> {
             .field("checkpoint_every", &self.checkpoint_every)
             .field("resume", &self.resume)
             .field("halt_after_checkpoints", &self.halt_after_checkpoints)
+            .field("crashes", &self.crashes)
+            .field("fault_plan", &self.fault_plan)
             .finish()
     }
 }
@@ -633,6 +761,8 @@ impl<A: Automaton> ModelChecker<A> {
             checkpoint_every: 1,
             resume: false,
             halt_after_checkpoints: None,
+            crashes: None,
+            fault_plan: None,
         })
     }
 
@@ -798,6 +928,34 @@ impl<A: Automaton> ModelChecker<A> {
         self
     }
 
+    /// Enables crash–recovery exploration: in every state, each process
+    /// with a pending invocation (or inside its critical section) may
+    /// additionally *crash* — reset to its remainder section with
+    /// [`Automaton::crash_state`] — as long as `budget` allows it, with
+    /// `mode` deciding whether its shared-memory claims are wiped or
+    /// left stale.  Crash edges go through symmetry reduction and
+    /// witness reconstruction like any other edge (schedules report a
+    /// crash of process `i` as entry `n + i`; see [`Verdict`]), but are
+    /// excluded from the fair-livelock pass: crash counts strictly
+    /// increase along them, so no cycle — and hence no livelock — can
+    /// contain one, and fairness never obliges the adversary to crash
+    /// anyone.  Off by default.
+    #[must_use]
+    pub fn crashes(mut self, budget: CrashBudget, mode: CrashMode) -> Self {
+        self.crashes = Some((budget, mode));
+        self
+    }
+
+    /// Installs a deterministic [`FaultPlan`] on this run's spill and
+    /// checkpoint I/O — the chaos-testing hook.  Injected faults follow
+    /// the same degradation rules as real ones (see
+    /// [`McReport::degraded`] and [`McError`]).
+    #[must_use]
+    pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// The requested thread cap (explicit, `AMX_MC_THREADS`, or 1).
     fn effective_threads(&self) -> usize {
         if let Some(t) = self.threads {
@@ -820,14 +978,16 @@ where
     ///
     /// # Errors
     ///
-    /// Returns [`StateSpaceExceeded`] if more than the configured number
-    /// of states are reachable.
+    /// Returns [`McError::StateSpaceExceeded`] if more than the
+    /// configured number of states are reachable, and the other
+    /// [`McError`] variants on unrecoverable out-of-core I/O failures
+    /// (recoverable ones degrade instead — see [`McReport::degraded`]).
     ///
     /// # Panics
     ///
     /// Panics if [`cross_check`](Self::cross_check) is enabled and the
     /// reduced and full explorations disagree.
-    pub fn run(&self) -> Result<McReport, StateSpaceExceeded> {
+    pub fn run(&self) -> Result<McReport, McError> {
         let report = self.explore(self.symmetry)?;
         if self.cross_check && self.symmetry != Symmetry::Off {
             let full = self.explore(Symmetry::Off)?;
@@ -851,7 +1011,7 @@ where
         Ok(report)
     }
 
-    fn explore(&self, symmetry: Symmetry) -> Result<McReport, StateSpaceExceeded> {
+    fn explore(&self, symmetry: Symmetry) -> Result<McReport, McError> {
         let start = Instant::now();
         let m = self.mem0.m();
         let threads = self.effective_threads();
@@ -878,6 +1038,8 @@ where
             orbit_sum: AtomicUsize::new(0),
             overflow: AtomicBool::new(false),
             steals: AtomicUsize::new(0),
+            crashes: self.crashes,
+            spill_error: Mutex::new(None),
         };
         // Checkpointing binds to the *configured* run: the symmetry-off
         // cross-check re-exploration must not touch the directory.
@@ -902,10 +1064,13 @@ where
         let mut checkpoints_written: u32 = 0;
         let mut resumed_from_level: Option<u32> = None;
 
+        let mut degraded: Vec<String> = Vec::new();
         let restored = if self.resume {
             let dir = ckpt_dir.expect("resume(true) requires checkpoint_dir");
-            checkpoint::load(dir, fingerprint)
-                .unwrap_or_else(|e| panic!("cannot resume from {}: {e}", dir.display()))
+            let (restored, skipped) =
+                checkpoint::load_latest(dir, fingerprint).map_err(McError::Checkpoint)?;
+            degraded.extend(skipped);
+            restored
         } else {
             None
         };
@@ -931,16 +1096,16 @@ where
             resumed_from_level = Some(ck.level);
             // The checkpoint stores frontier *ids*; the bytes come back
             // out of the restored arenas.
-            frontier = ck
-                .frontier
-                .iter()
-                .map(|&gid| {
-                    let si = (gid as usize) & (n_shards - 1);
-                    let mut bytes = Vec::new();
-                    shards[si].arena.get_into(gid >> shard_bits, &mut bytes);
-                    (gid, bytes.into_boxed_slice())
-                })
-                .collect();
+            frontier = Vec::with_capacity(ck.frontier.len());
+            for &gid in &ck.frontier {
+                let si = (gid as usize) & (n_shards - 1);
+                let mut bytes = Vec::new();
+                shards[si]
+                    .arena
+                    .get_into(gid >> shard_bits, &mut bytes)
+                    .map_err(McError::Spill)?;
+                frontier.push((gid, bytes.into_boxed_slice()));
+            }
         } else {
             shards = (0..n_shards).map(|_| Shard::default()).collect();
             // Seed the frontier with the (group-invariant) initial state.
@@ -950,10 +1115,16 @@ where
                 .iter()
                 .map(|a| (Phase::Remainder, a.init_state()))
                 .collect();
+            scratch.crashes = if self.crashes.is_some() {
+                vec![0; self.automata.len()]
+            } else {
+                Vec::new()
+            };
             let (sigma0, orbit0) = canonicalize(
                 &group,
                 &scratch.slots,
                 &scratch.procs,
+                &scratch.crashes,
                 &mut scratch.enc,
                 &mut scratch.best,
                 &mut scratch.first,
@@ -1000,14 +1171,26 @@ where
             let dir = self.spill_dir.clone().unwrap_or_else(std::env::temp_dir);
             let per_shard = budget / n_shards;
             for shard in &mut shards {
-                let file = anon_spill_file(&dir).unwrap_or_else(|e| {
-                    panic!("cannot create a spill file in {}: {e}", dir.display())
-                });
-                shard.arena.set_spill(file, per_shard);
+                match anon_spill_file(&dir) {
+                    Ok(file) => {
+                        shard.arena.set_spill(file, per_shard);
+                        if let Some(plan) = &self.fault_plan {
+                            shard.arena.set_fault_plan(plan.clone());
+                        }
+                    }
+                    Err(e) => {
+                        degraded.push(format!(
+                            "cannot create a spill file in {}: {e}; running fully resident",
+                            dir.display()
+                        ));
+                        break;
+                    }
+                }
             }
         }
 
         let mut halted = false;
+        let mut ckpt_enabled = true;
         while !frontier.is_empty()
             && violation.is_none()
             && prop_violation.is_none()
@@ -1056,8 +1239,12 @@ where
             }
             frontier = out.next;
             completed_levels += 1;
+            if let Some(e) = shared.spill_error.lock().take() {
+                return Err(McError::Spill(e));
+            }
             if let Some(dir) = ckpt_dir {
-                if !frontier.is_empty()
+                if ckpt_enabled
+                    && !frontier.is_empty()
                     && violation.is_none()
                     && prop_violation.is_none()
                     && !shared.overflow.load(Ordering::Relaxed)
@@ -1074,15 +1261,23 @@ where
                         frontier: &frontier,
                         shards: &shards,
                     };
-                    checkpoint::write(dir, &snap).unwrap_or_else(|e| {
-                        panic!("cannot write checkpoint to {}: {e}", dir.display())
-                    });
-                    checkpoints_written += 1;
-                    if self
-                        .halt_after_checkpoints
-                        .is_some_and(|k| checkpoints_written >= k)
-                    {
-                        halted = true;
+                    match checkpoint::write(dir, &snap, self.fault_plan.as_deref()) {
+                        Ok(()) => {
+                            checkpoints_written += 1;
+                            if self
+                                .halt_after_checkpoints
+                                .is_some_and(|k| checkpoints_written >= k)
+                            {
+                                halted = true;
+                            }
+                        }
+                        Err(e) => {
+                            degraded.push(format!(
+                                "checkpoint write at level {completed_levels} failed ({e}); \
+                                 checkpointing disabled for the rest of the run"
+                            ));
+                            ckpt_enabled = false;
+                        }
                     }
                 }
             }
@@ -1104,6 +1299,7 @@ where
         let overflowed = shared.overflow.load(Ordering::Relaxed);
         let steal_count = shared.steals.load(Ordering::Relaxed);
         let store = Store::new(shards, shard_bits);
+        degraded.extend(store.degraded_notes());
         let mut report = McReport {
             verdict: Verdict::Ok,
             states,
@@ -1128,6 +1324,7 @@ where
             monitors: Vec::new(),
             scc_queries: Vec::new(),
             max_pending_depth: Vec::new(),
+            degraded,
         };
         report.monitors = self.monitor_results(&store, &group, &monitor_hits);
 
@@ -1151,9 +1348,9 @@ where
             return Ok(finish_report(report, &store, start));
         }
         if overflowed {
-            return Err(StateSpaceExceeded {
+            return Err(McError::StateSpaceExceeded(StateSpaceExceeded {
                 limit: self.max_states,
-            });
+            }));
         }
         if halted {
             report.verdict = Verdict::Interrupted {
@@ -1164,11 +1361,11 @@ where
         }
 
         report.max_pending_depth =
-            max_pending_depth::<A::State>(&store, &group, m, self.automata.len());
+            max_pending_depth::<A::State>(&store, &group, m, self.automata.len())?;
 
         let scc_start = Instant::now();
         if let Some((verdict, queries)) =
-            self.find_fair_livelock(&store, &group, &class_of, &mut scratch, workers)
+            self.find_fair_livelock(&store, &group, &class_of, &mut scratch, workers)?
         {
             report.verdict = verdict;
             report.scc_queries = queries;
@@ -1198,6 +1395,9 @@ where
             shard_bits,
             crate::intern::PAGE,
         );
+        if let Some((budget, mode)) = self.crashes {
+            let _ = write!(s, "|crash={mode:?}/{}/{}", budget.total, budget.per_process);
+        }
         for i in 0..self.automata.len() {
             let _ = write!(s, "|perm{i}={:?}", self.mem0.permutation(i));
         }
@@ -1249,12 +1449,12 @@ where
         class_of: &[usize],
         scratch: &mut Scratch<A::State>,
         workers: usize,
-    ) -> Option<(Verdict, Vec<SccQueryResult>)> {
+    ) -> Result<Option<(Verdict, Vec<SccQueryResult>)>, SpillError> {
         let n_states = store.node_count();
         let n = self.automata.len();
         let m = self.mem0.m();
         if n_states == 0 {
-            return None;
+            return Ok(None);
         }
 
         // Stage 1: regenerate the completion-free successor table — and,
@@ -1268,40 +1468,57 @@ where
         } else {
             Vec::new()
         };
-        let fill_rows =
-            |rows: &mut [u32], sigs: &mut [u16], base: usize, sc: &mut Scratch<A::State>| {
-                for (row, entries) in rows.chunks_mut(n).enumerate() {
-                    store.bytes_into(store.gid_of_dense(base + row), &mut sc.cache, &mut sc.node);
-                    decode_node(&sc.node, m, n, &mut sc.slots, &mut sc.procs);
-                    for (k, entry) in entries.iter_mut().enumerate() {
-                        sc.mem.restore(&sc.slots);
-                        let saved = sc.procs[k].clone();
-                        let outcome =
-                            advance_in_place(&self.automata[k], k, &mut sc.mem, &mut sc.procs[k]);
-                        if outcome == Outcome::Progress {
-                            let sigma = canonical_sigma(
-                                group,
-                                sc.mem.slots(),
-                                &sc.procs,
-                                &mut sc.enc,
-                                &mut sc.best,
-                            );
-                            let child = store
-                                .lookup(&sc.best, &mut sc.cache)
-                                .expect("successor of a stored state must itself be stored");
-                            *entry = store.dense(child) as u32;
-                            if let Some(se) = sigs.get_mut(row * n + k) {
-                                *se = sigma;
-                            }
+        // Crash edges are deliberately absent from this table: each one
+        // strictly increases a crash count, so no cycle — and hence no
+        // SCC-carried infinite execution — can contain one, and
+        // fairness never obliges the adversary to crash a process.
+        let fill_rows = |rows: &mut [u32],
+                         sigs: &mut [u16],
+                         base: usize,
+                         sc: &mut Scratch<A::State>|
+         -> Result<(), SpillError> {
+            for (row, entries) in rows.chunks_mut(n).enumerate() {
+                store.bytes_into(store.gid_of_dense(base + row), &mut sc.cache, &mut sc.node)?;
+                decode_node(
+                    &sc.node,
+                    m,
+                    n,
+                    &mut sc.slots,
+                    &mut sc.procs,
+                    &mut sc.crashes,
+                );
+                for (k, entry) in entries.iter_mut().enumerate() {
+                    sc.mem.restore(&sc.slots);
+                    let saved = sc.procs[k].clone();
+                    let outcome =
+                        advance_in_place(&self.automata[k], k, &mut sc.mem, &mut sc.procs[k]);
+                    if outcome == Outcome::Progress {
+                        let sigma = canonical_sigma(
+                            group,
+                            sc.mem.slots(),
+                            &sc.procs,
+                            &sc.crashes,
+                            &mut sc.enc,
+                            &mut sc.best,
+                        );
+                        let child = store
+                            .lookup(&sc.best, &mut sc.cache)?
+                            .expect("successor of a stored state must itself be stored");
+                        *entry = store.dense(child) as u32;
+                        if let Some(se) = sigs.get_mut(row * n + k) {
+                            *se = sigma;
                         }
-                        sc.procs[k] = saved;
                     }
+                    sc.procs[k] = saved;
                 }
-            };
+            }
+            Ok(())
+        };
         if workers == 1 {
-            fill_rows(&mut csr, &mut sigmas, 0, scratch);
+            fill_rows(&mut csr, &mut sigmas, 0, scratch)?;
         } else {
             let chunk = n_states.div_ceil(workers) * n;
+            let spill_err: Mutex<Option<SpillError>> = Mutex::new(None);
             std::thread::scope(|s| {
                 let mut csr_rest = csr.as_mut_slice();
                 let mut sig_rest = sigmas.as_mut_slice();
@@ -1313,14 +1530,20 @@ where
                     let (sigs, s2) = sig_rest.split_at_mut(take.min(sig_rest.len()));
                     sig_rest = s2;
                     let fill_rows = &fill_rows;
+                    let spill_err = &spill_err;
                     let row_base = base;
                     s.spawn(move || {
                         let mut sc: Scratch<A::State> = Scratch::new(self.mem0.clone());
-                        fill_rows(rows, sigs, row_base, &mut sc);
+                        if let Err(e) = fill_rows(rows, sigs, row_base, &mut sc) {
+                            spill_err.lock().get_or_insert(e);
+                        }
                     });
                     base += take / n;
                 }
             });
+            if let Some(e) = spill_err.into_inner() {
+                return Err(e);
+            }
         }
 
         // Stage 2: SCC decomposition over the table.  Tarjan emits in
@@ -1368,8 +1591,15 @@ where
                 store.gid_of_dense(members[0] as usize),
                 &mut scratch.cache,
                 &mut scratch.node,
+            )?;
+            decode_node(
+                &scratch.node,
+                m,
+                n,
+                &mut scratch.slots,
+                &mut scratch.procs,
+                &mut scratch.crashes,
             );
-            decode_node(&scratch.node, m, n, &mut scratch.slots, &mut scratch.procs);
             let phases: Vec<Phase> = scratch.procs.iter().map(|(p, _)| *p).collect();
             if phases.contains(&Phase::Cs) {
                 // Someone is parked in the CS: the antecedent of
@@ -1396,8 +1626,15 @@ where
                     store.gid_of_dense(v as usize),
                     &mut scratch.cache,
                     &mut scratch.node,
+                )?;
+                decode_node(
+                    &scratch.node,
+                    m,
+                    n,
+                    &mut scratch.slots,
+                    &mut scratch.procs,
+                    &mut scratch.crashes,
                 );
-                decode_node(&scratch.node, m, n, &mut scratch.slots, &mut scratch.procs);
                 for k in 0..n {
                     let w = csr[v as usize * n + k];
                     if w != scc::NO_EDGE && comp[w as usize] == comp[v as usize] {
@@ -1420,18 +1657,18 @@ where
             if group.len() == 1 {
                 // No reduction: the quotient IS the concrete graph and
                 // the class-level check was per-process; done.
-                let queries = self.eval_queries_concrete(store, group, members, scratch);
+                let queries = self.eval_queries_concrete(store, group, members, scratch)?;
                 let entry = *members.iter().min().expect("nonempty SCC");
                 let chain = chain_from_root(store, store.gid_of_dense(entry as usize));
                 let (witness_schedule, _, _) = concretize(group, &chain);
-                return Some((
+                return Ok(Some((
                     Verdict::FairLivelock {
                         pending,
                         scc_states: members.len(),
                         witness_schedule,
                     },
                     queries,
-                ));
+                )));
             }
             // Reduced mode: the quotient folds interchangeable processes
             // together, so "some process of the class steps" does not yet
@@ -1444,11 +1681,11 @@ where
             let cid = comp[members[0] as usize];
             if let Some(v) = self.confirm_livelock_on_orbit(
                 store, group, gtab, members, &csr, &sigmas, &comp, cid, scratch,
-            ) {
-                return Some(v);
+            )? {
+                return Ok(Some(v));
             }
         }
-        None
+        Ok(None)
     }
 
     /// Expands a candidate quotient SCC into its concrete orbit, finds
@@ -1484,7 +1721,7 @@ where
         comp: &[u32],
         cid: u32,
         scratch: &mut Scratch<A::State>,
-    ) -> Option<(Verdict, Vec<SccQueryResult>)> {
+    ) -> Result<Option<(Verdict, Vec<SccQueryResult>)>, SpillError> {
         let n = self.automata.len();
         let m = self.mem0.m();
         let gl = group.len();
@@ -1503,8 +1740,15 @@ where
                 store.gid_of_dense(v as usize),
                 &mut scratch.cache,
                 &mut scratch.node,
+            )?;
+            decode_node(
+                &scratch.node,
+                m,
+                n,
+                &mut scratch.slots,
+                &mut scratch.procs,
+                &mut scratch.crashes,
             );
-            decode_node(&scratch.node, m, n, &mut scratch.slots, &mut scratch.procs);
             phases_q.extend(scratch.procs.iter().map(|(p, _)| *p));
         }
 
@@ -1576,8 +1820,18 @@ where
             let chain = chain_from_root(store, store.gid_of_dense(members[vi] as usize));
             let (schedule_u, tau, _) = concretize(group, &chain);
             let g_pi = &group[gi].pi;
-            let witness_schedule: Vec<usize> =
-                schedule_u.into_iter().map(|a| g_pi[tau[a]]).collect();
+            // Crash entries (`a >= n`) relabel the crashed process the
+            // same way normal entries relabel the stepped one.
+            let witness_schedule: Vec<usize> = schedule_u
+                .into_iter()
+                .map(|a| {
+                    if a >= n {
+                        n + g_pi[tau[a - n]]
+                    } else {
+                        g_pi[tau[a]]
+                    }
+                })
+                .collect();
             // Exact distinct-state count: nontrivial stabilizers make
             // the pair walk cover the concrete component several times
             // over, so dedup by concrete encoding (success path only —
@@ -1589,29 +1843,37 @@ where
                     store.gid_of_dense(members[xvi] as usize),
                     &mut scratch.cache,
                     &mut scratch.node,
+                )?;
+                decode_node(
+                    &scratch.node,
+                    m,
+                    n,
+                    &mut scratch.slots,
+                    &mut scratch.procs,
+                    &mut scratch.crashes,
                 );
-                decode_node(&scratch.node, m, n, &mut scratch.slots, &mut scratch.procs);
                 encode_node_with(
                     &group[xgi],
                     &scratch.slots,
                     &scratch.procs,
+                    &scratch.crashes,
                     &mut scratch.enc,
                 );
                 distinct.insert(scratch.enc.clone());
             }
-            let queries = self.eval_queries_orbit(store, group, members, sub, scratch);
+            let queries = self.eval_queries_orbit(store, group, members, sub, scratch)?;
             // `pending` (from sub[0]) equals the pending set at `entry`:
             // phases are constant across a concrete completion-free SCC.
-            return Some((
+            return Ok(Some((
                 Verdict::FairLivelock {
                     pending,
                     scc_states: distinct.len(),
                     witness_schedule,
                 },
                 queries,
-            ));
+            )));
         }
-        None
+        Ok(None)
     }
 
     /// Evaluates the registered [`SccQuery`]s over a concrete (trivial
@@ -1624,9 +1886,9 @@ where
         group: &[SymElem],
         members: &[u32],
         scratch: &mut Scratch<A::State>,
-    ) -> Vec<SccQueryResult> {
+    ) -> Result<Vec<SccQueryResult>, SpillError> {
         if self.scc_queries.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let n = self.automata.len();
         let m = self.mem0.m();
@@ -1639,8 +1901,15 @@ where
                 store.gid_of_dense(v as usize),
                 &mut scratch.cache,
                 &mut scratch.node,
+            )?;
+            decode_node(
+                &scratch.node,
+                m,
+                n,
+                &mut scratch.slots,
+                &mut scratch.procs,
+                &mut scratch.crashes,
             );
-            decode_node(&scratch.node, m, n, &mut scratch.slots, &mut scratch.procs);
             for (qi, q) in self.scc_queries.iter().enumerate() {
                 if (q.eval)(&scratch.slots, &scratch.procs) {
                     hits[qi] += 1;
@@ -1650,7 +1919,8 @@ where
                 }
             }
         }
-        self.scc_queries
+        Ok(self
+            .scc_queries
             .iter()
             .enumerate()
             .map(|(qi, q)| {
@@ -1668,7 +1938,7 @@ where
                     witness_state: witness.map(|(_, s)| s),
                 }
             })
-            .collect()
+            .collect())
     }
 
     /// Evaluates the registered [`SccQuery`]s over the confirmed
@@ -1684,9 +1954,9 @@ where
         members: &[u32],
         sub: &[u32],
         scratch: &mut Scratch<A::State>,
-    ) -> Vec<SccQueryResult> {
+    ) -> Result<Vec<SccQueryResult>, SpillError> {
         if self.scc_queries.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let n = self.automata.len();
         let m = self.mem0.m();
@@ -1708,8 +1978,15 @@ where
                         store.gid_of_dense(members[vi as usize] as usize),
                         &mut scratch.cache,
                         &mut scratch.node,
+                    )?;
+                    decode_node(
+                        &scratch.node,
+                        m,
+                        n,
+                        &mut scratch.slots,
+                        &mut scratch.procs,
+                        &mut scratch.crashes,
                     );
-                    decode_node(&scratch.node, m, n, &mut scratch.slots, &mut scratch.procs);
                     examined += 1;
                     if (q.eval)(&scratch.slots, &scratch.procs) {
                         hits += 1;
@@ -1726,19 +2003,40 @@ where
                 let mut seen: std::collections::HashSet<Vec<u8>> = std::collections::HashSet::new();
                 let mut slots_img: Vec<Slot> = Vec::new();
                 let mut procs_img: Vec<(Phase, A::State)> = Vec::new();
+                let mut crashes_img: Vec<u8> = Vec::new();
                 for &x in &sorted {
                     let (vi, gi) = (x as usize / gl, x as usize % gl);
                     store.bytes_into(
                         store.gid_of_dense(members[vi] as usize),
                         &mut scratch.cache,
                         &mut scratch.node,
+                    )?;
+                    decode_node(
+                        &scratch.node,
+                        m,
+                        n,
+                        &mut scratch.slots,
+                        &mut scratch.procs,
+                        &mut scratch.crashes,
                     );
-                    decode_node(&scratch.node, m, n, &mut scratch.slots, &mut scratch.procs);
-                    encode_node_with(&group[gi], &scratch.slots, &scratch.procs, &mut scratch.enc);
+                    encode_node_with(
+                        &group[gi],
+                        &scratch.slots,
+                        &scratch.procs,
+                        &scratch.crashes,
+                        &mut scratch.enc,
+                    );
                     if !seen.insert(scratch.enc.clone()) {
                         continue; // a stabilizer copy of an examined state
                     }
-                    decode_node(&scratch.enc, m, n, &mut slots_img, &mut procs_img);
+                    decode_node(
+                        &scratch.enc,
+                        m,
+                        n,
+                        &mut slots_img,
+                        &mut procs_img,
+                        &mut crashes_img,
+                    );
                     examined += 1;
                     if (q.eval)(&slots_img, &procs_img) {
                         hits += 1;
@@ -1760,7 +2058,16 @@ where
                     let chain = chain_from_root(store, store.gid_of_dense(members[vi] as usize));
                     let (schedule_u, tau, _) = concretize(group, &chain);
                     let g_pi = &group[gi].pi;
-                    let schedule = schedule_u.into_iter().map(|a| g_pi[tau[a]]).collect();
+                    let schedule = schedule_u
+                        .into_iter()
+                        .map(|a| {
+                            if a >= n {
+                                n + g_pi[tau[a - n]]
+                            } else {
+                                g_pi[tau[a]]
+                            }
+                        })
+                        .collect();
                     (Some(schedule), Some(render))
                 }
             };
@@ -1774,7 +2081,7 @@ where
                 witness_state,
             });
         }
-        results
+        Ok(results)
     }
 }
 
@@ -2069,6 +2376,21 @@ struct EngineShared<'a, A: Automaton> {
     orbit_sum: AtomicUsize,
     overflow: AtomicBool,
     steals: AtomicUsize,
+    /// Crash–recovery configuration, when enabled.
+    crashes: Option<(CrashBudget, CrashMode)>,
+    /// First spill *read* failure any worker hit: interned state became
+    /// unreadable, so the run aborts with [`McError::Spill`] at the
+    /// next level boundary (workers treat the failed state as seen and
+    /// keep draining — the error wins regardless).
+    spill_error: Mutex<Option<SpillError>>,
+}
+
+impl<A: Automaton> EngineShared<'_, A> {
+    /// Records the first spill failure; later ones are dropped (the
+    /// run is already doomed to abort with the first).
+    fn record_spill_error(&self, e: SpillError) {
+        self.spill_error.lock().get_or_insert(e);
+    }
 }
 
 /// Which shard a state hash routes to.  The route reads the *top* hash
@@ -2091,7 +2413,15 @@ fn intern_into<A: Automaton>(
     meta: NodeMeta,
     orbit: u32,
 ) -> (u32, bool) {
-    let (local, fresh) = shard.arena.intern_hashed(hash, bytes);
+    let (local, fresh) = match shard.arena.intern_hashed(hash, bytes) {
+        Ok(x) => x,
+        Err(e) => {
+            // Spilled state unreadable: record and report "not fresh" —
+            // the exploration loop aborts at the level boundary.
+            shared.record_spill_error(e);
+            return (u32::MAX, false);
+        }
+    };
     if fresh {
         shard.meta.push(meta);
         debug_assert_eq!(
@@ -2117,6 +2447,11 @@ struct Scratch<S> {
     mem: SimMemory,
     slots: Vec<Slot>,
     procs: Vec<(Phase, S)>,
+    /// Per-process crash counts of the decoded node (empty unless the
+    /// run enables crashes — the encoding is unchanged without them).
+    crashes: Vec<u8>,
+    /// Slot buffer for building a crash successor's memory image.
+    crash_slots: Vec<Slot>,
     enc: Vec<u8>,
     best: Vec<u8>,
     first: Vec<u8>,
@@ -2130,6 +2465,8 @@ impl<S> Scratch<S> {
             mem,
             slots: Vec::new(),
             procs: Vec::new(),
+            crashes: Vec::new(),
+            crash_slots: Vec::new(),
             enc: Vec::new(),
             best: Vec::new(),
             first: Vec::new(),
@@ -2233,16 +2570,22 @@ fn advance_in_place<A: Automaton>(
     crate::automaton::closed_loop_step(aut, phase, state, &mut mem.view(i))
 }
 
-/// Decodes a node's bytes into the slots/procs scratch buffers.
+/// Decodes a node's bytes into the slots/procs/crashes scratch
+/// buffers.  Crash-count bytes trail the process components and only
+/// exist when the run enables crashes: whatever is left after `n`
+/// process entries lands in `crashes` (empty on crash-free encodings,
+/// so those stay byte-identical to previous releases).
 fn decode_node<S: EncodeState>(
     mut bytes: &[u8],
     m: usize,
     n: usize,
     slots: &mut Vec<Slot>,
     procs: &mut Vec<(Phase, S)>,
+    crashes: &mut Vec<u8>,
 ) {
     slots.clear();
     procs.clear();
+    crashes.clear();
     for _ in 0..m {
         slots.push(encode::take_slot(&mut bytes).expect("truncated node: slots"));
     }
@@ -2252,17 +2595,22 @@ fn decode_node<S: EncodeState>(
         let state = S::decode(&mut bytes).expect("truncated node: state");
         procs.push((phase, state));
     }
-    debug_assert!(bytes.is_empty(), "trailing bytes after node decode");
+    debug_assert!(
+        bytes.is_empty() || bytes.len() == n,
+        "trailing bytes after node decode are crash counts (0 or n of them)"
+    );
+    crashes.extend_from_slice(bytes);
 }
 
 /// Encodes the node image under one group element into `out`: physical
 /// slots are permuted by `ρ` (slot `j` of the image is slot
-/// `ρ⁻¹(j)` of the node) and identity-relabeled; process components are
-/// permuted by `π`.
+/// `ρ⁻¹(j)` of the node) and identity-relabeled; process components —
+/// and the trailing crash counts, when present — are permuted by `π`.
 fn encode_node_with<S: EncodeState>(
     elem: &SymElem,
     slots: &[Slot],
     procs: &[(Phase, S)],
+    crashes: &[u8],
     out: &mut Vec<u8>,
 ) {
     out.clear();
@@ -2280,6 +2628,9 @@ fn encode_node_with<S: EncodeState>(
         encode::put_u8(phase_to_u8(*phase), out);
         state.encode_with(&elem.map, &elem.regs, out);
     }
+    for j in 0..crashes.len() {
+        encode::put_u8(crashes[elem.pi_inv[j]], out);
+    }
 }
 
 /// Canonicalizes a node under the group: `best` receives the
@@ -2294,11 +2645,12 @@ fn canonicalize<S: EncodeState>(
     group: &[SymElem],
     slots: &[Slot],
     procs: &[(Phase, S)],
+    crashes: &[u8],
     enc: &mut Vec<u8>,
     best: &mut Vec<u8>,
     first: &mut Vec<u8>,
 ) -> (u16, u32) {
-    encode_node_with(&group[0], slots, procs, best);
+    encode_node_with(&group[0], slots, procs, crashes, best);
     if group.len() == 1 {
         return (0, 1);
     }
@@ -2307,7 +2659,7 @@ fn canonicalize<S: EncodeState>(
     let mut sigma = 0u16;
     let mut stabilizer = 1u32; // the identity always fixes the state
     for (gi, elem) in group.iter().enumerate().skip(1) {
-        encode_node_with(elem, slots, procs, enc);
+        encode_node_with(elem, slots, procs, crashes, enc);
         if enc == first {
             stabilizer += 1;
         }
@@ -2335,13 +2687,14 @@ fn canonical_sigma<S: EncodeState>(
     group: &[SymElem],
     slots: &[Slot],
     procs: &[(Phase, S)],
+    crashes: &[u8],
     enc: &mut Vec<u8>,
     best: &mut Vec<u8>,
 ) -> u16 {
-    encode_node_with(&group[0], slots, procs, best);
+    encode_node_with(&group[0], slots, procs, crashes, best);
     let mut sigma = 0u16;
     for (gi, elem) in group.iter().enumerate().skip(1) {
-        encode_node_with(elem, slots, procs, enc);
+        encode_node_with(elem, slots, procs, crashes, enc);
         if enc.as_slice() < best.as_slice() {
             std::mem::swap(enc, best);
             sigma = gi as u16;
@@ -2675,16 +3028,24 @@ where
                 |sc, _out, actor, sigma, orbit| {
                     let hash = hash_bytes(&sc.best);
                     let si = shard_index(hash, shared.shard_bits);
-                    if shards[si]
+                    match shards[si]
                         .arena
                         .lookup_hashed_cached(hash, &sc.best, &mut sc.cache)
-                        .is_some()
                     {
                         // Interned by a previous round or level: the
                         // frozen probe is exact for those, so nothing
                         // to buffer.  Intra-round duplicates fall
                         // through and lose in the insert phase.
-                        return;
+                        Ok(Some(_)) => return,
+                        Ok(None) => {}
+                        Err(e) => {
+                            // A spilled page is unreadable: the level
+                            // boundary turns this into McError::Spill;
+                            // meanwhile treat the child as seen so the
+                            // round drains without further probes.
+                            shared.record_spill_error(e);
+                            return;
+                        }
                     }
                     let mut mon_mask = 0u64;
                     for (mi, mon) in shared.monitors.iter().enumerate() {
@@ -2797,7 +3158,14 @@ fn expand_node<A: Automaton>(
 {
     let n = shared.automata.len();
     let m = shared.mem0.m();
-    decode_node(bytes, m, n, &mut scratch.slots, &mut scratch.procs);
+    decode_node(
+        bytes,
+        m,
+        n,
+        &mut scratch.slots,
+        &mut scratch.procs,
+        &mut scratch.crashes,
+    );
     for i in 0..n {
         out.transitions += 1;
         scratch.mem.restore(&scratch.slots);
@@ -2830,12 +3198,66 @@ fn expand_node<A: Automaton>(
             shared.group,
             scratch.mem.slots(),
             &scratch.procs,
+            &scratch.crashes,
             &mut scratch.enc,
             &mut scratch.best,
             &mut scratch.first,
         );
         sink(scratch, out, i, sigma, orbit);
         scratch.procs[i] = saved;
+    }
+    // Crash edges: the adversary may crash any process that is mid-
+    // invocation (Trying/Cs/Exiting — a process in its remainder has
+    // nothing to lose), within budget.  A crash resets the process to
+    // its remainder section with `crash_state()` local memory; under
+    // `WipeRegisters` its shared-register claims evaporate too, under
+    // `StaleClaims` they linger.  Crash counts strictly increase along
+    // these edges, so no cycle contains one — which is why the fair-
+    // livelock CSR pass soundly omits them (fairness never obliges the
+    // adversary to crash anyone).
+    if let Some((budget, mode)) = shared.crashes {
+        let total: u32 = scratch.crashes.iter().map(|&c| u32::from(c)).sum();
+        for i in 0..n {
+            if !matches!(
+                scratch.procs[i].0,
+                Phase::Trying | Phase::Cs | Phase::Exiting
+            ) {
+                continue;
+            }
+            if scratch.crashes[i] >= budget.per_process || total >= u32::from(budget.total) {
+                continue;
+            }
+            out.transitions += 1;
+            let saved = std::mem::replace(
+                &mut scratch.procs[i],
+                (Phase::Remainder, shared.automata[i].crash_state()),
+            );
+            scratch.crash_slots.clear();
+            scratch.crash_slots.extend_from_slice(&scratch.slots);
+            if mode == CrashMode::WipeRegisters {
+                if let Some(pid) = shared.automata[i].pid() {
+                    for s in &mut scratch.crash_slots {
+                        if s.is_owned_by(pid) {
+                            *s = Slot::BOTTOM;
+                        }
+                    }
+                }
+            }
+            scratch.mem.restore(&scratch.crash_slots);
+            scratch.crashes[i] += 1;
+            let (sigma, orbit) = canonicalize(
+                shared.group,
+                scratch.mem.slots(),
+                &scratch.procs,
+                &scratch.crashes,
+                &mut scratch.enc,
+                &mut scratch.best,
+                &mut scratch.first,
+            );
+            sink(scratch, out, usize::from(CRASH_ACTOR) | i, sigma, orbit);
+            scratch.crashes[i] -= 1;
+            scratch.procs[i] = saved;
+        }
     }
 }
 
@@ -2965,9 +3387,14 @@ impl Store {
 
     /// Materializes the encoded bytes of `gid` into `out`, faulting
     /// the page in from spill through the caller's cache if evicted.
-    fn bytes_into(&self, gid: u32, cache: &mut PageCache, out: &mut Vec<u8>) {
+    fn bytes_into(
+        &self,
+        gid: u32,
+        cache: &mut PageCache,
+        out: &mut Vec<u8>,
+    ) -> Result<(), SpillError> {
         let (si, local) = self.split(gid);
-        self.shards[si].arena.get_into_cached(local, cache, out);
+        self.shards[si].arena.get_into_cached(local, cache, out)
     }
 
     fn meta(&self, gid: u32) -> NodeMeta {
@@ -2975,13 +3402,22 @@ impl Store {
         self.shards[si].meta[local as usize]
     }
 
-    fn lookup(&self, bytes: &[u8], cache: &mut PageCache) -> Option<u32> {
+    fn lookup(&self, bytes: &[u8], cache: &mut PageCache) -> Result<Option<u32>, SpillError> {
         let hash = hash_bytes(bytes);
         let si = shard_index(hash, self.shard_bits);
-        let local = self.shards[si]
+        Ok(self.shards[si]
             .arena
-            .lookup_hashed_cached(hash, bytes, cache)?;
-        Some((local << self.shard_bits) | si as u32)
+            .lookup_hashed_cached(hash, bytes, cache)?
+            .map(|local| (local << self.shard_bits) | si as u32))
+    }
+
+    /// Degradation notes accumulated by the shards' arenas (spill
+    /// write failures that forced a fully-resident fallback).
+    fn degraded_notes(&self) -> Vec<String> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.arena.degraded().map(str::to_string))
+            .collect()
     }
 
     /// Dense index (shard-major) of a global id.
@@ -3043,10 +3479,10 @@ fn max_pending_depth<S: EncodeState>(
     group: &[SymElem],
     m: usize,
     n: usize,
-) -> Vec<usize> {
+) -> Result<Vec<usize>, SpillError> {
     let n_states = store.node_count();
     if n_states == 0 {
-        return vec![0; n];
+        return Ok(vec![0; n]);
     }
     // Children lists: a CSR over the tree's parent pointers.
     let mut child_count = vec![0u32; n_states];
@@ -3079,6 +3515,7 @@ fn max_pending_depth<S: EncodeState>(
     let mut maxima = vec![0u16; n];
     let mut slots: Vec<Slot> = Vec::new();
     let mut procs: Vec<(Phase, S)> = Vec::new();
+    let mut crashes: Vec<u8> = Vec::new();
     let mut node: Vec<u8> = Vec::new();
     let mut cache = PageCache::new();
     let mut queue: VecDeque<u32> = VecDeque::new();
@@ -3088,11 +3525,15 @@ fn max_pending_depth<S: EncodeState>(
         for &c in &children[start[v] as usize..start[v + 1] as usize] {
             let c = c as usize;
             let meta = store.meta(store.gid_of_dense(c));
-            store.bytes_into(store.gid_of_dense(c), &mut cache, &mut node);
-            decode_node::<S>(&node, m, n, &mut slots, &mut procs);
+            store.bytes_into(store.gid_of_dense(c), &mut cache, &mut node)?;
+            decode_node::<S>(&node, m, n, &mut slots, &mut procs, &mut crashes);
             let pi_inv = &group[meta.sigma as usize].pi_inv;
             for j in 0..n {
                 let pj = pi_inv[j];
+                // A crash edge (actor has the high bit set) never
+                // equals pj, so crashes reset/hold but never extend a
+                // pending depth — the crashed position drops to
+                // Remainder and its depth to zero anyway.
                 depth[c * n + j] = if procs[j].0 == Phase::Trying {
                     let d = depth[v * n + pj].saturating_add(u16::from(pj == meta.actor as usize));
                     maxima[j] = maxima[j].max(d);
@@ -3104,7 +3545,7 @@ fn max_pending_depth<S: EncodeState>(
             queue.push_back(c as u32);
         }
     }
-    maxima.into_iter().map(usize::from).collect()
+    Ok(maxima.into_iter().map(usize::from).collect())
 }
 
 /// The BFS-tree edges from the root to `target`, in root-first order.
@@ -3137,7 +3578,13 @@ fn concretize(group: &[SymElem], chain: &[(usize, u16)]) -> (Vec<usize>, Vec<usi
     let mut tau_inv: Vec<usize> = (0..n).collect();
     let mut schedule = Vec::with_capacity(chain.len());
     for &(actor, sigma) in chain {
-        schedule.push(tau_inv[actor]);
+        if actor >= usize::from(CRASH_ACTOR) {
+            // A crash edge: schedule entry `n + i` = "process i
+            // crashes" (see the Verdict docs).
+            schedule.push(n + tau_inv[actor & !usize::from(CRASH_ACTOR)]);
+        } else {
+            schedule.push(tau_inv[actor]);
+        }
         let pi = &group[sigma as usize].pi;
         for t in &mut tau {
             *t = pi[*t];
@@ -3295,7 +3742,10 @@ mod tests {
             .max_states(2)
             .run()
             .unwrap_err();
-        assert_eq!(err, StateSpaceExceeded { limit: 2 });
+        assert!(matches!(
+            err,
+            McError::StateSpaceExceeded(StateSpaceExceeded { limit: 2 })
+        ));
         assert!(!err.to_string().is_empty());
     }
 
@@ -3747,6 +4197,182 @@ mod tests {
         assert!(report.max_pending_depth.iter().all(|&d| d >= 1));
         // Symmetric processes: the per-position maxima coincide.
         assert_eq!(report.max_pending_depth[0], report.max_pending_depth[1]);
+    }
+
+    /// The crash-mode differential on the CAS toy lock: a process that
+    /// crashes inside its critical section leaves the register claimed
+    /// forever under [`CrashMode::StaleClaims`] (nobody — itself
+    /// included, it rebooted with no memory of the claim — can ever
+    /// CAS it back), a fair livelock; under
+    /// [`CrashMode::WipeRegisters`] the claim evaporates with the
+    /// process and the lock stays deadlock-free.
+    #[test]
+    fn crash_mode_differential_on_cas_lock() {
+        let run = |mode: CrashMode| {
+            let ids = PidPool::sequential().mint_many(2);
+            let automata: Vec<CasLock> = ids.into_iter().map(CasLock::new).collect();
+            ModelChecker::with_automata(automata, MemoryModel::Rmw, 1, &Adversary::Identity)
+                .unwrap()
+                .crashes(CrashBudget::total(1), mode)
+                .run()
+                .unwrap()
+        };
+        let wiped = run(CrashMode::WipeRegisters);
+        assert_eq!(wiped.verdict, Verdict::Ok, "wiped crash must recover");
+        let stale = run(CrashMode::StaleClaims);
+        let Verdict::FairLivelock {
+            ref witness_schedule,
+            ..
+        } = stale.verdict
+        else {
+            panic!("stale crash must livelock CasLock, got {:?}", stale.verdict);
+        };
+        // The witness must actually schedule a crash (entry n + i) —
+        // the crash-free model of this lock verifies Ok.
+        let n = 2;
+        assert!(
+            witness_schedule.iter().any(|&a| a >= n),
+            "livelock stem must contain a crash entry: {witness_schedule:?}"
+        );
+    }
+
+    /// Replays the stale-claims livelock witness concretely: applying
+    /// the schedule (normal steps via `closed_loop_step`, entries
+    /// `n + i` as crashes) must land in a state where the register is
+    /// claimed while nobody is in — or can ever again reach — the
+    /// critical section.
+    #[test]
+    fn crash_witness_replays_concretely() {
+        let ids = PidPool::sequential().mint_many(2);
+        let automata: Vec<CasLock> = ids.into_iter().map(CasLock::new).collect();
+        let report = ModelChecker::with_automata(
+            automata.clone(),
+            MemoryModel::Rmw,
+            1,
+            &Adversary::Identity,
+        )
+        .unwrap()
+        .crashes(CrashBudget::total(1), CrashMode::StaleClaims)
+        .run()
+        .unwrap();
+        let Verdict::FairLivelock {
+            witness_schedule, ..
+        } = report.verdict
+        else {
+            panic!("expected a livelock");
+        };
+        let n = 2;
+        let mut mem = SimMemory::new(MemoryModel::Rmw, 1, &Adversary::Identity, n).unwrap();
+        let mut phases = vec![Phase::Remainder; n];
+        let mut states: Vec<_> = automata.iter().map(Automaton::init_state).collect();
+        for a in witness_schedule {
+            if a >= n {
+                // StaleClaims: the memory is untouched, the process
+                // reboots with no local memory.
+                phases[a - n] = Phase::Remainder;
+                states[a - n] = automata[a - n].crash_state();
+            } else {
+                crate::automaton::closed_loop_step(
+                    &automata[a],
+                    &mut phases[a],
+                    &mut states[a],
+                    &mut mem.view(a),
+                );
+            }
+        }
+        assert!(
+            !mem.slots()[0].is_bottom(),
+            "the livelock state must carry the stale claim"
+        );
+        assert!(
+            phases.iter().all(|&p| p != Phase::Cs),
+            "nobody is in the critical section — the claim is dead"
+        );
+    }
+
+    /// A zero crash budget explores exactly the crash-free state space:
+    /// the crash axis changes the node encoding (trailing crash
+    /// counts), but with no crash edge admissible every count and the
+    /// verdict are identical to a run without the axis.
+    #[test]
+    fn zero_crash_budget_matches_crash_free_run() {
+        let make = || {
+            let ids = PidPool::sequential().mint_many(2);
+            let automata: Vec<CasLock> = ids.into_iter().map(CasLock::new).collect();
+            ModelChecker::with_automata(automata, MemoryModel::Rmw, 1, &Adversary::Identity)
+                .unwrap()
+        };
+        let plain = make().run().unwrap();
+        let zero = make()
+            .crashes(CrashBudget::total(0), CrashMode::StaleClaims)
+            .run()
+            .unwrap();
+        assert_eq!(plain.verdict, zero.verdict);
+        assert_eq!(plain.states, zero.states);
+        assert_eq!(plain.transitions, zero.transitions);
+        assert_eq!(plain.acquisitions, zero.acquisitions);
+    }
+
+    /// Crash counts permute with the processes: symmetry-reduced crash
+    /// exploration agrees with the unreduced one on the verdict and on
+    /// the exact concrete state count (orbit accounting).
+    #[test]
+    fn crash_exploration_is_symmetry_invariant() {
+        let run = |symmetry: Symmetry| {
+            let ids = PidPool::sequential().mint_many(3);
+            let automata: Vec<CasLock> = ids.into_iter().map(CasLock::new).collect();
+            ModelChecker::with_automata(automata, MemoryModel::Rmw, 1, &Adversary::Identity)
+                .unwrap()
+                .symmetry(symmetry)
+                .crashes(CrashBudget::total(2), CrashMode::WipeRegisters)
+                .run()
+                .unwrap()
+        };
+        let off = run(Symmetry::Off);
+        let sym = run(Symmetry::Process);
+        assert_eq!(
+            std::mem::discriminant(&off.verdict),
+            std::mem::discriminant(&sym.verdict),
+            "{:?} vs {:?}",
+            off.verdict,
+            sym.verdict
+        );
+        assert_eq!(
+            off.states, sym.full_states_estimate,
+            "orbit accounting must reproduce the concrete crash state count"
+        );
+        assert!(
+            sym.canonical_states < off.states,
+            "the reduction must actually bite on crash states"
+        );
+    }
+
+    /// Per-process crash budgets bind independently of the total: with
+    /// `per_process = 1, total = 2` both processes can crash once, but
+    /// no process twice — strictly fewer states than `total(2)`.
+    #[test]
+    fn per_process_crash_budget_binds() {
+        let run = |budget: CrashBudget| {
+            let ids = PidPool::sequential().mint_many(2);
+            let automata: Vec<CasLock> = ids.into_iter().map(CasLock::new).collect();
+            ModelChecker::with_automata(automata, MemoryModel::Rmw, 1, &Adversary::Identity)
+                .unwrap()
+                .crashes(budget, CrashMode::StaleClaims)
+                .run()
+                .unwrap()
+        };
+        let total2 = run(CrashBudget::total(2));
+        let capped = run(CrashBudget {
+            total: 2,
+            per_process: 1,
+        });
+        assert!(
+            capped.states < total2.states,
+            "capping per-process crashes must prune double-crash states \
+             ({} vs {})",
+            capped.states,
+            total2.states
+        );
     }
 
     #[test]

@@ -49,7 +49,7 @@ proptest! {
         let mut first_idx: Vec<(Vec<u8>, u32)> = Vec::new();
         for bytes in &batch {
             let known = first_idx.iter().find(|(b, _)| b == bytes).map(|&(_, i)| i);
-            let (idx, fresh) = arena.intern(bytes);
+            let (idx, fresh) = arena.intern(bytes).expect("resident intern");
             match known {
                 Some(expect) => {
                     prop_assert!(!fresh, "duplicate must not be fresh");
@@ -65,11 +65,11 @@ proptest! {
         prop_assert_eq!(arena.len(), first_idx.len());
         let mut buf = Vec::new();
         for (bytes, idx) in &first_idx {
-            arena.get_into(*idx, &mut buf);
+            arena.get_into(*idx, &mut buf).expect("resident get");
             prop_assert_eq!(&buf, bytes, "get must reproduce the interned bytes");
-            prop_assert_eq!(arena.lookup(bytes), Some(*idx));
+            prop_assert_eq!(arena.lookup(bytes).expect("lookup"), Some(*idx));
             prop_assert_eq!(
-                arena.lookup_hashed(hash_bytes(bytes), bytes),
+                arena.lookup_hashed(hash_bytes(bytes), bytes).expect("lookup"),
                 Some(*idx)
             );
         }
@@ -80,7 +80,7 @@ proptest! {
         prop_assert!(arena.data_bytes() <= raw, "a record may never exceed raw + tag");
         arena.shrink_to_fit();
         for (bytes, idx) in &first_idx {
-            prop_assert_eq!(arena.lookup(bytes), Some(*idx));
+            prop_assert_eq!(arena.lookup(bytes).expect("lookup"), Some(*idx));
         }
     }
 
@@ -100,13 +100,13 @@ proptest! {
             s
         };
         for i in 0..n {
-            let (idx, fresh) = arena.intern(&mk(i));
+            let (idx, fresh) = arena.intern(&mk(i)).expect("intern");
             assert!(fresh, "all distinct by construction");
             assert_eq!(idx as usize, i);
         }
         let mut buf = Vec::new();
         for i in 0..n {
-            arena.get_into(i as u32, &mut buf);
+            arena.get_into(i as u32, &mut buf).expect("resident get");
             prop_assert_eq!(&buf, &mk(i), "state {} around the page boundary", i);
         }
     }
@@ -162,7 +162,7 @@ proptest! {
         };
         let mut arena = StateArena::new();
         for i in 0..pre {
-            let (idx, fresh) = arena.intern(&mk(i));
+            let (idx, fresh) = arena.intern(&mk(i)).expect("intern");
             prop_assert!(fresh);
             prop_assert_eq!(idx as usize, i);
         }
@@ -181,7 +181,7 @@ proptest! {
         // Keep interning across further page boundaries with the spill
         // active: eviction churn must never disturb earlier indices.
         for i in 0..post {
-            let (idx, fresh) = arena.intern(&mk(pre + i));
+            let (idx, fresh) = arena.intern(&mk(pre + i)).expect("intern");
             prop_assert!(fresh);
             prop_assert_eq!(idx as usize, pre + i);
         }
@@ -189,13 +189,13 @@ proptest! {
         let mut buf = Vec::new();
         let mut cache = PageCache::new();
         for i in 0..n {
-            arena.get_into(i as u32, &mut buf); // uncached fault path
+            arena.get_into(i as u32, &mut buf).expect("fault-in"); // uncached fault path
             prop_assert_eq!(&buf, &mk(i), "uncached fault-in of state {}", i);
-            arena.get_into_cached(i as u32, &mut cache, &mut buf);
+            arena.get_into_cached(i as u32, &mut cache, &mut buf).expect("cached fault-in");
             prop_assert_eq!(&buf, &mk(i), "cached fault-in of state {}", i);
             let bytes = mk(i);
             prop_assert_eq!(
-                arena.lookup_hashed_cached(hash_bytes(&bytes), &bytes, &mut cache),
+                arena.lookup_hashed_cached(hash_bytes(&bytes), &bytes, &mut cache).expect("probe"),
                 Some(i as u32)
             );
         }
@@ -204,7 +204,7 @@ proptest! {
         // spilled probe path too.
         let absent = vec![0xEEu8; 44];
         prop_assert_eq!(
-            arena.lookup_hashed_cached(hash_bytes(&absent), &absent, &mut cache),
+            arena.lookup_hashed_cached(hash_bytes(&absent), &absent, &mut cache).expect("probe"),
             None
         );
         // Snapshots are spill-invariant: a spilled arena serialises to
@@ -214,7 +214,7 @@ proptest! {
         let restored = StateArena::read_snapshot(&mut snap.as_slice()).expect("snapshot read");
         prop_assert_eq!(restored.len(), n);
         for i in 0..n {
-            restored.get_into(i as u32, &mut buf);
+            restored.get_into(i as u32, &mut buf).expect("restored get");
             prop_assert_eq!(&buf, &mk(i), "restored state {}", i);
         }
     }

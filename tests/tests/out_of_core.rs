@@ -244,8 +244,8 @@ where
     );
     assert_eq!(halted.checkpoints_written, 1);
     assert!(
-        dir.path().join("mc.ckpt").is_file(),
-        "{what}: checkpoint file must exist after the halt"
+        dir.path().join(format!("mc-{level:08}.ckpt")).is_file(),
+        "{what}: the level-{level} checkpoint file must exist after the halt"
     );
 
     let resumed =
@@ -261,19 +261,19 @@ where
     assert_equivalent(&baseline, &resumed, &format!("{what} resumed"));
 
     // A fingerprint mismatch (a smaller max-states bound here) must
-    // refuse the checkpoint rather than silently resume the wrong run.
-    let mismatch = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        ModelChecker::with_automata(make(), model, m, &Adversary::Identity)
-            .unwrap()
-            .max_states(1_000_000)
-            .symmetry(Symmetry::Process)
-            .checkpoint_dir(dir.path())
-            .resume(true)
-            .run()
-    }));
+    // refuse the checkpoint rather than silently resume the wrong run —
+    // as a typed McError::Checkpoint, never a panic.
+    let mismatch = ModelChecker::with_automata(make(), model, m, &Adversary::Identity)
+        .unwrap()
+        .max_states(1_000_000)
+        .symmetry(Symmetry::Process)
+        .checkpoint_dir(dir.path())
+        .resume(true)
+        .run();
     assert!(
-        mismatch.is_err(),
-        "{what}: resuming under an incompatible configuration must be refused"
+        matches!(mismatch, Err(amx_sim::mc::McError::Checkpoint(_))),
+        "{what}: resuming under an incompatible configuration must be refused \
+         with a typed error, got {mismatch:?}"
     );
 }
 
